@@ -1,0 +1,42 @@
+"""Ablation benchmarks for the reproduction's own design choices.
+
+Not tied to a specific paper artefact; these quantify the two algorithmic
+choices DESIGN.md calls out (Step-1 placement criterion, wrapper-chain
+partitioning heuristic) on the ITC'02 benchmarks.
+"""
+
+from conftest import run_once
+from repro.experiments.ablation import run_placement_ablation, run_wrapper_ablation
+
+
+def test_placement_criterion_ablation(benchmark):
+    result = run_once(benchmark, run_placement_ablation)
+
+    # The paper's fewest-channels-first rule must never lose to the
+    # unconditional free-memory rule, and should win clearly on average.
+    for row in result.rows:
+        assert row.paper_rule_channels <= row.ablated_channels
+    assert result.mean_inflation >= 0.0
+
+    benchmark.extra_info["mean_channel_inflation"] = round(result.mean_inflation, 3)
+    print()
+    print(result.to_table().render())
+
+
+def test_wrapper_heuristic_ablation(benchmark):
+    result = run_once(benchmark, run_wrapper_ablation)
+
+    assert result.combine_never_worse
+    assert result.cases > 50
+    # Neither heuristic may beat COMBINE (which takes the better of the two),
+    # i.e. the average excess makespan of each is non-negative.
+    assert result.lpt_excess_makespan >= 0.0
+    assert result.bfd_excess_makespan >= 0.0
+
+    benchmark.extra_info["cases"] = result.cases
+    benchmark.extra_info["lpt_wins"] = result.lpt_wins
+    benchmark.extra_info["bfd_wins"] = result.bfd_wins
+    benchmark.extra_info["lpt_excess"] = round(result.lpt_excess_makespan, 4)
+    benchmark.extra_info["bfd_excess"] = round(result.bfd_excess_makespan, 4)
+    print()
+    print(result.to_table().render())

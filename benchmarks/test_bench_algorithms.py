@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the core algorithms.
+
+These are conventional performance benchmarks (many rounds, statistics) for
+the building blocks the experiments lean on: COMBINE wrapper design, the
+Step-1 channel-group assignment, Step 2's redistribution search, and the
+Monte-Carlo flow simulator.  They are not tied to a specific paper artefact
+but document the cost of each stage on the real benchmark SOCs.
+"""
+
+import pytest
+
+from repro.ate.probe_station import reference_probe_station
+from repro.ate.spec import AteSpec
+from repro.core.units import kilo_vectors
+from repro.itc02.registry import TABLE1_BENCHMARKS, load_benchmark
+from repro.multisite.cost_model import TestTiming
+from repro.optimize.config import OptimizationConfig
+from repro.optimize.step1 import run_step1
+from repro.optimize.step2 import run_step2
+from repro.sim.montecarlo import FlowParameters, simulate_flow
+from repro.tam.assignment import design_architecture
+from repro.wrapper.combine import design_wrapper
+
+#: Per-benchmark (channels, depth in K vectors) operating points: roughly the
+#: middle row of each paper Table-1 block.
+_OPERATING_POINTS = {
+    "d695": (256, 88),
+    "p22810": (512, 704),
+    "p34392": (512, 1408),
+    "p93791": (512, 2304),
+}
+
+
+def test_wrapper_design_d695(benchmark):
+    """COMBINE wrapper design for every d695 core at width 16."""
+    soc = load_benchmark("d695")
+
+    def design_all():
+        return [design_wrapper(module, 16) for module in soc.modules]
+
+    designs = benchmark(design_all)
+    assert len(designs) == len(soc.modules)
+
+
+@pytest.mark.parametrize("soc_name", TABLE1_BENCHMARKS)
+def test_step1_architecture_design(benchmark, soc_name):
+    """Step-1 channel-group assignment on each ITC'02 benchmark."""
+    soc = load_benchmark(soc_name)
+    channels, depth_k = _OPERATING_POINTS[soc_name]
+    depth = kilo_vectors(depth_k)
+
+    architecture = benchmark(design_architecture, soc, channels, depth)
+    assert architecture.test_time_cycles <= depth
+    benchmark.extra_info["ate_channels"] = architecture.ate_channels
+    benchmark.extra_info["tams"] = architecture.num_groups
+
+
+def test_two_step_search_d695(benchmark):
+    """Full Step-1 + Step-2 search for d695 on a 256-channel ATE."""
+    soc = load_benchmark("d695")
+    ate = AteSpec(channels=256, depth=kilo_vectors(88), frequency_hz=5e6)
+    probe = reference_probe_station()
+    config = OptimizationConfig(broadcast=True)
+
+    def run():
+        return run_step2(run_step1(soc, ate, probe, config))
+
+    result = benchmark(run)
+    assert result.optimal_sites >= 1
+    benchmark.extra_info["n_opt"] = result.optimal_sites
+    benchmark.extra_info["throughput"] = round(result.optimal_throughput)
+
+
+def test_montecarlo_flow(benchmark):
+    """Monte-Carlo simulation of 10,000 devices at 8 sites with re-test."""
+    params = FlowParameters(
+        sites=8,
+        timing=TestTiming(0.5, 0.010, 1.2),
+        terminals_per_site=36,
+        contact_yield=0.999,
+        manufacturing_yield=0.9,
+        abort_on_fail=True,
+    )
+
+    result = benchmark(simulate_flow, params, 10_000, 99)
+    assert result.unique_devices == 10_000
+    benchmark.extra_info["throughput"] = round(result.throughput_per_hour)

@@ -1,0 +1,34 @@
+"""Benchmark harness for the Section-7 economics comparison.
+
+Regenerates the memory-versus-channels upgrade argument on the synthetic
+PNX8550 with the paper's street prices: doubling the vector memory of the
+512-channel reference ATE costs about USD 48k and must buy at least as much
+throughput per dollar as spending the same budget on extra channels.
+"""
+
+from conftest import run_once
+from repro.experiments.economics import run_economics, summarize_economics
+
+
+def test_economics_benchmark(benchmark, pnx8550, paper_ate, paper_probe):
+    result = run_once(
+        benchmark, run_economics, soc=pnx8550, base_ate=paper_ate, probe_station=paper_probe
+    )
+
+    # The paper's Section 7 conclusion: for the same money, deeper memory
+    # buys at least as much throughput as more channels.
+    assert result.memory_upgrade.cost_usd > 0
+    assert result.channel_upgrade.cost_usd <= result.memory_upgrade.cost_usd + 1e-6
+    assert result.memory_gain > 0
+    assert result.memory_wins
+
+    benchmark.extra_info["memory_cost_usd"] = round(result.memory_upgrade.cost_usd)
+    benchmark.extra_info["memory_gain"] = round(result.memory_gain, 3)
+    benchmark.extra_info["channel_gain"] = round(result.channel_gain, 3)
+    benchmark.extra_info["extra_channels"] = (
+        result.channel_upgrade.ate.channels - result.baseline.ate.channels
+    )
+
+    print()
+    print(result.to_table().render())
+    print(summarize_economics(result))

@@ -1,0 +1,39 @@
+"""Benchmark harness for the paper's Figure 5.
+
+Regenerates the throughput-versus-sites curves for the synthetic PNX8550 on
+the reference test cell, with and without stimuli broadcast, plus the
+Step-1-only reference line, and checks the paper's qualitative claims:
+
+* broadcast reaches at least as many sites as no-broadcast;
+* the two-step optimum is never below any Step-1-only point;
+* when the usable multi-site is limited (the paper's 8-site example), the
+  two-step flow gains substantially over Step 1 alone.
+"""
+
+from conftest import run_once
+from repro.experiments.figure5 import run_figure5, summarize_figure5
+from repro.reporting.series import series_table
+
+
+def test_figure5_benchmark(benchmark, pnx8550, paper_ate, paper_probe):
+    result = run_once(
+        benchmark, run_figure5, soc=pnx8550, ate=paper_ate, probe_station=paper_probe
+    )
+
+    assert result.broadcast.max_sites >= result.no_broadcast.max_sites
+    assert result.broadcast.optimal_throughput >= max(result.step1_only_broadcast.ys) - 1e-9
+    assert result.no_broadcast.optimal_throughput > 0
+    # The paper quotes a 34% gain at an 8-site equipment limit; our synthetic
+    # PNX8550 lands in the same regime, so require a clearly positive gain.
+    assert result.step2_gain_at_limit > 0.10
+
+    benchmark.extra_info["n_max_no_broadcast"] = result.no_broadcast.max_sites
+    benchmark.extra_info["n_opt_no_broadcast"] = result.no_broadcast.optimal_sites
+    benchmark.extra_info["n_max_broadcast"] = result.broadcast.max_sites
+    benchmark.extra_info["n_opt_broadcast"] = result.broadcast.optimal_sites
+    benchmark.extra_info["gain_at_8_sites"] = round(result.step2_gain_at_limit, 3)
+
+    print()
+    print(summarize_figure5(result))
+    print()
+    print(series_table([result.throughput_broadcast, result.step1_only_broadcast]))

@@ -1,0 +1,48 @@
+"""Benchmark harness for the paper's Figure 6.
+
+Regenerates both panels on the synthetic PNX8550:
+
+* (a) throughput versus ATE channel count, 512..1024 at 7 M depth;
+* (b) throughput versus vector-memory depth, 5 M..14 M at 512 channels;
+
+and checks the paper's claims: throughput scales (roughly) linearly with the
+channel count but clearly sub-linearly with the memory depth.
+"""
+
+from conftest import run_once
+from repro.experiments.figure6 import run_figure6, summarize_figure6
+
+
+def test_figure6_benchmark(benchmark, pnx8550, paper_probe):
+    result = run_once(benchmark, run_figure6, soc=pnx8550, probe_station=paper_probe)
+
+    channels = result.throughput_vs_channels
+    depth = result.throughput_vs_depth
+
+    # Both knobs help.  The depth sweep is allowed small local dips: the
+    # number of sites is an integer, so a depth step that does not unlock an
+    # extra site can momentarily trade a little throughput (the paper's
+    # smooth curve averages this out).
+    assert channels.is_nondecreasing(tolerance=0.02)
+    assert depth.is_nondecreasing(tolerance=0.10)
+    assert depth.ys[-1] > depth.ys[0]
+    # Figure 6(a): doubling the channels roughly doubles the throughput.
+    assert channels.relative_gain() > 0.7
+    assert result.channel_scaling > 0.7
+    # Figure 6(b): memory depth scales sub-linearly, and less than channels.
+    assert result.depth_scaling < result.channel_scaling
+    assert result.depth_scaling < 0.7
+
+    benchmark.extra_info["throughput_512ch"] = round(channels.ys[0])
+    benchmark.extra_info["throughput_1024ch"] = round(channels.ys[-1])
+    benchmark.extra_info["throughput_5M"] = round(depth.ys[0])
+    benchmark.extra_info["throughput_14M"] = round(depth.ys[-1])
+    benchmark.extra_info["channel_scaling"] = round(result.channel_scaling, 2)
+    benchmark.extra_info["depth_scaling"] = round(result.depth_scaling, 2)
+
+    print()
+    print(summarize_figure6(result))
+    print()
+    print(channels.render())
+    print()
+    print(depth.render())

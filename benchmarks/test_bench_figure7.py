@@ -1,0 +1,71 @@
+"""Benchmark harness for the paper's Figure 7.
+
+Regenerates both panels on the synthetic PNX8550:
+
+* (a) unique throughput versus vector-memory depth for contact yields
+  1.0 .. 0.99 (the re-test model);
+* (b) abort-on-fail test time versus number of sites for manufacturing
+  yields 1.0 .. 0.70;
+
+and checks the paper's claims: the re-test penalty is worst at shallow
+memories / low contact yields and shrinks with depth, and the abort-on-fail
+benefit disappears beyond about four sites even at 70% yield.
+"""
+
+from conftest import run_once
+from repro.experiments.figure7 import (
+    run_figure7a,
+    run_figure7b,
+    summarize_figure7,
+)
+from repro.reporting.series import series_table
+
+
+def test_figure7a_benchmark(benchmark, pnx8550, paper_probe):
+    result = run_once(benchmark, run_figure7a, soc=pnx8550, probe_station=paper_probe)
+
+    perfect = result.series(1.0)
+    worst = result.series(min(result.contact_yields))
+    # Lower contact yield never helps.
+    for contact_yield in result.contact_yields:
+        series = result.series(contact_yield)
+        for x, y in series.points:
+            assert y <= perfect.y_at(x) + 1e-9
+    # The relative drop shrinks as the memory gets deeper (fewer channels).
+    drop_shallow = 1 - worst.ys[0] / perfect.ys[0]
+    drop_deep = 1 - worst.ys[-1] / perfect.ys[-1]
+    assert drop_deep < drop_shallow
+    assert drop_shallow > 0.2  # the paper shows a severe drop at 5 M / p_c=0.99
+
+    benchmark.extra_info["drop_at_5M_pc0.99"] = round(drop_shallow, 3)
+    benchmark.extra_info["drop_at_14M_pc0.99"] = round(drop_deep, 3)
+
+    print()
+    print(series_table([result.series(y) for y in result.contact_yields]))
+
+
+def test_figure7b_benchmark(benchmark, pnx8550, paper_ate, paper_probe):
+    result = run_once(
+        benchmark, run_figure7b, soc=pnx8550, ate=paper_ate, probe_station=paper_probe
+    )
+
+    low_yield = result.series(min(result.manufacturing_yields))
+    # Expected test time grows towards the full time as sites are added.
+    assert low_yield.is_nondecreasing()
+    # Single-site abort-on-fail saves a lot at 70% yield ...
+    assert low_yield.ys[0] < 0.80 * result.full_test_time_s
+    # ... but the benefit is essentially gone at four or more sites.
+    assert low_yield.y_at(4.0) > 0.98 * result.full_test_time_s
+    assert low_yield.ys[-1] > 0.99 * result.full_test_time_s
+
+    benchmark.extra_info["full_test_time_s"] = round(result.full_test_time_s, 3)
+    benchmark.extra_info["t_1site_pm0.7"] = round(low_yield.ys[0], 3)
+    benchmark.extra_info["t_8site_pm0.7"] = round(low_yield.ys[-1], 3)
+
+    figure7a = run_figure7a(
+        soc=pnx8550, probe_station=paper_probe, depth_sweep_m=(5, 14), channels=512
+    )
+    print()
+    print(summarize_figure7(figure7a, result))
+    print()
+    print(series_table([result.series(y) for y in result.manufacturing_yields]))

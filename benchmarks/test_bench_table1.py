@@ -1,0 +1,45 @@
+"""Benchmark harness for the paper's Table 1.
+
+Regenerates, for every ITC'02 benchmark of the paper and the full 11-depth
+grid, the ATE channel count and maximum multi-site of the theoretical lower
+bound, the rectangle bin-packing baseline and our Step-1 design, and checks
+the qualitative claims of the paper:
+
+* our channel count never beats the lower bound and never exceeds the
+  baseline's;
+* our maximum multi-site is at least the baseline's on (almost) every row;
+* channels shrink and multi-site grows monotonically with memory depth.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.table1 import run_table1, summarize_table1
+from repro.itc02.registry import TABLE1_BENCHMARKS
+
+
+@pytest.mark.parametrize("soc_name", TABLE1_BENCHMARKS)
+def test_table1_benchmark(benchmark, soc_name):
+    result = run_once(benchmark, run_table1, benchmarks=(soc_name,))
+    rows = result.rows_for(soc_name)
+    assert len(rows) == 11
+
+    # Paper-shape assertions.
+    for row in rows:
+        assert row.our_channels >= row.lower_bound_channels
+        assert row.our_channels <= row.baseline_channels
+    matches = sum(1 for row in rows if row.matches_lower_bound)
+    beats = sum(1 for row in rows if row.beats_baseline_sites)
+    assert beats >= len(rows) - 1  # at most one anomalous row, as in the paper
+    channels = [row.our_channels for row in rows]
+    sites = [row.our_sites for row in rows]
+    assert channels == sorted(channels, reverse=True)
+    assert sites == sorted(sites)
+
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["lb_matches"] = matches
+    benchmark.extra_info["k_range"] = f"{channels[-1]}..{channels[0]}"
+    benchmark.extra_info["n_max_range"] = f"{sites[0]}..{sites[-1]}"
+    print()
+    print(result.to_table(soc_name).render())
+    print(summarize_table1(result))

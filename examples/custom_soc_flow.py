@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Custom SOC flow: describe your own chip, export it, and validate the model.
+
+This example shows the parts of the library a DfT engineer would use on a
+design that is *not* one of the shipped benchmarks:
+
+1. describe the SOC programmatically with :class:`SocBuilder` (or write a
+   ``.soc`` file by hand and parse it),
+2. export / re-import the ``.soc`` description,
+3. design the test infrastructure for a given ATE and find the optimal
+   multi-site,
+4. cross-check the analytic throughput model against the cycle-accurate
+   scan simulator and the Monte-Carlo wafer-test flow (including contact
+   failures and re-test),
+5. estimate whole-wafer test time from a wafer map.
+
+Run with:  python examples/custom_soc_flow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    AteSpec,
+    OptimizationConfig,
+    ProbeStation,
+    SocBuilder,
+    optimize_multisite,
+    parse_soc_file,
+    write_soc_file,
+)
+from repro.core.units import kilo_vectors
+from repro.sim.montecarlo import FlowParameters, simulate_flow
+from repro.sim.scan_sim import simulate_architecture
+from repro.sim.wafer import TouchdownPlan, WaferMap
+
+
+def build_soc():
+    """A small set-top-box style SOC: CPU, DSP, peripherals and memories."""
+    return (
+        SocBuilder("stb_soc", functional_pins=420)
+        .add_module("cpu", inputs=96, outputs=64, bidirs=16,
+                    scan_lengths=[420] * 12, patterns=900)
+        .add_module("dsp", inputs=64, outputs=64, bidirs=0,
+                    scan_lengths=[380] * 8, patterns=650)
+        .add_module("video_in", inputs=48, outputs=24, bidirs=8,
+                    scan_lengths=[250] * 4, patterns=300)
+        .add_module("video_out", inputs=24, outputs=56, bidirs=0,
+                    scan_lengths=[260] * 4, patterns=280)
+        .add_module("usb", inputs=20, outputs=18, bidirs=4,
+                    scan_lengths=[120, 120], patterns=150)
+        .add_module("uart", inputs=8, outputs=8, bidirs=0,
+                    scan_lengths=[60], patterns=60)
+        .add_module("sram0", inputs=24, outputs=24, bidirs=0,
+                    scan_lengths=[], patterns=800, is_memory=True)
+        .add_module("sram1", inputs=24, outputs=24, bidirs=0,
+                    scan_lengths=[], patterns=800, is_memory=True)
+        .add_module("rom", inputs=16, outputs=16, bidirs=0,
+                    scan_lengths=[], patterns=200, is_memory=True)
+        .build()
+    )
+
+
+def main() -> None:
+    soc = build_soc()
+    print(soc.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # Export to the .soc interchange format and read it back.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_soc_file(soc, Path(tmp) / "stb_soc.soc")
+        reloaded = parse_soc_file(path)
+        assert reloaded == soc
+        print(f"round-tripped the SOC description through {path.name}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Design the test infrastructure on a mid-range ATE.
+    # ------------------------------------------------------------------
+    ate = AteSpec(channels=128, depth=kilo_vectors(512), frequency_hz=10e6, name="ate-128x512K")
+    probe = ProbeStation(index_time_s=0.4, contact_test_time_s=0.008, contact_yield=0.9995)
+    config = OptimizationConfig(broadcast=False, manufacturing_yield=0.92)
+    result = optimize_multisite(soc, ate, probe, config)
+    print(result.describe())
+    print()
+    print(result.best.architecture.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # Validate the analytic model against the simulators.
+    # ------------------------------------------------------------------
+    trace = simulate_architecture(result.best.architecture)
+    print(f"analytic SOC test time : {result.best.test_time_cycles} cycles")
+    print(f"simulated SOC test time: {trace.test_time_cycles} cycles")
+
+    flow = simulate_flow(
+        FlowParameters(
+            sites=result.optimal_sites,
+            timing=result.best.scenario.timing,
+            terminals_per_site=result.best.channels_per_site,
+            contact_yield=probe.contact_yield,
+            manufacturing_yield=config.manufacturing_yield,
+        ),
+        devices=20_000,
+        seed=1,
+    )
+    print(f"analytic throughput     : {result.best.throughput:8.0f} devices/hour")
+    print(f"Monte-Carlo throughput  : {flow.throughput_per_hour:8.0f} devices/hour")
+    print(f"Monte-Carlo unique/hour : {flow.unique_throughput_per_hour:8.0f} "
+          f"({flow.retests} re-tests over {flow.unique_devices} devices)")
+    print()
+
+    # ------------------------------------------------------------------
+    # Whole-wafer view.
+    # ------------------------------------------------------------------
+    wafer = WaferMap(diameter_mm=300, die_width_mm=9, die_height_mm=9)
+    plan = TouchdownPlan(wafer=wafer, sites=result.optimal_sites)
+    wafer_time = plan.wafer_test_time_s(probe.index_time_s, result.best.scenario.test_time_s())
+    print(f"dies per wafer          : {wafer.dies_per_wafer}")
+    print(f"touchdowns per wafer    : {plan.num_touchdowns} "
+          f"(site utilisation {plan.site_utilisation * 100:.0f}%)")
+    print(f"wafer test time         : {wafer_time / 60:.1f} minutes")
+
+
+if __name__ == "__main__":
+    main()

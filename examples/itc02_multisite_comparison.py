@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""ITC'02 benchmark comparison: lower bound vs. rectangle packing vs. Step 1.
+
+Regenerates the paper's Table 1 for the four ITC'02 SOC Test Benchmarks
+(d695, p22810, p34392, p93791): for each vector-memory depth it reports the
+number of ATE channels one SOC needs and the maximum multi-site reachable
+with stimuli broadcast, for
+
+* the theoretical lower bound,
+* the rectangle bin-packing baseline (Iyengar et al., ITC 2002), and
+* this library's Step-1 channel-group design.
+
+Run with:  python examples/itc02_multisite_comparison.py [benchmark ...]
+"""
+
+import sys
+
+from repro.experiments.table1 import (
+    DEFAULT_DEPTH_GRIDS_K,
+    run_table1,
+    summarize_table1,
+)
+from repro.itc02 import TABLE1_BENCHMARKS, benchmark_info
+
+
+def main() -> None:
+    requested = sys.argv[1:] or list(TABLE1_BENCHMARKS)
+    for name in requested:
+        info = benchmark_info(name)
+        origin = "synthetic reconstruction" if info.synthetic else "published data"
+        print(f"{info.name}: {info.modules} modules ({origin})")
+    print()
+
+    result = run_table1(benchmarks=tuple(requested))
+    for name in result.benchmarks:
+        print(result.to_table(name).render())
+        rows = result.rows_for(name)
+        gap = max(row.our_channels - row.lower_bound_channels for row in rows)
+        print(f"  -> largest gap to the lower bound over "
+              f"{len(DEFAULT_DEPTH_GRIDS_K[name])} depths: {gap} channels")
+        print()
+
+    print(summarize_table1(result))
+
+
+if __name__ == "__main__":
+    main()

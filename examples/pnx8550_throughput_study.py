@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""PNX8550 throughput study: the paper's single-chip experiments in one script.
+
+Reproduces, on the synthetic PNX8550 model (62 logic + 212 memory modules):
+
+* Figure 5  -- throughput versus number of sites, with and without stimuli
+  broadcast, including the Step-1-only reference line;
+* Figure 6  -- throughput scaling with ATE channel count and with vector
+  memory depth (reduced sweeps so the script finishes in about a minute;
+  pass ``--full`` for the paper's complete sweeps);
+* the economics argument -- doubling the vector memory versus spending the
+  same money on extra channels.
+
+Run with:  python examples/pnx8550_throughput_study.py [--full]
+"""
+
+import argparse
+
+from repro.experiments.economics import run_economics, summarize_economics
+from repro.experiments.figure5 import run_figure5, summarize_figure5
+from repro.experiments.figure6 import (
+    DEFAULT_CHANNEL_SWEEP,
+    DEFAULT_DEPTH_SWEEP_M,
+    run_figure6,
+    summarize_figure6,
+)
+from repro.reporting.series import series_table
+from repro.soc import make_pnx8550
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper's full Figure-6 sweeps (slower)")
+    args = parser.parse_args()
+
+    soc = make_pnx8550()
+    print(soc.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # Figure 5: optimal multi-site with and without stimuli broadcast.
+    # ------------------------------------------------------------------
+    figure5 = run_figure5(soc=soc)
+    print(summarize_figure5(figure5))
+    print()
+    print("broadcast case -- step 1+2 versus step 1 only:")
+    print(series_table([figure5.throughput_broadcast, figure5.step1_only_broadcast]))
+    print()
+
+    # ------------------------------------------------------------------
+    # Figure 6: what should you buy -- channels or memory?
+    # ------------------------------------------------------------------
+    if args.full:
+        channel_sweep = DEFAULT_CHANNEL_SWEEP
+        depth_sweep = DEFAULT_DEPTH_SWEEP_M
+    else:
+        channel_sweep = (512, 768, 1024)
+        depth_sweep = (5, 7, 10, 14)
+    figure6 = run_figure6(soc=soc, channel_sweep=channel_sweep, depth_sweep_m=depth_sweep)
+    print(summarize_figure6(figure6))
+    print()
+    print(figure6.throughput_vs_channels.render())
+    print()
+    print(figure6.throughput_vs_depth.render())
+    print()
+
+    # ------------------------------------------------------------------
+    # Section 7 economics: memory is the cheaper throughput knob.
+    # ------------------------------------------------------------------
+    economics = run_economics(soc=soc)
+    print(economics.to_table().render())
+    print()
+    print(summarize_economics(economics))
+
+
+if __name__ == "__main__":
+    main()

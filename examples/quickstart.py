@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: design the on-chip test infrastructure for an ITC'02 benchmark.
+
+This example walks through the library's headline API:
+
+1. load an ITC'02 benchmark SOC (d695),
+2. describe the fixed target test cell (ATE + probe station),
+3. run the paper's two-step algorithm to find the throughput-optimal
+   multi-site configuration,
+4. inspect the resulting infrastructure: channel groups (TAMs), module
+   wrappers and the chip-level E-RPCT wrapper.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    AteSpec,
+    OptimizationConfig,
+    ProbeStation,
+    load_benchmark,
+    optimize_multisite,
+)
+from repro.core.units import kilo_vectors
+from repro.wrapper import design_wrapper
+
+
+def main() -> None:
+    # 1. The SOC under test: the d695 benchmark (ten ISCAS cores).
+    soc = load_benchmark("d695")
+    print(soc.describe())
+    print()
+
+    # 2. The fixed test cell: a 256-channel ATE with 64 K vectors per channel
+    #    and a 5 MHz test clock, plus the paper's reference probe station.
+    ate = AteSpec(channels=256, depth=kilo_vectors(64), frequency_hz=5e6, name="ate-256x64K")
+    probe = ProbeStation(index_time_s=0.5, contact_test_time_s=0.010, contact_yield=0.999)
+    print(ate.describe())
+    print(probe.describe())
+    print()
+
+    # 3. Run the two-step algorithm (no stimuli broadcast, maximise D_th).
+    result = optimize_multisite(soc, ate, probe, OptimizationConfig(broadcast=False))
+    print(result.describe())
+    print()
+
+    # 4a. The chip-level E-RPCT wrapper: how many pads the prober touches.
+    print(result.step1.erpct.describe())
+    print()
+
+    # 4b. The channel-group architecture (TAMs) behind the wrapper.
+    print(result.best.architecture.describe())
+    print()
+
+    # 4c. A module wrapper in detail: the widest core on its TAM.
+    bottleneck_group = max(result.best.architecture.groups, key=lambda group: group.fill)
+    biggest = max(bottleneck_group.modules, key=lambda module: module.test_data_volume_bits)
+    wrapper = design_wrapper(biggest, bottleneck_group.width)
+    print(f"wrapper detail for {biggest.name}:")
+    print(f"  {wrapper.describe()}")
+    for chain in wrapper.chains[:6]:
+        print(
+            f"    chain {chain.index}: {chain.scan_flipflops} scan FF, "
+            f"{chain.input_cells} in-cells, {chain.output_cells} out-cells"
+        )
+    print()
+
+    # 5. The Step-2 sweep: throughput for every feasible site count.
+    print("sites  channels/site  test time (s)  devices/hour")
+    for point in sorted(result.points, key=lambda point: point.sites):
+        marker = "  <== optimal" if point.sites == result.optimal_sites else ""
+        seconds = ate.cycles_to_seconds(point.test_time_cycles)
+        print(
+            f"{point.sites:5d}  {point.channels_per_site:13d}  {seconds:13.3f}  "
+            f"{point.throughput:12.0f}{marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

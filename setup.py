@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works on offline machines where build
+isolation cannot download its build dependencies (pip then falls back to the
+legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro -- reproduction of Goel & Marinissen, DATE 2005.
+
+On-chip test infrastructure design for optimal multi-site testing of system
+chips: module wrappers (COMBINE), TAM / channel-group design, chip-level
+E-RPCT wrappers, the multi-site throughput cost model, and the two-step
+algorithm that maximises wafer-test throughput on a fixed ATE.
+
+Typical usage::
+
+    from repro import load_benchmark, reference_ate, optimize_multisite
+
+    soc = load_benchmark("d695")
+    ate = reference_ate(channels=256, depth_m=0.0625)   # 256 channels x 64 K
+    result = optimize_multisite(soc, ate)
+    print(result.describe())
+
+The sub-packages are documented in DESIGN.md; the most commonly used entry
+points are re-exported here.
+"""
+
+from repro.ate import AteSpec, ProbeStation, AtePricing, reference_ate, reference_probe_station
+from repro.itc02 import load_benchmark, list_benchmarks, parse_soc_file, write_soc_file
+from repro.multisite import MultiSiteScenario, TestTiming, throughput_per_hour
+from repro.optimize import (
+    Objective,
+    OptimizationConfig,
+    Step1Result,
+    TwoStepResult,
+    design_step1_only,
+    optimize_multisite,
+)
+from repro.soc import Module, ScanChain, Soc, SocBuilder, make_module, make_pnx8550, make_synthetic_soc
+from repro.schedule import TestSchedule, build_schedule
+from repro.tam import TestArchitecture, design_architecture
+from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AteSpec",
+    "ProbeStation",
+    "AtePricing",
+    "reference_ate",
+    "reference_probe_station",
+    "load_benchmark",
+    "list_benchmarks",
+    "parse_soc_file",
+    "write_soc_file",
+    "MultiSiteScenario",
+    "TestTiming",
+    "throughput_per_hour",
+    "Objective",
+    "OptimizationConfig",
+    "Step1Result",
+    "TwoStepResult",
+    "design_step1_only",
+    "optimize_multisite",
+    "Module",
+    "ScanChain",
+    "Soc",
+    "SocBuilder",
+    "make_module",
+    "make_pnx8550",
+    "make_synthetic_soc",
+    "TestSchedule",
+    "build_schedule",
+    "TestArchitecture",
+    "design_architecture",
+    "WrapperDesign",
+    "design_wrapper",
+    "module_test_time",
+    "__version__",
+]

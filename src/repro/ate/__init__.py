@@ -1,0 +1,21 @@
+"""ATE, probe-station and pricing models."""
+
+from repro.ate.spec import AteSpec, reference_ate
+from repro.ate.probe_station import ProbeStation, reference_probe_station
+from repro.ate.pricing import (
+    AtePricing,
+    DEFAULT_CHANNEL_BLOCK_PRICE_USD,
+    DEFAULT_CHANNEL_BLOCK_SIZE,
+    DEFAULT_MEMORY_UPGRADE_PRICE_USD,
+)
+
+__all__ = [
+    "AteSpec",
+    "reference_ate",
+    "ProbeStation",
+    "reference_probe_station",
+    "AtePricing",
+    "DEFAULT_CHANNEL_BLOCK_PRICE_USD",
+    "DEFAULT_CHANNEL_BLOCK_SIZE",
+    "DEFAULT_MEMORY_UPGRADE_PRICE_USD",
+]

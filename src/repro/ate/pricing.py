@@ -1,0 +1,99 @@
+"""ATE upgrade pricing model.
+
+Section 7 of the paper argues that, per dollar, deepening the ATE vector
+memory buys more throughput than adding ATE channels, quoting street prices
+of roughly USD 8,000 for 16 extra channels at 7 M depth and USD 1,500 for
+upgrading 16 channels from 7 M to 14 M depth.  This module captures that
+cost model so the economics experiment can regenerate the argument (and so
+users can plug in their own prices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import MEGA
+from repro.ate.spec import AteSpec
+
+#: Paper figure: 16 additional channels with 7 M memory cost about USD 8,000.
+DEFAULT_CHANNEL_BLOCK_SIZE = 16
+DEFAULT_CHANNEL_BLOCK_PRICE_USD = 8_000.0
+
+#: Paper figure: upgrading 16 channels from 7 M to 14 M costs about USD 1,500.
+DEFAULT_MEMORY_UPGRADE_PRICE_USD = 1_500.0
+DEFAULT_MEMORY_UPGRADE_FROM = 7 * MEGA
+DEFAULT_MEMORY_UPGRADE_TO = 14 * MEGA
+
+
+@dataclass(frozen=True)
+class AtePricing:
+    """Linear pricing model for ATE channel and memory upgrades.
+
+    Attributes
+    ----------
+    channel_block_size:
+        Number of channels bought as one block.
+    channel_block_price_usd:
+        Price of one channel block (channels come with the baseline memory
+        depth).
+    memory_upgrade_price_usd:
+        Price of doubling the memory of one channel block from
+        ``memory_upgrade_from`` to ``memory_upgrade_to`` vectors.
+    """
+
+    channel_block_size: int = DEFAULT_CHANNEL_BLOCK_SIZE
+    channel_block_price_usd: float = DEFAULT_CHANNEL_BLOCK_PRICE_USD
+    memory_upgrade_price_usd: float = DEFAULT_MEMORY_UPGRADE_PRICE_USD
+    memory_upgrade_from: int = DEFAULT_MEMORY_UPGRADE_FROM
+    memory_upgrade_to: int = DEFAULT_MEMORY_UPGRADE_TO
+
+    def __post_init__(self) -> None:
+        if self.channel_block_size <= 0:
+            raise ConfigurationError("channel block size must be positive")
+        if self.channel_block_price_usd < 0 or self.memory_upgrade_price_usd < 0:
+            raise ConfigurationError("prices must be non-negative")
+        if self.memory_upgrade_to <= self.memory_upgrade_from:
+            raise ConfigurationError(
+                "memory upgrade target depth must exceed the starting depth"
+            )
+
+    # ------------------------------------------------------------------
+    # Cost of individual upgrades
+    # ------------------------------------------------------------------
+    def price_per_channel(self) -> float:
+        """Price of a single additional ATE channel (pro-rated)."""
+        return self.channel_block_price_usd / self.channel_block_size
+
+    def price_per_vector_per_channel(self) -> float:
+        """Price of one additional vector of memory depth on one channel."""
+        depth_gain = self.memory_upgrade_to - self.memory_upgrade_from
+        return self.memory_upgrade_price_usd / (self.channel_block_size * depth_gain)
+
+    def channel_upgrade_cost(self, base: AteSpec, extra_channels: int) -> float:
+        """Cost in USD of adding ``extra_channels`` channels to ``base``."""
+        if extra_channels < 0:
+            raise ConfigurationError("extra channel count must be non-negative")
+        return extra_channels * self.price_per_channel()
+
+    def memory_upgrade_cost(self, base: AteSpec, new_depth: int) -> float:
+        """Cost in USD of deepening ``base``'s memory to ``new_depth`` vectors."""
+        if new_depth < base.depth:
+            raise ConfigurationError("new depth must not be smaller than the current depth")
+        return (new_depth - base.depth) * base.channels * self.price_per_vector_per_channel()
+
+    # ------------------------------------------------------------------
+    # Equal-budget upgrades (the comparison made in Section 7)
+    # ------------------------------------------------------------------
+    def channels_for_budget(self, budget_usd: float) -> int:
+        """How many extra channels ``budget_usd`` buys (rounded down)."""
+        if budget_usd < 0:
+            raise ConfigurationError("budget must be non-negative")
+        return int(budget_usd / self.price_per_channel())
+
+    def depth_increase_for_budget(self, base: AteSpec, budget_usd: float) -> int:
+        """How many extra vectors per channel ``budget_usd`` buys on ``base``."""
+        if budget_usd < 0:
+            raise ConfigurationError("budget must be non-negative")
+        per_vector_cost = self.price_per_vector_per_channel() * base.channels
+        return int(budget_usd / per_vector_cost)

@@ -1,0 +1,89 @@
+"""Probe-station / test-cell timing model.
+
+Besides the ATE itself, the multi-site throughput model needs two timing
+parameters of the wafer-probe test cell:
+
+* the **index time** ``t_i``: the time the prober needs to step to the next
+  set of dies and establish contact (the paper uses 0.5 s);
+* the **contact-test time** ``t_c``: the fixed time of the contact test that
+  verifies all probed terminals are properly connected (the paper uses
+  10 ms).
+
+Both are bundled in :class:`ProbeStation` together with the per-terminal
+contact yield ``p_c``, which drives the contact-pass probability and the
+re-test model of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProbeStation:
+    """Wafer-probe station parameters.
+
+    Attributes
+    ----------
+    index_time_s:
+        Prober index time ``t_i`` in seconds.
+    contact_test_time_s:
+        Contact-test time ``t_c`` in seconds.
+    contact_yield:
+        Probability ``p_c`` that a single probed terminal makes good contact.
+    name:
+        Optional label for reports.
+    """
+
+    index_time_s: float = 0.5
+    contact_test_time_s: float = 0.010
+    contact_yield: float = 1.0
+    name: str = "prober"
+
+    def __post_init__(self) -> None:
+        if self.index_time_s < 0:
+            raise ConfigurationError(
+                f"index time must be non-negative, got {self.index_time_s}"
+            )
+        if self.contact_test_time_s < 0:
+            raise ConfigurationError(
+                f"contact-test time must be non-negative, got {self.contact_test_time_s}"
+            )
+        if not 0.0 <= self.contact_yield <= 1.0:
+            raise ConfigurationError(
+                f"contact yield must be within [0, 1], got {self.contact_yield}"
+            )
+
+    def with_contact_yield(self, contact_yield: float) -> "ProbeStation":
+        """Return a copy with a different per-terminal contact yield."""
+        return replace(self, contact_yield=contact_yield)
+
+    def with_index_time(self, index_time_s: float) -> "ProbeStation":
+        """Return a copy with a different index time."""
+        return replace(self, index_time_s=index_time_s)
+
+    def site_contact_yield(self, terminals: int) -> float:
+        """Probability that all ``terminals`` probed pins of one site contact well."""
+        if terminals < 0:
+            raise ConfigurationError(f"terminal count must be non-negative, got {terminals}")
+        return self.contact_yield ** terminals
+
+    def describe(self) -> str:
+        """One-line summary used by reports and the CLI."""
+        return (
+            f"{self.name}: index {self.index_time_s * 1e3:g} ms, "
+            f"contact test {self.contact_test_time_s * 1e3:g} ms, "
+            f"contact yield {self.contact_yield:g}"
+        )
+
+
+def reference_probe_station(contact_yield: float = 1.0) -> ProbeStation:
+    """The paper's reference probe station: 0.5 s index time, 10 ms contact test."""
+    return ProbeStation(
+        index_time_s=0.5,
+        contact_test_time_s=0.010,
+        contact_yield=contact_yield,
+        name="prober-ref",
+    )

@@ -1,0 +1,102 @@
+"""Automatic Test Equipment (ATE) specification.
+
+The paper assumes a *given and fixed* target test cell: an ATE with ``N``
+digital channels, each backed by a vector memory of depth ``D`` vectors, a
+test-clock frequency, and a probe station characterised by its index time.
+This module models the ATE itself; the probe station lives in
+:mod:`repro.ate.probe_station` and upgrade pricing in
+:mod:`repro.ate.pricing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import cycles_to_seconds, format_depth, mega_vectors
+
+
+@dataclass(frozen=True)
+class AteSpec:
+    """A fixed ATE configuration.
+
+    Attributes
+    ----------
+    channels:
+        Total number of digital ATE channels (``N`` in the paper).
+    depth:
+        Vector-memory depth per channel in vectors (``D``).  One test-clock
+        cycle consumes one vector on every channel.
+    frequency_hz:
+        Test-clock frequency; the paper uses 5 MHz.
+    name:
+        Optional label for reports.
+    """
+
+    channels: int
+    depth: int
+    frequency_hz: float = 5_000_000.0
+    name: str = "ate"
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ConfigurationError(f"ATE must have a positive channel count, got {self.channels}")
+        if self.depth <= 0:
+            raise ConfigurationError(f"ATE vector-memory depth must be positive, got {self.depth}")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"ATE test-clock frequency must be positive, got {self.frequency_hz}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def max_tam_width(self) -> int:
+        """Maximum SOC TAM width the ATE can drive for a single site.
+
+        Every TAM wire needs one stimulus channel and one response channel,
+        so the width is bounded by half the channel count.
+        """
+        return self.channels // 2
+
+    @property
+    def total_vector_memory(self) -> int:
+        """Total vector memory over all channels (vectors)."""
+        return self.channels * self.depth
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert test-clock cycles to seconds at this ATE's frequency."""
+        return cycles_to_seconds(cycles, self.frequency_hz)
+
+    def fits(self, cycles: int) -> bool:
+        """True when a test of ``cycles`` cycles fits in the vector memory."""
+        return cycles <= self.depth
+
+    # ------------------------------------------------------------------
+    # Derived configurations (used by the Figure 6 sweeps)
+    # ------------------------------------------------------------------
+    def with_channels(self, channels: int) -> "AteSpec":
+        """Return a copy of this spec with a different channel count."""
+        return replace(self, channels=channels)
+
+    def with_depth(self, depth: int) -> "AteSpec":
+        """Return a copy of this spec with a different vector-memory depth."""
+        return replace(self, depth=depth)
+
+    def describe(self) -> str:
+        """One-line summary used by reports and the CLI."""
+        return (
+            f"{self.name}: {self.channels} channels x {format_depth(self.depth)} vectors, "
+            f"{self.frequency_hz / 1e6:g} MHz test clock"
+        )
+
+
+def reference_ate(channels: int = 512, depth_m: float = 7, frequency_mhz: float = 5.0) -> AteSpec:
+    """The paper's reference ATE: 512 channels, 7 M vectors, 5 MHz test clock."""
+    return AteSpec(
+        channels=channels,
+        depth=mega_vectors(depth_m),
+        frequency_hz=frequency_mhz * 1e6,
+        name=f"ate-{channels}x{depth_m:g}M",
+    )

@@ -1,0 +1,21 @@
+"""Baselines: theoretical lower bound and rectangle bin-packing (Iyengar et al.)."""
+
+from repro.baselines.lower_bound import (
+    LowerBoundResult,
+    channel_lower_bound,
+    module_min_feasible_area,
+)
+from repro.baselines.rectangle import (
+    PackedColumn,
+    RectanglePackingResult,
+    pack_rectangles,
+)
+
+__all__ = [
+    "LowerBoundResult",
+    "channel_lower_bound",
+    "module_min_feasible_area",
+    "PackedColumn",
+    "RectanglePackingResult",
+    "pack_rectangles",
+]

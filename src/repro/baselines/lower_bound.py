@@ -1,0 +1,99 @@
+"""Theoretical lower bound on the number of ATE channels per SOC.
+
+The paper's Table 1 compares its Step-1 channel counts against a theoretical
+lower bound (taken from Iyengar et al. [7]).  Two effects bound the total
+TAM width ``W`` from below for a given vector-memory depth ``D``:
+
+* **width bound** -- the widest single module: every module must fit within
+  the depth on its own group, so ``W >= max_m w_min(m)``;
+* **area bound** -- total test data: each module occupies at least its
+  minimal rectangle area (width x test time over its feasible Pareto
+  points), all of which has to fit into the ``W x D`` "bin" the ATE offers,
+  so ``W >= ceil( sum_m min_area(m) / D )``.
+
+The channel lower bound is twice the width bound (stimulus + response
+channels).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.soc.soc import Soc
+from repro.wrapper.combine import min_width_for_depth
+from repro.wrapper.pareto import pareto_points
+
+
+@dataclass(frozen=True)
+class LowerBoundResult:
+    """Lower bound on TAM width / ATE channels for one SOC and depth."""
+
+    soc_name: str
+    depth: int
+    width_bound: int
+    area_bound: int
+
+    @property
+    def tam_width(self) -> int:
+        """Lower bound on the total TAM width."""
+        return max(self.width_bound, self.area_bound)
+
+    @property
+    def ate_channels(self) -> int:
+        """Lower bound on the per-site ATE channel count ``k``."""
+        return 2 * self.tam_width
+
+
+def module_min_feasible_area(module, depth: int, max_width: int) -> int:
+    """Minimal rectangle area of ``module`` over widths whose time fits ``depth``.
+
+    Falls back to the global minimum area when no Pareto point fits the
+    depth (the caller will fail the width bound in that case anyway).
+    """
+    points = pareto_points(module, max_width)
+    feasible = [point.area for point in points if point.test_time_cycles <= depth]
+    if feasible:
+        return min(feasible)
+    return min(point.area for point in points)
+
+
+def channel_lower_bound(soc: Soc, depth: int, channels: int) -> LowerBoundResult:
+    """Compute the lower bound on ATE channels for ``soc`` at depth ``depth``.
+
+    Parameters
+    ----------
+    soc:
+        The SOC under consideration.
+    depth:
+        ATE vector-memory depth per channel (vectors).
+    channels:
+        ATE channel budget; only used to cap the per-module width search.
+
+    Raises
+    ------
+    InfeasibleDesignError
+        When some module cannot fit the depth within the channel budget at
+        all (then no architecture exists, so no bound is meaningful).
+    """
+    if depth <= 0:
+        raise ConfigurationError(f"depth must be positive, got {depth}")
+    if channels <= 1:
+        raise ConfigurationError(f"channel budget must be at least 2, got {channels}")
+    max_width = channels // 2
+
+    width_bound = 0
+    total_area = 0
+    for module in soc.modules:
+        min_width = min_width_for_depth(module, depth, max_width)
+        width_bound = max(width_bound, min_width)
+        total_area += module_min_feasible_area(module, depth, max_width)
+
+    area_bound = math.ceil(total_area / depth)
+    return LowerBoundResult(
+        soc_name=soc.name,
+        depth=depth,
+        width_bound=width_bound,
+        area_bound=area_bound,
+    )

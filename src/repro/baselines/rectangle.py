@@ -1,0 +1,148 @@
+"""Rectangle bin-packing baseline, in the spirit of Iyengar et al. (ITC 2002).
+
+The prior-work approach the paper compares against ([7]) models every module
+as a rectangle -- width = TAM wires, height = test time at that width -- and
+packs the rectangles into a bin whose height is the ATE vector-memory depth,
+minimising the total packed width (and hence the ATE channel count per SOC).
+
+This reproduction implements the approach with the documented limitations
+the paper points out:
+
+* modules are packed as **rigid** rectangles at their cheapest feasible
+  Pareto width; placing a module on a wider column does *not* re-design its
+  wrapper, so the extra width is wasted (whereas the paper's Step 1 re-wraps
+  modules at the group width);
+* the goal is purely to minimise the channel count, i.e. to maximise the
+  number of sites; there is no Step-2 style throughput optimisation;
+* stimuli broadcast is assumed (as [7] does), although the caller can
+  evaluate the result in either channel-arithmetic mode.
+
+The result type mirrors :class:`~repro.tam.architecture.TestArchitecture`
+closely enough for the Table-1 experiment to report both side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.optimize.channels import max_sites
+from repro.soc.module import Module
+from repro.soc.soc import Soc
+from repro.wrapper.pareto import ParetoPoint, best_width_for_depth
+
+
+@dataclass(frozen=True)
+class PackedColumn:
+    """One column (channel group) of the rectangle packing."""
+
+    index: int
+    width: int
+    fill: int
+    module_names: tuple[str, ...]
+
+    def free_depth(self, depth: int) -> int:
+        """Unused height of this column for a bin of height ``depth``."""
+        return max(0, depth - self.fill)
+
+
+@dataclass(frozen=True)
+class RectanglePackingResult:
+    """Outcome of the rectangle bin-packing baseline for one SOC and ATE."""
+
+    soc_name: str
+    depth: int
+    columns: tuple[PackedColumn, ...]
+
+    @property
+    def tam_width(self) -> int:
+        """Total packed TAM width."""
+        return sum(column.width for column in self.columns)
+
+    @property
+    def ate_channels(self) -> int:
+        """ATE channels per SOC (``k = 2 *`` total width)."""
+        return 2 * self.tam_width
+
+    @property
+    def test_time_cycles(self) -> int:
+        """SOC test time: the largest column fill."""
+        return max(column.fill for column in self.columns)
+
+    def max_sites(self, channels: int, broadcast: bool = True) -> int:
+        """Maximum multi-site on an ATE with ``channels`` channels."""
+        return max_sites(channels, self.ate_channels, broadcast)
+
+
+def _cheapest_feasible_point(
+    module: Module, depth: int, max_width: int
+) -> ParetoPoint:
+    point = best_width_for_depth(module, depth, max_width)
+    if point is None:
+        raise InfeasibleDesignError(
+            f"module {module.name!r} cannot fit a depth of {depth} vectors "
+            f"within {max_width} TAM wires",
+            module_name=module.name,
+        )
+    return point
+
+
+def pack_rectangles(soc: Soc, channels: int, depth: int) -> RectanglePackingResult:
+    """Pack ``soc``'s module rectangles into columns of height ``depth``.
+
+    Modules are taken at their cheapest feasible Pareto point, sorted by
+    decreasing height (test time), and placed first-fit into existing
+    columns; a module that fits no column's remaining height opens a new
+    column.  Column widths grow to the widest rectangle they contain.
+
+    Raises
+    ------
+    InfeasibleDesignError
+        When a module cannot fit the depth at all, or the resulting packing
+        exceeds the ATE channel budget.
+    """
+    if channels <= 1:
+        raise ConfigurationError(f"channel budget must be at least 2, got {channels}")
+    if depth <= 0:
+        raise ConfigurationError(f"depth must be positive, got {depth}")
+    max_width = channels // 2
+
+    rectangles = [
+        (module, _cheapest_feasible_point(module, depth, max_width))
+        for module in soc.modules
+    ]
+    rectangles.sort(
+        key=lambda pair: (-pair[1].test_time_cycles, -pair[1].width, pair[0].name)
+    )
+
+    widths: list[int] = []
+    fills: list[int] = []
+    names: list[list[str]] = []
+    for module, point in rectangles:
+        placed = False
+        for position in range(len(widths)):
+            if fills[position] + point.test_time_cycles <= depth:
+                fills[position] += point.test_time_cycles
+                widths[position] = max(widths[position], point.width)
+                names[position].append(module.name)
+                placed = True
+                break
+        if not placed:
+            widths.append(point.width)
+            fills.append(point.test_time_cycles)
+            names.append([module.name])
+        if sum(widths) > max_width:
+            raise InfeasibleDesignError(
+                f"rectangle packing of {soc.name!r} exceeds the {channels}-channel budget"
+            )
+
+    columns = tuple(
+        PackedColumn(
+            index=index,
+            width=widths[index],
+            fill=fills[index],
+            module_names=tuple(names[index]),
+        )
+        for index in range(len(widths))
+    )
+    return RectanglePackingResult(soc_name=soc.name, depth=depth, columns=columns)

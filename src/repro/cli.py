@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+Installed as ``repro-multisite`` (see ``pyproject.toml``) and runnable as
+``python -m repro``.  Sub-commands:
+
+* ``design``     -- run the two-step algorithm for one SOC / ATE and print the
+  resulting infrastructure and throughput;
+* ``benchmarks`` -- list the registered ITC'02 benchmarks;
+* ``table1``     -- regenerate the paper's Table 1;
+* ``figure5`` / ``figure6`` / ``figure7`` -- regenerate the figures;
+* ``economics``  -- regenerate the memory-vs-channels cost comparison;
+* ``all``        -- run every experiment (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.ate.probe_station import ProbeStation
+from repro.ate.spec import AteSpec
+from repro.core.exceptions import ReproError
+from repro.core.units import mega_vectors
+from repro.experiments.economics import run_economics, summarize_economics
+from repro.experiments.figure5 import run_figure5, summarize_figure5
+from repro.experiments.figure6 import run_figure6, summarize_figure6
+from repro.experiments.figure7 import run_figure7a, run_figure7b, summarize_figure7
+from repro.experiments.runner import run_all_experiments
+from repro.experiments.table1 import run_table1, summarize_table1
+from repro.itc02.parser import parse_soc_file
+from repro.itc02.registry import list_benchmarks, load_benchmark
+from repro.optimize.config import Objective, OptimizationConfig
+from repro.optimize.two_step import optimize_multisite
+from repro.reporting.series import series_table
+from repro.soc.pnx8550 import make_pnx8550
+from repro.soc.soc import Soc
+
+
+def _load_soc(spec: str) -> Soc:
+    """Resolve an SOC argument: a registered benchmark name, ``pnx8550`` or a file."""
+    if spec.lower() == "pnx8550":
+        return make_pnx8550()
+    if spec.endswith(".soc"):
+        return parse_soc_file(spec)
+    return load_benchmark(spec)
+
+
+def _add_design_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "design", help="design the test infrastructure and optimal multi-site for one SOC"
+    )
+    parser.add_argument("soc", help="benchmark name, 'pnx8550', or path to a .soc file")
+    parser.add_argument("--channels", type=int, default=512, help="ATE channels (default 512)")
+    parser.add_argument(
+        "--depth-m", type=float, default=7.0, help="vector-memory depth in M vectors (default 7)"
+    )
+    parser.add_argument(
+        "--frequency-mhz", type=float, default=5.0, help="test clock in MHz (default 5)"
+    )
+    parser.add_argument("--index-time", type=float, default=0.5, help="prober index time in s")
+    parser.add_argument(
+        "--contact-test-time", type=float, default=0.010, help="contact test time in s"
+    )
+    parser.add_argument("--contact-yield", type=float, default=1.0, help="per-terminal contact yield")
+    parser.add_argument("--yield", dest="manufacturing_yield", type=float, default=1.0,
+                        help="per-device manufacturing yield")
+    parser.add_argument("--broadcast", action="store_true", help="assume stimuli broadcast")
+    parser.add_argument("--abort-on-fail", action="store_true", help="use the abort-on-fail test time")
+    parser.add_argument(
+        "--unique", action="store_true", help="maximise unique throughput (with re-test)"
+    )
+    parser.add_argument("--max-sites", type=int, default=None, help="equipment limit on sites")
+    parser.add_argument("--show-architecture", action="store_true",
+                        help="print the full channel-group architecture")
+
+
+def _run_design(args: argparse.Namespace) -> int:
+    soc = _load_soc(args.soc)
+    ate = AteSpec(
+        channels=args.channels,
+        depth=mega_vectors(args.depth_m),
+        frequency_hz=args.frequency_mhz * 1e6,
+    )
+    probe_station = ProbeStation(
+        index_time_s=args.index_time,
+        contact_test_time_s=args.contact_test_time,
+        contact_yield=args.contact_yield,
+    )
+    config = OptimizationConfig(
+        broadcast=args.broadcast,
+        abort_on_fail=args.abort_on_fail,
+        objective=Objective.UNIQUE_THROUGHPUT if args.unique else Objective.THROUGHPUT,
+        manufacturing_yield=args.manufacturing_yield,
+        max_sites=args.max_sites,
+    )
+    result = optimize_multisite(soc, ate, probe_station, config)
+    print(soc.describe())
+    print(ate.describe())
+    print(probe_station.describe())
+    print()
+    print(result.describe())
+    print()
+    print(result.step1.erpct.describe())
+    if args.show_architecture:
+        print()
+        print(result.best.architecture.describe())
+    print()
+    print("site-count sweep (Step 2):")
+    for point in sorted(result.points, key=lambda point: point.sites):
+        marker = "  <-- optimal" if point.sites == result.optimal_sites else ""
+        print(f"  {point.describe()}{marker}")
+    return 0
+
+
+def _run_benchmarks(_: argparse.Namespace) -> int:
+    for info in list_benchmarks():
+        origin = "synthetic reconstruction" if info.synthetic else "published data"
+        print(f"{info.name:10s} {info.modules:3d} modules  [{origin}]  {info.description}")
+    return 0
+
+
+def _run_table1(_: argparse.Namespace) -> int:
+    result = run_table1()
+    for name in result.benchmarks:
+        print(result.to_table(name).render())
+        print()
+    print(summarize_table1(result))
+    return 0
+
+
+def _run_figure5(_: argparse.Namespace) -> int:
+    result = run_figure5()
+    print(summarize_figure5(result))
+    print()
+    print(series_table([result.throughput_broadcast]))
+    print()
+    print(series_table([result.step1_only_broadcast]))
+    return 0
+
+
+def _run_figure6(_: argparse.Namespace) -> int:
+    result = run_figure6()
+    print(summarize_figure6(result))
+    print()
+    print(result.throughput_vs_channels.render())
+    print()
+    print(result.throughput_vs_depth.render())
+    return 0
+
+
+def _run_figure7(_: argparse.Namespace) -> int:
+    figure7a = run_figure7a()
+    figure7b = run_figure7b()
+    print(summarize_figure7(figure7a, figure7b))
+    print()
+    print(series_table([figure7a.series(y) for y in figure7a.contact_yields]))
+    print()
+    print(series_table([figure7b.series(y) for y in figure7b.manufacturing_yields]))
+    return 0
+
+
+def _run_economics(_: argparse.Namespace) -> int:
+    result = run_economics()
+    print(result.to_table().render())
+    print()
+    print(summarize_economics(result))
+    return 0
+
+
+def _run_all(_: argparse.Namespace) -> int:
+    report = run_all_experiments()
+    print(report.render())
+    return 0
+
+
+_COMMANDS = {
+    "design": _run_design,
+    "benchmarks": _run_benchmarks,
+    "table1": _run_table1,
+    "figure5": _run_figure5,
+    "figure6": _run_figure6,
+    "figure7": _run_figure7,
+    "economics": _run_economics,
+    "all": _run_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-multisite",
+        description="On-chip test infrastructure design for optimal multi-site testing "
+        "(reproduction of Goel & Marinissen, DATE 2005)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_design_parser(subparsers)
+    subparsers.add_parser("benchmarks", help="list the registered ITC'02 benchmarks")
+    subparsers.add_parser("table1", help="regenerate Table 1")
+    subparsers.add_parser("figure5", help="regenerate Figure 5")
+    subparsers.add_parser("figure6", help="regenerate Figure 6")
+    subparsers.add_parser("figure7", help="regenerate Figure 7")
+    subparsers.add_parser("economics", help="regenerate the ATE upgrade cost comparison")
+    subparsers.add_parser("all", help="run every experiment (slow)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

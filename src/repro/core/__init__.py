@@ -1,0 +1,43 @@
+"""Core utilities shared across the ``repro`` package.
+
+This sub-package collects the small, dependency-free building blocks used by
+every other subsystem: exception types, unit helpers (vector-memory depths,
+clock frequencies, time conversions) and a deterministic random-number
+facility used by the synthetic SOC generators.
+"""
+
+from repro.core.exceptions import (
+    ReproError,
+    InfeasibleDesignError,
+    InvalidSocError,
+    ParseError,
+    ConfigurationError,
+)
+from repro.core.units import (
+    KILO,
+    MEGA,
+    mega_vectors,
+    kilo_vectors,
+    cycles_to_seconds,
+    seconds_to_cycles,
+    format_depth,
+    format_si,
+)
+from repro.core.rng import DeterministicRng
+
+__all__ = [
+    "ReproError",
+    "InfeasibleDesignError",
+    "InvalidSocError",
+    "ParseError",
+    "ConfigurationError",
+    "KILO",
+    "MEGA",
+    "mega_vectors",
+    "kilo_vectors",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "format_depth",
+    "format_si",
+    "DeterministicRng",
+]

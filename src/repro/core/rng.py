@@ -1,0 +1,104 @@
+"""Deterministic random-number helper used by synthetic SOC generators.
+
+The reproduction needs synthetic stand-ins for proprietary designs (the
+Philips PNX8550) and for ITC'02 benchmark files that are not shipped in this
+offline environment.  To keep every experiment reproducible bit-for-bit, all
+randomness flows through :class:`DeterministicRng`, a thin wrapper around
+:class:`random.Random` that
+
+* always requires an explicit seed,
+* exposes only the handful of draws the generators need, and
+* records how many draws were made (useful in tests to assert that two
+  generator runs consumed the same amount of entropy).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+from repro.core.exceptions import ConfigurationError
+
+T = TypeVar("T")
+
+
+class DeterministicRng:
+    """Seeded random source with draw counting.
+
+    Parameters
+    ----------
+    seed:
+        Integer seed.  The same seed always yields the same sequence of
+        draws, independent of platform and Python hash randomisation.
+    """
+
+    def __init__(self, seed: int):
+        if not isinstance(seed, int):
+            raise ConfigurationError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = seed
+        self._random = random.Random(seed)
+        self._draws = 0
+
+    @property
+    def seed(self) -> int:
+        """The seed this generator was created with."""
+        return self._seed
+
+    @property
+    def draws(self) -> int:
+        """Number of random draws made so far."""
+        return self._draws
+
+    def randint(self, low: int, high: int) -> int:
+        """Return a uniform integer in ``[low, high]`` (both inclusive)."""
+        if low > high:
+            raise ConfigurationError(f"randint bounds reversed: [{low}, {high}]")
+        self._draws += 1
+        return self._random.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Return a uniform float in ``[low, high]``."""
+        if low > high:
+            raise ConfigurationError(f"uniform bounds reversed: [{low}, {high}]")
+        self._draws += 1
+        return self._random.uniform(low, high)
+
+    def lognormal_int(self, median: float, sigma: float, low: int, high: int) -> int:
+        """Return a log-normally distributed integer clamped to ``[low, high]``.
+
+        Module sizes in real SOCs are heavily skewed (a few very large cores,
+        many small ones); a log-normal draw reproduces that skew.  ``median``
+        is the distribution median (``exp(mu)``), ``sigma`` the log-space
+        standard deviation.
+        """
+        if median <= 0:
+            raise ConfigurationError(f"median must be positive, got {median}")
+        if low > high:
+            raise ConfigurationError(f"lognormal bounds reversed: [{low}, {high}]")
+        self._draws += 1
+        import math
+
+        value = self._random.lognormvariate(math.log(median), sigma)
+        return max(low, min(high, int(round(value))))
+
+    def choice(self, options: Sequence[T]) -> T:
+        """Return a uniformly chosen element of ``options``."""
+        if not options:
+            raise ConfigurationError("cannot choose from an empty sequence")
+        self._draws += 1
+        return self._random.choice(list(options))
+
+    def shuffled(self, items: Sequence[T]) -> list[T]:
+        """Return a shuffled copy of ``items`` (the input is not modified)."""
+        copy = list(items)
+        self._draws += 1
+        self._random.shuffle(copy)
+        return copy
+
+    def spawn(self, offset: int) -> "DeterministicRng":
+        """Return an independent child generator derived from this seed.
+
+        Useful when a generator builds many modules and wants each module's
+        parameters to be independent of how many draws previous modules made.
+        """
+        return DeterministicRng(self._seed * 1_000_003 + offset)

@@ -1,0 +1,103 @@
+"""Unit helpers for vector-memory depths, clock frequencies and time.
+
+The paper quotes ATE vector-memory depths in "M" (mega) vectors per channel
+(e.g. 7 M) and ITC'02 Table 1 depths in "K" (kilo) vectors (e.g. 48 K).
+Following ATE-industry convention these are binary multiples:
+
+* 1 K = 1024 vectors
+* 1 M = 1024 * 1024 vectors
+
+Test times are expressed in test-clock cycles; one cycle consumes one vector
+of memory on every channel, so "cycles" and "vectors per channel" are
+interchangeable.  Helper functions convert between cycles and wall-clock
+seconds for a given test-clock frequency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.exceptions import ConfigurationError
+
+#: Number of vectors in one "K" of ATE vector memory.
+KILO = 1024
+
+#: Number of vectors in one "M" of ATE vector memory.
+MEGA = 1024 * 1024
+
+
+def kilo_vectors(depth_k: float) -> int:
+    """Return the number of vectors in ``depth_k`` K of vector memory.
+
+    >>> kilo_vectors(48)
+    49152
+    """
+    if depth_k < 0:
+        raise ConfigurationError(f"memory depth must be non-negative, got {depth_k} K")
+    return int(round(depth_k * KILO))
+
+
+def mega_vectors(depth_m: float) -> int:
+    """Return the number of vectors in ``depth_m`` M of vector memory.
+
+    >>> mega_vectors(7)
+    7340032
+    """
+    if depth_m < 0:
+        raise ConfigurationError(f"memory depth must be non-negative, got {depth_m} M")
+    return int(round(depth_m * MEGA))
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a number of test-clock cycles into seconds.
+
+    ``frequency_hz`` is the test-clock frequency; the paper uses 5 MHz.
+    """
+    if frequency_hz <= 0:
+        raise ConfigurationError(f"test clock frequency must be positive, got {frequency_hz}")
+    if cycles < 0:
+        raise ConfigurationError(f"cycle count must be non-negative, got {cycles}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> int:
+    """Convert seconds into a whole number of test-clock cycles (ceiling)."""
+    if frequency_hz <= 0:
+        raise ConfigurationError(f"test clock frequency must be positive, got {frequency_hz}")
+    if seconds < 0:
+        raise ConfigurationError(f"time must be non-negative, got {seconds}")
+    return int(math.ceil(seconds * frequency_hz))
+
+
+def format_depth(vectors: int) -> str:
+    """Format a vector-memory depth the way the paper's tables do.
+
+    Depths that are whole multiples of 1 M are printed as ``"<x>M"``, whole
+    multiples of 1 K as ``"<x>K"``, anything else as a plain integer.
+
+    >>> format_depth(7340032)
+    '7M'
+    >>> format_depth(49152)
+    '48K'
+    """
+    if vectors < 0:
+        raise ConfigurationError(f"vector count must be non-negative, got {vectors}")
+    if vectors and vectors % MEGA == 0:
+        return f"{vectors // MEGA}M"
+    if vectors and vectors % KILO == 0:
+        return f"{vectors // KILO}K"
+    return str(vectors)
+
+
+def format_si(value: float, digits: int = 3) -> str:
+    """Format a value with an SI-style suffix for readable report output.
+
+    >>> format_si(12500)
+    '12.5k'
+    """
+    if value < 0:
+        return "-" + format_si(-value, digits)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if value >= threshold:
+            return f"{value / threshold:.{digits - 2}f}{suffix}"
+    return f"{value:.{digits - 2}f}"

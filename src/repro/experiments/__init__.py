@@ -1,0 +1,78 @@
+"""Experiments regenerating every table and figure of the paper's evaluation."""
+
+from repro.experiments.figure5 import Figure5Result, run_figure5, summarize_figure5
+from repro.experiments.figure6 import (
+    DEFAULT_CHANNEL_SWEEP,
+    DEFAULT_DEPTH_SWEEP_M,
+    Figure6Result,
+    run_figure6,
+    summarize_figure6,
+)
+from repro.experiments.figure7 import (
+    DEFAULT_CONTACT_YIELDS,
+    DEFAULT_MANUFACTURING_YIELDS,
+    DEFAULT_SITE_SWEEP,
+    Figure7aResult,
+    Figure7bResult,
+    run_figure7a,
+    run_figure7b,
+    summarize_figure7,
+)
+from repro.experiments.table1 import (
+    DEFAULT_ATE_CHANNELS,
+    DEFAULT_DEPTH_GRIDS_K,
+    Table1Result,
+    Table1Row,
+    run_table1,
+    run_table1_row,
+    summarize_table1,
+)
+from repro.experiments.economics import (
+    EconomicsResult,
+    UpgradeOption,
+    run_economics,
+    summarize_economics,
+)
+from repro.experiments.ablation import (
+    PlacementAblationResult,
+    WrapperAblationResult,
+    run_placement_ablation,
+    run_wrapper_ablation,
+)
+from repro.experiments.runner import ExperimentReport, run_all_experiments
+
+__all__ = [
+    "Figure5Result",
+    "run_figure5",
+    "summarize_figure5",
+    "DEFAULT_CHANNEL_SWEEP",
+    "DEFAULT_DEPTH_SWEEP_M",
+    "Figure6Result",
+    "run_figure6",
+    "summarize_figure6",
+    "DEFAULT_CONTACT_YIELDS",
+    "DEFAULT_MANUFACTURING_YIELDS",
+    "DEFAULT_SITE_SWEEP",
+    "Figure7aResult",
+    "Figure7bResult",
+    "run_figure7a",
+    "run_figure7b",
+    "summarize_figure7",
+    "DEFAULT_ATE_CHANNELS",
+    "DEFAULT_DEPTH_GRIDS_K",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "run_table1_row",
+    "summarize_table1",
+    "EconomicsResult",
+    "UpgradeOption",
+    "run_economics",
+    "summarize_economics",
+    "PlacementAblationResult",
+    "WrapperAblationResult",
+    "run_placement_ablation",
+    "run_wrapper_ablation",
+    "ExperimentReport",
+    "run_all_experiments",
+]

@@ -1,0 +1,230 @@
+"""Ablation studies of the reproduction's own design choices.
+
+DESIGN.md calls out two algorithmic choices that are not uniquely pinned
+down by the paper's text and therefore deserve an ablation:
+
+1. **Step-1 placement criterion** -- when a module fits no existing channel
+   group, the paper compares "open a new group" against "widen an existing
+   group" and speaks both of criterion 1 (minimise channels) having priority
+   and of keeping the option with the most free memory.  The reproduction
+   applies the fewest-additional-channels rule first and uses free memory as
+   the tie-breaker; the ablation runs the alternative (free memory first) and
+   shows it inflates the channel count -- and therefore reduces the maximum
+   multi-site -- on every benchmark.
+2. **Wrapper-chain partitioning heuristic** -- COMBINE takes the better of
+   LPT and BFD.  The ablation quantifies how often each heuristic alone is
+   optimal and how much COMBINE gains.
+
+Both studies run on the ITC'02 benchmarks and are exposed as benchmark
+targets in ``benchmarks/test_bench_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import kilo_vectors
+from repro.itc02.registry import TABLE1_BENCHMARKS, load_benchmark
+from repro.reporting.tables import Table
+from repro.soc.soc import Soc
+from repro.tam.assignment import PLACEMENT_CRITERIA, design_architecture
+from repro.wrapper.partition import bfd_partition, lpt_partition
+
+#: Default per-benchmark (channels, depth in K vectors) operating points for
+#: the placement ablation: the middle row of each paper Table-1 block.
+DEFAULT_ABLATION_POINTS: Mapping[str, tuple[int, int]] = {
+    "d695": (256, 88),
+    "p22810": (512, 704),
+    "p34392": (512, 1408),
+    "p93791": (512, 2304),
+}
+
+
+@dataclass(frozen=True)
+class PlacementAblationRow:
+    """Step-1 outcome of both placement criteria on one benchmark."""
+
+    soc_name: str
+    channels: int
+    depth: int
+    channels_by_criterion: Mapping[str, int]
+    test_time_by_criterion: Mapping[str, int]
+
+    @property
+    def paper_rule_channels(self) -> int:
+        """Channel count of the paper's fewest-channels-first rule."""
+        return self.channels_by_criterion["fewest-channels"]
+
+    @property
+    def ablated_channels(self) -> int:
+        """Channel count when free memory is prioritised unconditionally."""
+        return self.channels_by_criterion["most-free-memory"]
+
+    @property
+    def channel_inflation(self) -> float:
+        """Relative channel overhead of the ablated rule."""
+        return self.ablated_channels / self.paper_rule_channels - 1.0
+
+
+@dataclass(frozen=True)
+class PlacementAblationResult:
+    """Placement-criterion ablation over a set of benchmarks."""
+
+    rows: tuple[PlacementAblationRow, ...]
+
+    def to_table(self) -> Table:
+        """Render the comparison as a table."""
+        table = Table(
+            title="Step-1 placement-criterion ablation",
+            columns=["SOC", "depth", "k (paper rule)", "k (free-memory rule)", "inflation"],
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.soc_name,
+                    row.depth,
+                    row.paper_rule_channels,
+                    row.ablated_channels,
+                    f"{row.channel_inflation * 100:.0f}%",
+                ]
+            )
+        return table
+
+    @property
+    def mean_inflation(self) -> float:
+        """Average relative channel overhead of the ablated rule."""
+        if not self.rows:
+            return 0.0
+        return sum(row.channel_inflation for row in self.rows) / len(self.rows)
+
+
+def run_placement_ablation(
+    points: Mapping[str, tuple[int, int]] | None = None,
+) -> PlacementAblationResult:
+    """Run the placement-criterion ablation on the ITC'02 benchmarks.
+
+    ``points`` maps benchmark name to ``(ATE channels, depth in K vectors)``;
+    it defaults to :data:`DEFAULT_ABLATION_POINTS`.
+    """
+    points = dict(points) if points is not None else dict(DEFAULT_ABLATION_POINTS)
+    if not points:
+        raise ConfigurationError("ablation needs at least one benchmark operating point")
+
+    rows = []
+    for soc_name, (channels, depth_k) in points.items():
+        soc = load_benchmark(soc_name)
+        depth = kilo_vectors(depth_k)
+        channel_counts: dict[str, int] = {}
+        test_times: dict[str, int] = {}
+        for criterion in PLACEMENT_CRITERIA:
+            architecture = design_architecture(
+                soc, channels, depth, placement_criterion=criterion
+            )
+            channel_counts[criterion] = architecture.ate_channels
+            test_times[criterion] = architecture.test_time_cycles
+        rows.append(
+            PlacementAblationRow(
+                soc_name=soc_name,
+                channels=channels,
+                depth=depth,
+                channels_by_criterion=channel_counts,
+                test_time_by_criterion=test_times,
+            )
+        )
+    return PlacementAblationResult(rows=tuple(rows))
+
+
+@dataclass(frozen=True)
+class WrapperAblationResult:
+    """Comparison of LPT, BFD and COMBINE on a set of modules and widths."""
+
+    soc_name: str
+    widths: tuple[int, ...]
+    cases: int
+    lpt_wins: int
+    bfd_wins: int
+    ties: int
+    lpt_excess_makespan: float
+    bfd_excess_makespan: float
+
+    @property
+    def combine_never_worse(self) -> bool:
+        """COMBINE equals the better heuristic by construction."""
+        return self.lpt_wins + self.bfd_wins + self.ties == self.cases
+
+    def to_table(self) -> Table:
+        """Render the comparison as a table."""
+        table = Table(
+            title=f"Wrapper-partitioning ablation ({self.soc_name})",
+            columns=["cases", "LPT strictly better", "BFD strictly better", "ties",
+                     "LPT excess makespan", "BFD excess makespan"],
+        )
+        table.add_row(
+            [
+                self.cases,
+                self.lpt_wins,
+                self.bfd_wins,
+                self.ties,
+                f"{self.lpt_excess_makespan * 100:.2f}%",
+                f"{self.bfd_excess_makespan * 100:.2f}%",
+            ]
+        )
+        return table
+
+
+def run_wrapper_ablation(
+    soc: Soc | None = None,
+    widths: Sequence[int] = (2, 3, 4, 6, 8, 12, 16, 24, 32),
+) -> WrapperAblationResult:
+    """Compare LPT and BFD scan-chain partitioning over a benchmark's modules.
+
+    For every (module, width) pair with at least two scan chains, both
+    heuristics partition the internal scan chains; the study counts strict
+    wins and measures the average makespan excess of each heuristic relative
+    to the better one (which is what COMBINE uses).
+    """
+    if not widths:
+        raise ConfigurationError("width list must not be empty")
+    soc = soc or load_benchmark("p93791")
+
+    cases = 0
+    lpt_wins = 0
+    bfd_wins = 0
+    ties = 0
+    lpt_excess = 0.0
+    bfd_excess = 0.0
+    for module in soc.modules:
+        sizes = list(module.scan_lengths)
+        if len(sizes) < 2:
+            continue
+        for width in widths:
+            bins = min(width, len(sizes))
+            lpt = lpt_partition(sizes, bins).makespan
+            bfd = bfd_partition(sizes, bins).makespan
+            best = min(lpt, bfd)
+            if best == 0:
+                continue
+            cases += 1
+            if lpt < bfd:
+                lpt_wins += 1
+            elif bfd < lpt:
+                bfd_wins += 1
+            else:
+                ties += 1
+            lpt_excess += lpt / best - 1.0
+            bfd_excess += bfd / best - 1.0
+
+    if cases == 0:
+        raise ConfigurationError("the SOC has no multi-chain modules to ablate")
+    return WrapperAblationResult(
+        soc_name=soc.name,
+        widths=tuple(widths),
+        cases=cases,
+        lpt_wins=lpt_wins,
+        bfd_wins=bfd_wins,
+        ties=ties,
+        lpt_excess_makespan=lpt_excess / cases,
+        bfd_excess_makespan=bfd_excess / cases,
+    )

@@ -1,0 +1,151 @@
+"""Section 7 economics: adding vector memory versus adding ATE channels.
+
+The paper argues that, for the same money, deepening the ATE vector memory
+buys more throughput than adding channels: doubling the memory of all 512
+channels (7 M -> 14 M) costs about USD 48k and raises the PNX8550 throughput
+by 27%, while spending the same on extra channels buys roughly 96 channels
+and only 18% more throughput.  This experiment regenerates that comparison
+for an arbitrary budget and pricing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ate.pricing import AtePricing
+from repro.ate.probe_station import ProbeStation, reference_probe_station
+from repro.ate.spec import AteSpec, reference_ate
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.config import OptimizationConfig
+from repro.optimize.two_step import optimize_multisite
+from repro.reporting.tables import Table
+from repro.soc.pnx8550 import make_pnx8550
+from repro.soc.soc import Soc
+
+
+@dataclass(frozen=True)
+class UpgradeOption:
+    """One evaluated ATE upgrade."""
+
+    label: str
+    ate: AteSpec
+    cost_usd: float
+    throughput: float
+
+    def gain_over(self, baseline_throughput: float) -> float:
+        """Relative throughput gain over the baseline ATE."""
+        if baseline_throughput <= 0:
+            return 0.0
+        return self.throughput / baseline_throughput - 1.0
+
+
+@dataclass(frozen=True)
+class EconomicsResult:
+    """Outcome of the memory-vs-channels upgrade comparison."""
+
+    baseline: UpgradeOption
+    memory_upgrade: UpgradeOption
+    channel_upgrade: UpgradeOption
+
+    @property
+    def memory_gain(self) -> float:
+        """Relative gain of the memory upgrade."""
+        return self.memory_upgrade.gain_over(self.baseline.throughput)
+
+    @property
+    def channel_gain(self) -> float:
+        """Relative gain of the equally priced channel upgrade."""
+        return self.channel_upgrade.gain_over(self.baseline.throughput)
+
+    @property
+    def memory_wins(self) -> bool:
+        """True when the memory upgrade yields more throughput per dollar."""
+        return self.memory_gain >= self.channel_gain
+
+    def to_table(self) -> Table:
+        """Render the comparison as a table."""
+        table = Table(
+            title="ATE upgrade economics (PNX8550)",
+            columns=["option", "channels", "depth (vectors)", "cost (USD)", "D_th (/h)", "gain"],
+        )
+        for option in (self.baseline, self.memory_upgrade, self.channel_upgrade):
+            table.add_row(
+                [
+                    option.label,
+                    option.ate.channels,
+                    option.ate.depth,
+                    round(option.cost_usd),
+                    round(option.throughput),
+                    f"{option.gain_over(self.baseline.throughput) * 100:.0f}%",
+                ]
+            )
+        return table
+
+
+def run_economics(
+    soc: Soc | None = None,
+    base_ate: AteSpec | None = None,
+    probe_station: ProbeStation | None = None,
+    pricing: AtePricing | None = None,
+    depth_factor: float = 2.0,
+    config: OptimizationConfig | None = None,
+) -> EconomicsResult:
+    """Compare deepening the memory by ``depth_factor`` against buying channels.
+
+    The channel option spends exactly the memory upgrade's budget on extra
+    channels (rounded down to the pricing block granularity of one channel).
+    """
+    if depth_factor <= 1.0:
+        raise ConfigurationError(f"depth factor must exceed 1, got {depth_factor}")
+    soc = soc or make_pnx8550()
+    base_ate = base_ate or reference_ate(channels=512, depth_m=7)
+    probe_station = probe_station or reference_probe_station()
+    pricing = pricing or AtePricing()
+    config = config or OptimizationConfig(broadcast=False)
+
+    baseline_result = optimize_multisite(soc, base_ate, probe_station, config)
+    baseline = UpgradeOption(
+        label="baseline",
+        ate=base_ate,
+        cost_usd=0.0,
+        throughput=baseline_result.optimal_throughput,
+    )
+
+    deep_ate = base_ate.with_depth(int(round(base_ate.depth * depth_factor)))
+    memory_cost = pricing.memory_upgrade_cost(base_ate, deep_ate.depth)
+    memory_result = optimize_multisite(soc, deep_ate, probe_station, config)
+    memory_option = UpgradeOption(
+        label=f"deepen memory x{depth_factor:g}",
+        ate=deep_ate,
+        cost_usd=memory_cost,
+        throughput=memory_result.optimal_throughput,
+    )
+
+    extra_channels = pricing.channels_for_budget(memory_cost)
+    # Keep the channel count even so sites keep balanced stimulus/response.
+    wide_ate = base_ate.with_channels(base_ate.channels + (extra_channels // 2) * 2)
+    channel_result = optimize_multisite(soc, wide_ate, probe_station, config)
+    channel_option = UpgradeOption(
+        label=f"add {wide_ate.channels - base_ate.channels} channels",
+        ate=wide_ate,
+        cost_usd=pricing.channel_upgrade_cost(base_ate, wide_ate.channels - base_ate.channels),
+        throughput=channel_result.optimal_throughput,
+    )
+
+    return EconomicsResult(
+        baseline=baseline,
+        memory_upgrade=memory_option,
+        channel_upgrade=channel_option,
+    )
+
+
+def summarize_economics(result: EconomicsResult) -> str:
+    """Human-readable summary used by the CLI and EXPERIMENTS.md."""
+    return (
+        "ATE upgrade economics -- "
+        f"memory upgrade: +{result.memory_gain * 100:.0f}% throughput for "
+        f"USD {result.memory_upgrade.cost_usd:.0f}; "
+        f"channel upgrade: +{result.channel_gain * 100:.0f}% for "
+        f"USD {result.channel_upgrade.cost_usd:.0f}; "
+        f"memory {'wins' if result.memory_wins else 'loses'} per dollar"
+    )

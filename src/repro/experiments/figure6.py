@@ -1,0 +1,169 @@
+"""Figure 6: throughput versus ATE channel count and vector-memory depth.
+
+The paper's Figure 6 extends the reference ATE (512 channels x 7 M, 5 MHz)
+in two directions and plots the resulting PNX8550 throughput:
+
+* **Figure 6(a)** -- more channels (512 .. 1024): throughput grows roughly
+  linearly, because the number of sites grows linearly while the per-site
+  test time stays constant;
+* **Figure 6(b)** -- deeper vector memory (5 M .. 14 M): throughput grows
+  clearly sub-linearly, because a deeper memory increases the number of
+  sites *and* the test time per site.
+
+Both sweeps re-run the full two-step optimisation at every point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ate.probe_station import ProbeStation, reference_probe_station
+from repro.ate.spec import AteSpec, reference_ate
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import MEGA
+from repro.optimize.config import OptimizationConfig
+from repro.optimize.two_step import optimize_multisite
+from repro.reporting.series import Series
+from repro.soc.pnx8550 import make_pnx8550
+from repro.soc.soc import Soc
+
+#: Channel counts swept by Figure 6(a), matching the paper's x axis.
+DEFAULT_CHANNEL_SWEEP = (512, 576, 640, 704, 768, 832, 896, 960, 1024)
+
+#: Vector-memory depths (in M) swept by Figure 6(b), matching the paper.
+DEFAULT_DEPTH_SWEEP_M = (5, 6, 7, 8, 9, 10, 11, 12, 13, 14)
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Regenerated data of Figure 6."""
+
+    throughput_vs_channels: Series
+    throughput_vs_depth: Series
+
+    @property
+    def channel_scaling(self) -> float:
+        """End-to-end linearity ratio of the channel sweep (1.0 = linear)."""
+        return self.throughput_vs_channels.linearity_ratio()
+
+    @property
+    def depth_scaling(self) -> float:
+        """End-to-end linearity ratio of the depth sweep (< 1.0 = sub-linear)."""
+        return self.throughput_vs_depth.linearity_ratio()
+
+
+def run_channel_sweep(
+    soc: Soc,
+    probe_station: ProbeStation,
+    channels: Sequence[int],
+    depth: int,
+    frequency_hz: float,
+    config: OptimizationConfig,
+) -> Series:
+    """Throughput of the two-step optimum for every channel count."""
+    if not channels:
+        raise ConfigurationError("channel sweep must not be empty")
+    points = []
+    for channel_count in channels:
+        ate = AteSpec(
+            channels=channel_count,
+            depth=depth,
+            frequency_hz=frequency_hz,
+            name=f"ate-{channel_count}",
+        )
+        result = optimize_multisite(soc, ate, probe_station, config)
+        points.append((float(channel_count), result.optimal_throughput))
+    return Series(
+        name="throughput vs ATE channels",
+        x_label="ATE channels",
+        y_label="devices/hour",
+        points=tuple(points),
+    )
+
+
+def run_depth_sweep(
+    soc: Soc,
+    probe_station: ProbeStation,
+    depths: Sequence[int],
+    channels: int,
+    frequency_hz: float,
+    config: OptimizationConfig,
+) -> Series:
+    """Throughput of the two-step optimum for every vector-memory depth."""
+    if not depths:
+        raise ConfigurationError("depth sweep must not be empty")
+    points = []
+    for depth in depths:
+        ate = AteSpec(
+            channels=channels,
+            depth=depth,
+            frequency_hz=frequency_hz,
+            name=f"ate-depth-{depth}",
+        )
+        result = optimize_multisite(soc, ate, probe_station, config)
+        points.append((float(depth) / MEGA, result.optimal_throughput))
+    return Series(
+        name="throughput vs vector-memory depth",
+        x_label="vector memory depth (M)",
+        y_label="devices/hour",
+        points=tuple(points),
+    )
+
+
+def run_figure6(
+    soc: Soc | None = None,
+    probe_station: ProbeStation | None = None,
+    channel_sweep: Sequence[int] = DEFAULT_CHANNEL_SWEEP,
+    depth_sweep_m: Sequence[float] = DEFAULT_DEPTH_SWEEP_M,
+    base_channels: int = 512,
+    base_depth_m: float = 7,
+    frequency_hz: float = 5e6,
+    config: OptimizationConfig | None = None,
+) -> Figure6Result:
+    """Regenerate Figure 6 (both panels).
+
+    All sweep parameters default to the paper's; tests use reduced sweeps to
+    stay fast.
+    """
+    soc = soc or make_pnx8550()
+    probe_station = probe_station or reference_probe_station()
+    config = config or OptimizationConfig(broadcast=False)
+    base = reference_ate(channels=base_channels, depth_m=base_depth_m)
+
+    channels_series = run_channel_sweep(
+        soc,
+        probe_station,
+        channels=list(channel_sweep),
+        depth=base.depth,
+        frequency_hz=frequency_hz,
+        config=config,
+    )
+    depth_series = run_depth_sweep(
+        soc,
+        probe_station,
+        depths=[int(round(depth_m * MEGA)) for depth_m in depth_sweep_m],
+        channels=base_channels,
+        frequency_hz=frequency_hz,
+        config=config,
+    )
+    return Figure6Result(
+        throughput_vs_channels=channels_series,
+        throughput_vs_depth=depth_series,
+    )
+
+
+def summarize_figure6(result: Figure6Result) -> str:
+    """Human-readable summary used by the CLI and EXPERIMENTS.md."""
+    channels = result.throughput_vs_channels
+    depth = result.throughput_vs_depth
+    lines = [
+        "Figure 6 -- PNX8550 throughput scaling",
+        f"  (a) channels {channels.xs[0]:.0f} -> {channels.xs[-1]:.0f}: "
+        f"D_th {channels.ys[0]:.0f} -> {channels.ys[-1]:.0f} "
+        f"(+{channels.relative_gain() * 100:.0f}%, linearity {result.channel_scaling:.2f})",
+        f"  (b) depth {depth.xs[0]:.0f}M -> {depth.xs[-1]:.0f}M: "
+        f"D_th {depth.ys[0]:.0f} -> {depth.ys[-1]:.0f} "
+        f"(+{depth.relative_gain() * 100:.0f}%, linearity {result.depth_scaling:.2f})",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Run every paper experiment and collect the results in one report.
+
+``python -m repro all`` (and EXPERIMENTS.md regeneration) uses this module:
+it runs Figure 5, Figure 6, Figure 7(a)/(b), Table 1 and the economics
+comparison with the paper's default parameters and renders one plain-text
+report.  Individual experiments can also be run through their own modules or
+CLI sub-commands when only one artefact is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.economics import EconomicsResult, run_economics, summarize_economics
+from repro.experiments.figure5 import Figure5Result, run_figure5, summarize_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6, summarize_figure6
+from repro.experiments.figure7 import (
+    Figure7aResult,
+    Figure7bResult,
+    run_figure7a,
+    run_figure7b,
+    summarize_figure7,
+)
+from repro.experiments.table1 import Table1Result, run_table1, summarize_table1
+from repro.reporting.series import series_table
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """All regenerated paper artefacts."""
+
+    figure5: Figure5Result
+    figure6: Figure6Result
+    figure7a: Figure7aResult
+    figure7b: Figure7bResult
+    table1: Table1Result
+    economics: EconomicsResult
+
+    def render(self) -> str:
+        """Render the full report as plain text."""
+        sections = [
+            summarize_figure5(self.figure5),
+            "",
+            series_table(
+                [
+                    self.figure5.throughput_broadcast,
+                ]
+            ),
+            "",
+            summarize_figure6(self.figure6),
+            "",
+            summarize_figure7(self.figure7a, self.figure7b),
+            "",
+            summarize_table1(self.table1),
+        ]
+        for name in self.table1.benchmarks:
+            sections.append("")
+            sections.append(self.table1.to_table(name).render())
+        sections.append("")
+        sections.append(self.economics.to_table().render())
+        sections.append(summarize_economics(self.economics))
+        return "\n".join(sections)
+
+
+def run_all_experiments() -> ExperimentReport:
+    """Run every experiment with the paper's default parameters.
+
+    This is a long-running call (several minutes on a laptop): every figure
+    point re-runs the full two-step optimisation on the synthetic PNX8550.
+    """
+    return ExperimentReport(
+        figure5=run_figure5(),
+        figure6=run_figure6(),
+        figure7a=run_figure7a(),
+        figure7b=run_figure7b(),
+        table1=run_table1(),
+        economics=run_economics(),
+    )

@@ -1,0 +1,177 @@
+"""Table 1: ATE channels and maximum multi-site on the ITC'02 benchmarks.
+
+The paper's Table 1 compares, for four ITC'02 SOC Test Benchmarks and eleven
+vector-memory depths each, the number of ATE channels ``k`` one SOC needs
+and the resulting maximum multi-site ``n_max``:
+
+* a theoretical lower bound on ``k`` (column "LB"),
+* the rectangle bin-packing approach of Iyengar et al. [7],
+* the paper's Step-1 algorithm ("Us").
+
+The comparison assumes stimuli broadcast and runs Step 1 only (no throughput
+optimisation), as the paper does to match [7]'s setting.  The depth grids
+reproduce the paper's; the ATE channel counts are chosen per benchmark so the
+``n_max`` values land in the paper's range (256 channels for d695, 512 for
+the three Philips SOCs -- the values implied by the published ``n_max``
+columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.ate.probe_station import reference_probe_station
+from repro.ate.spec import AteSpec
+from repro.baselines.lower_bound import channel_lower_bound
+from repro.baselines.rectangle import pack_rectangles
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import format_depth, kilo_vectors
+from repro.itc02.registry import TABLE1_BENCHMARKS, load_benchmark
+from repro.optimize.config import OptimizationConfig
+from repro.optimize.step1 import run_step1
+from repro.reporting.tables import Table
+
+#: Vector-memory depth grids (in K vectors) per benchmark, from the paper.
+DEFAULT_DEPTH_GRIDS_K: Mapping[str, tuple[int, ...]] = {
+    "d695": (48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128),
+    "p22810": (384, 448, 512, 576, 640, 704, 768, 832, 896, 960, 1024),
+    "p34392": (768, 896, 1024, 1152, 1280, 1408, 1536, 1664, 1792, 1920, 2048),
+    "p93791": (1024, 1280, 1536, 1792, 2048, 2304, 2560, 2816, 3072, 3328, 3584),
+}
+
+#: ATE channel counts per benchmark implied by the paper's n_max columns.
+DEFAULT_ATE_CHANNELS: Mapping[str, int] = {
+    "d695": 256,
+    "p22810": 512,
+    "p34392": 512,
+    "p93791": 512,
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1 (one benchmark at one memory depth)."""
+
+    soc_name: str
+    depth: int
+    lower_bound_channels: int
+    baseline_channels: int
+    baseline_sites: int
+    our_channels: int
+    our_sites: int
+
+    @property
+    def matches_lower_bound(self) -> bool:
+        """True when our Step 1 uses exactly the lower-bound channel count."""
+        return self.our_channels == self.lower_bound_channels
+
+    @property
+    def beats_baseline_sites(self) -> bool:
+        """True when our maximum multi-site is at least the baseline's."""
+        return self.our_sites >= self.baseline_sites
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Regenerated data of Table 1 for one or more benchmarks."""
+
+    rows: tuple[Table1Row, ...]
+
+    def rows_for(self, soc_name: str) -> tuple[Table1Row, ...]:
+        """Rows of one benchmark, in increasing depth order."""
+        return tuple(row for row in self.rows if row.soc_name == soc_name)
+
+    @property
+    def benchmarks(self) -> tuple[str, ...]:
+        """Benchmark names present, in first-appearance order."""
+        seen: list[str] = []
+        for row in self.rows:
+            if row.soc_name not in seen:
+                seen.append(row.soc_name)
+        return tuple(seen)
+
+    def to_table(self, soc_name: str) -> Table:
+        """Render one benchmark's block of Table 1."""
+        table = Table(
+            title=f"Table 1 -- {soc_name}",
+            columns=["depth", "k LB", "k [7]", "k Us", "n_max [7]", "n_max Us"],
+        )
+        for row in self.rows_for(soc_name):
+            table.add_row(
+                [
+                    format_depth(row.depth),
+                    row.lower_bound_channels,
+                    row.baseline_channels,
+                    row.our_channels,
+                    row.baseline_sites,
+                    row.our_sites,
+                ]
+            )
+        return table
+
+
+def run_table1_row(soc_name: str, depth: int, channels: int) -> Table1Row:
+    """Compute one Table-1 row: lower bound, baseline and Step 1."""
+    soc = load_benchmark(soc_name)
+    ate = AteSpec(channels=channels, depth=depth, frequency_hz=5e6, name=f"ate-{soc_name}")
+    config = OptimizationConfig(broadcast=True)
+
+    lower_bound = channel_lower_bound(soc, depth, channels)
+    baseline = pack_rectangles(soc, channels, depth)
+    ours = run_step1(soc, ate, reference_probe_station(), config)
+
+    return Table1Row(
+        soc_name=soc_name,
+        depth=depth,
+        lower_bound_channels=lower_bound.ate_channels,
+        baseline_channels=baseline.ate_channels,
+        baseline_sites=baseline.max_sites(channels, broadcast=True),
+        our_channels=ours.channels_per_site,
+        our_sites=ours.max_sites,
+    )
+
+
+def run_table1(
+    benchmarks: Sequence[str] = TABLE1_BENCHMARKS,
+    depth_grids_k: Mapping[str, Sequence[int]] | None = None,
+    ate_channels: Mapping[str, int] | None = None,
+) -> Table1Result:
+    """Regenerate Table 1 for the requested benchmarks.
+
+    ``depth_grids_k`` maps benchmark name to the list of depths in K vectors
+    (defaults to the paper's grids); ``ate_channels`` maps benchmark name to
+    the ATE channel count (defaults to the paper-implied values).
+    """
+    if not benchmarks:
+        raise ConfigurationError("benchmark list must not be empty")
+    grids = dict(DEFAULT_DEPTH_GRIDS_K)
+    if depth_grids_k:
+        grids.update({name: tuple(values) for name, values in depth_grids_k.items()})
+    channel_map = dict(DEFAULT_ATE_CHANNELS)
+    if ate_channels:
+        channel_map.update(ate_channels)
+
+    rows: list[Table1Row] = []
+    for name in benchmarks:
+        if name not in grids:
+            raise ConfigurationError(f"no depth grid for benchmark {name!r}")
+        if name not in channel_map:
+            raise ConfigurationError(f"no ATE channel count for benchmark {name!r}")
+        for depth_k in grids[name]:
+            rows.append(run_table1_row(name, kilo_vectors(depth_k), channel_map[name]))
+    return Table1Result(rows=tuple(rows))
+
+
+def summarize_table1(result: Table1Result) -> str:
+    """Human-readable summary used by the CLI and EXPERIMENTS.md."""
+    lines = ["Table 1 -- maximum multi-site on the ITC'02 benchmarks (Step 1, broadcast)"]
+    for name in result.benchmarks:
+        rows = result.rows_for(name)
+        matches = sum(1 for row in rows if row.matches_lower_bound)
+        at_least = sum(1 for row in rows if row.beats_baseline_sites)
+        lines.append(
+            f"  {name}: {matches}/{len(rows)} depths match the channel lower bound, "
+            f"{at_least}/{len(rows)} depths reach at least the baseline's multi-site"
+        )
+    return "\n".join(lines)

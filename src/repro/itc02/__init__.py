@@ -1,0 +1,23 @@
+"""ITC'02 SOC Test Benchmark substrate: format, parser, writer, registry."""
+
+from repro.itc02.parser import parse_soc_text, parse_soc_file
+from repro.itc02.writer import soc_to_text, write_soc_file
+from repro.itc02.registry import (
+    BenchmarkInfo,
+    TABLE1_BENCHMARKS,
+    benchmark_info,
+    list_benchmarks,
+    load_benchmark,
+)
+
+__all__ = [
+    "parse_soc_text",
+    "parse_soc_file",
+    "soc_to_text",
+    "write_soc_file",
+    "BenchmarkInfo",
+    "TABLE1_BENCHMARKS",
+    "benchmark_info",
+    "list_benchmarks",
+    "load_benchmark",
+]

@@ -1,0 +1,56 @@
+"""The ``.soc`` file format used by this reproduction.
+
+The ITC'02 SOC Test Benchmarks (Marinissen, Iyengar & Chakrabarty, ITC 2002)
+distribute each benchmark as a ``.soc`` text file listing, per module, its
+terminal counts, scan chains and pattern counts.  The original files are not
+shipped in this offline environment, so this reproduction defines a compact,
+line-oriented format carrying exactly the per-module quantities the paper's
+Problem 1 needs.  The grammar is:
+
+.. code-block:: text
+
+    # comment (anywhere, to end of line)
+    SocName <name>
+    FunctionalPins <int>          # optional chip-level pin count
+    Module <index> <name> [memory]
+        Inputs <int>
+        Outputs <int>
+        Bidirs <int>
+        ScanChains <count> [: <len> <len> ...]
+        Patterns <int>
+
+* Keywords are case-insensitive; indentation is not significant.
+* ``Module`` opens a new module section; the following keyword lines apply
+  to it until the next ``Module`` line or end of file.
+* ``ScanChains 0`` (no lengths) declares a module without internal scan.
+* When ``<count>`` is positive, exactly ``<count>`` lengths must follow the
+  colon.
+* The trailing ``memory`` flag marks BIST-ed memory modules; it only affects
+  reporting.
+
+:data:`KEYWORDS` lists all recognised keywords; the parser and writer in
+this package are inverse operations (``parse(write(soc)) == soc``).
+"""
+
+from __future__ import annotations
+
+#: Recognised keywords of the ``.soc`` format (lower-case canonical form).
+KEYWORDS = (
+    "socname",
+    "functionalpins",
+    "module",
+    "inputs",
+    "outputs",
+    "bidirs",
+    "scanchains",
+    "patterns",
+)
+
+#: Flag token marking memory modules on a ``Module`` line.
+MEMORY_FLAG = "memory"
+
+#: Comment character: everything from this character to end of line is ignored.
+COMMENT_CHAR = "#"
+
+#: Canonical file extension.
+EXTENSION = ".soc"

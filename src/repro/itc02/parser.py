@@ -1,0 +1,187 @@
+"""Parser for the ``.soc`` benchmark format (see :mod:`repro.itc02.format`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.exceptions import InvalidSocError, ParseError
+from repro.itc02.format import COMMENT_CHAR, MEMORY_FLAG
+from repro.soc.builder import SocBuilder
+from repro.soc.soc import Soc
+
+
+@dataclass
+class _ModuleDraft:
+    """Mutable staging area for the module currently being parsed."""
+
+    index: int
+    name: str
+    is_memory: bool
+    inputs: int | None = None
+    outputs: int | None = None
+    bidirs: int | None = None
+    scan_lengths: list[int] | None = None
+    patterns: int | None = None
+    line: int = 0
+
+    def missing_fields(self) -> list[str]:
+        missing = []
+        if self.inputs is None:
+            missing.append("Inputs")
+        if self.outputs is None:
+            missing.append("Outputs")
+        if self.bidirs is None:
+            missing.append("Bidirs")
+        if self.scan_lengths is None:
+            missing.append("ScanChains")
+        if self.patterns is None:
+            missing.append("Patterns")
+        return missing
+
+
+def _strip_comment(line: str) -> str:
+    position = line.find(COMMENT_CHAR)
+    return line if position < 0 else line[:position]
+
+
+def _parse_int(token: str, what: str, filename: str | None, line: int) -> int:
+    try:
+        value = int(token)
+    except ValueError as error:
+        raise ParseError(f"{what} must be an integer, got {token!r}", filename, line) from error
+    if value < 0:
+        raise ParseError(f"{what} must be non-negative, got {value}", filename, line)
+    return value
+
+
+def parse_soc_text(text: str, filename: str | None = None) -> Soc:
+    """Parse ``.soc`` file contents into an :class:`~repro.soc.soc.Soc`.
+
+    Raises
+    ------
+    ParseError
+        On any syntactic or structural problem; the error message carries
+        the file name and line number when available.
+    """
+    soc_name: str | None = None
+    functional_pins: int | None = None
+    drafts: list[_ModuleDraft] = []
+    current: _ModuleDraft | None = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0].lower()
+
+        if keyword == "socname":
+            if len(tokens) != 2:
+                raise ParseError("SocName expects exactly one value", filename, line_number)
+            if soc_name is not None:
+                raise ParseError("duplicate SocName line", filename, line_number)
+            soc_name = tokens[1]
+        elif keyword == "functionalpins":
+            if len(tokens) != 2:
+                raise ParseError("FunctionalPins expects exactly one value", filename, line_number)
+            functional_pins = _parse_int(tokens[1], "FunctionalPins", filename, line_number)
+        elif keyword == "module":
+            if len(tokens) < 3:
+                raise ParseError(
+                    "Module expects an index and a name", filename, line_number
+                )
+            is_memory = len(tokens) > 3 and tokens[3].lower() == MEMORY_FLAG
+            if len(tokens) > 3 and not is_memory:
+                raise ParseError(
+                    f"unexpected token {tokens[3]!r} on Module line", filename, line_number
+                )
+            current = _ModuleDraft(
+                index=_parse_int(tokens[1], "module index", filename, line_number),
+                name=tokens[2],
+                is_memory=is_memory,
+                line=line_number,
+            )
+            drafts.append(current)
+        elif keyword in ("inputs", "outputs", "bidirs", "patterns"):
+            if current is None:
+                raise ParseError(
+                    f"{tokens[0]} before any Module line", filename, line_number
+                )
+            if len(tokens) != 2:
+                raise ParseError(f"{tokens[0]} expects exactly one value", filename, line_number)
+            value = _parse_int(tokens[1], tokens[0], filename, line_number)
+            setattr(current, keyword, value)
+        elif keyword == "scanchains":
+            if current is None:
+                raise ParseError("ScanChains before any Module line", filename, line_number)
+            if len(tokens) < 2:
+                raise ParseError("ScanChains expects a count", filename, line_number)
+            count = _parse_int(tokens[1], "scan-chain count", filename, line_number)
+            lengths: list[int] = []
+            if count > 0:
+                if len(tokens) < 3 or tokens[2] != ":":
+                    raise ParseError(
+                        "ScanChains with a positive count expects ': <lengths>'",
+                        filename,
+                        line_number,
+                    )
+                lengths = [
+                    _parse_int(token, "scan-chain length", filename, line_number)
+                    for token in tokens[3:]
+                ]
+                if len(lengths) != count:
+                    raise ParseError(
+                        f"expected {count} scan-chain lengths, got {len(lengths)}",
+                        filename,
+                        line_number,
+                    )
+            elif len(tokens) > 2:
+                raise ParseError(
+                    "ScanChains 0 must not be followed by lengths", filename, line_number
+                )
+            current.scan_lengths = lengths
+        else:
+            raise ParseError(f"unknown keyword {tokens[0]!r}", filename, line_number)
+
+    if soc_name is None:
+        raise ParseError("missing SocName line", filename)
+    if not drafts:
+        raise ParseError(f"SOC {soc_name!r} contains no modules", filename)
+
+    builder = SocBuilder(soc_name, functional_pins=functional_pins)
+    for draft in drafts:
+        missing = draft.missing_fields()
+        if missing:
+            raise ParseError(
+                f"module {draft.name!r} is missing: {', '.join(missing)}",
+                filename,
+                draft.line,
+            )
+        try:
+            builder.add_module(
+                name=draft.name,
+                inputs=draft.inputs or 0,
+                outputs=draft.outputs or 0,
+                bidirs=draft.bidirs or 0,
+                scan_lengths=draft.scan_lengths or [],
+                patterns=draft.patterns or 0,
+                is_memory=draft.is_memory,
+            )
+        except InvalidSocError as error:
+            raise ParseError(str(error), filename, draft.line) from error
+    try:
+        return builder.build()
+    except InvalidSocError as error:
+        raise ParseError(str(error), filename) from error
+
+
+def parse_soc_file(path: str | Path) -> Soc:
+    """Parse a ``.soc`` file from disk."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ParseError(f"cannot read file: {error}", str(path)) from error
+    return parse_soc_text(text, filename=str(path))

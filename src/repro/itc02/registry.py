@@ -1,0 +1,233 @@
+"""Registry of the ITC'02 SOC Test Benchmarks used by the paper.
+
+The paper's Table 1 evaluates four benchmarks: ``d695``, ``p22810``,
+``p34392`` and ``p93791``.  This registry provides them by name:
+
+* **d695** is loaded from the shipped ``data/d695.soc`` file, which encodes
+  the published per-core data of the benchmark (ten ISCAS cores).
+* **p22810**, **p34392** and **p93791** are Philips designs whose benchmark
+  files are not available in this offline environment.  They are provided
+  as *synthetic reconstructions*: deterministic synthetic SOCs with the
+  published module counts and with total test-data volumes calibrated to
+  the published single-TAM operating points (see DESIGN.md section 5).
+  Absolute per-benchmark numbers therefore differ from the original files,
+  but the relative behaviour of the algorithms compared in Table 1 is
+  preserved.
+
+Use :func:`load_benchmark` to obtain an SOC by name and
+:func:`list_benchmarks` to enumerate what is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from importlib import resources
+from typing import Callable
+
+from repro.core.exceptions import ConfigurationError
+from repro.itc02.parser import parse_soc_text
+from repro.soc.soc import Soc
+from repro.soc.synthetic import (
+    LogicModuleProfile,
+    MemoryModuleProfile,
+    make_synthetic_soc,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Metadata about one registered benchmark."""
+
+    name: str
+    modules: int
+    synthetic: bool
+    description: str
+
+
+def _load_data_file(filename: str) -> Soc:
+    package = resources.files("repro.itc02") / "data" / filename
+    text = package.read_text(encoding="utf-8")
+    return parse_soc_text(text, filename=filename)
+
+
+def _make_d695() -> Soc:
+    return _load_data_file("d695.soc")
+
+
+def _make_p22810() -> Soc:
+    # 28 modules; calibrated to ~7.0e6 channel*cycle units of minimum test
+    # data, matching the regime of the published benchmark (test time around
+    # 1.3e5 cycles on a 64-wire TAM).
+    return make_synthetic_soc(
+        name="p22810",
+        num_logic=22,
+        num_memory=6,
+        seed=22810,
+        target_min_area=7_000_000,
+        logic_profile=LogicModuleProfile(
+            median_flipflops=1200,
+            sigma_flipflops=1.2,
+            min_flipflops=30,
+            max_flipflops=25_000,
+            median_patterns=150,
+            sigma_patterns=1.0,
+            min_patterns=10,
+            max_patterns=2500,
+            median_terminals=60,
+            sigma_terminals=0.7,
+            min_terminals=6,
+            max_terminals=400,
+            target_chain_length=300,
+        ),
+        memory_profile=MemoryModuleProfile(
+            median_patterns=120,
+            sigma_patterns=0.8,
+            min_patterns=10,
+            max_patterns=1500,
+            min_terminals=8,
+            max_terminals=40,
+        ),
+        functional_pins=400,
+    )
+
+
+def _make_p34392() -> Soc:
+    # 19 modules; one of the published cores dominates the test time, which
+    # the heavier-tailed logic profile reproduces.  Calibrated to ~1.6e7
+    # channel*cycle units.
+    return make_synthetic_soc(
+        name="p34392",
+        num_logic=15,
+        num_memory=4,
+        seed=34392,
+        target_min_area=16_000_000,
+        logic_profile=LogicModuleProfile(
+            median_flipflops=2500,
+            sigma_flipflops=1.5,
+            min_flipflops=50,
+            max_flipflops=60_000,
+            median_patterns=250,
+            sigma_patterns=1.2,
+            min_patterns=20,
+            max_patterns=6000,
+            median_terminals=80,
+            sigma_terminals=0.7,
+            min_terminals=8,
+            max_terminals=500,
+            target_chain_length=400,
+        ),
+        memory_profile=MemoryModuleProfile(
+            median_patterns=200,
+            sigma_patterns=0.9,
+            min_patterns=20,
+            max_patterns=2500,
+            min_terminals=8,
+            max_terminals=40,
+        ),
+        functional_pins=500,
+    )
+
+
+def _make_p93791() -> Soc:
+    # 32 modules; the largest of the four benchmarks.  Calibrated to ~2.9e7
+    # channel*cycle units (test time around 4.7e5 cycles on a 64-wire TAM).
+    return make_synthetic_soc(
+        name="p93791",
+        num_logic=27,
+        num_memory=5,
+        seed=93791,
+        target_min_area=29_000_000,
+        logic_profile=LogicModuleProfile(
+            median_flipflops=3500,
+            sigma_flipflops=1.3,
+            min_flipflops=100,
+            max_flipflops=60_000,
+            median_patterns=300,
+            sigma_patterns=1.0,
+            min_patterns=20,
+            max_patterns=6000,
+            median_terminals=100,
+            sigma_terminals=0.7,
+            min_terminals=10,
+            max_terminals=600,
+            target_chain_length=450,
+        ),
+        memory_profile=MemoryModuleProfile(
+            median_patterns=200,
+            sigma_patterns=0.9,
+            min_patterns=20,
+            max_patterns=2500,
+            min_terminals=8,
+            max_terminals=48,
+        ),
+        functional_pins=800,
+    )
+
+
+_FACTORIES: dict[str, Callable[[], Soc]] = {
+    "d695": _make_d695,
+    "p22810": _make_p22810,
+    "p34392": _make_p34392,
+    "p93791": _make_p93791,
+}
+
+_INFO: dict[str, BenchmarkInfo] = {
+    "d695": BenchmarkInfo(
+        name="d695",
+        modules=10,
+        synthetic=False,
+        description="Ten ISCAS cores; encoded from published benchmark data",
+    ),
+    "p22810": BenchmarkInfo(
+        name="p22810",
+        modules=28,
+        synthetic=True,
+        description="Philips SOC; synthetic reconstruction calibrated to the published regime",
+    ),
+    "p34392": BenchmarkInfo(
+        name="p34392",
+        modules=19,
+        synthetic=True,
+        description="Philips SOC; synthetic reconstruction calibrated to the published regime",
+    ),
+    "p93791": BenchmarkInfo(
+        name="p93791",
+        modules=32,
+        synthetic=True,
+        description="Philips SOC; synthetic reconstruction calibrated to the published regime",
+    ),
+}
+
+#: Benchmarks evaluated in the paper's Table 1, in table order.
+TABLE1_BENCHMARKS = ("d695", "p22810", "p34392", "p93791")
+
+
+def list_benchmarks() -> tuple[BenchmarkInfo, ...]:
+    """Return metadata for every registered benchmark, in a stable order."""
+    return tuple(_INFO[name] for name in sorted(_INFO))
+
+
+@lru_cache(maxsize=None)
+def load_benchmark(name: str) -> Soc:
+    """Load a benchmark SOC by name (case-insensitive).
+
+    Raises
+    ------
+    ConfigurationError
+        When the name is not a registered benchmark.
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ConfigurationError(f"unknown benchmark {name!r}; known benchmarks: {known}")
+    return _FACTORIES[key]()
+
+
+def benchmark_info(name: str) -> BenchmarkInfo:
+    """Return metadata for one benchmark by name."""
+    key = name.lower()
+    if key not in _INFO:
+        known = ", ".join(sorted(_INFO))
+        raise ConfigurationError(f"unknown benchmark {name!r}; known benchmarks: {known}")
+    return _INFO[key]

@@ -1,0 +1,45 @@
+"""Writer for the ``.soc`` benchmark format (inverse of the parser)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.itc02.format import MEMORY_FLAG
+from repro.soc.soc import Soc
+
+
+def soc_to_text(soc: Soc) -> str:
+    """Serialise ``soc`` into ``.soc`` file contents.
+
+    The output round-trips through :func:`repro.itc02.parser.parse_soc_text`:
+    parsing the produced text yields an SOC equal to the input.
+    """
+    lines: list[str] = [
+        f"# {soc.name}: {len(soc.modules)} modules, "
+        f"{soc.total_scan_flipflops} scan flip-flops, {soc.total_patterns} patterns",
+        f"SocName {soc.name}",
+    ]
+    if soc.functional_pins is not None:
+        lines.append(f"FunctionalPins {soc.functional_pins}")
+    for index, module in enumerate(soc.modules, start=1):
+        flag = f" {MEMORY_FLAG}" if module.is_memory else ""
+        lines.append("")
+        lines.append(f"Module {index} {module.name}{flag}")
+        lines.append(f"    Inputs {module.inputs}")
+        lines.append(f"    Outputs {module.outputs}")
+        lines.append(f"    Bidirs {module.bidirs}")
+        if module.num_scan_chains:
+            lengths = " ".join(str(length) for length in module.scan_lengths)
+            lines.append(f"    ScanChains {module.num_scan_chains} : {lengths}")
+        else:
+            lines.append("    ScanChains 0")
+        lines.append(f"    Patterns {module.patterns}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_soc_file(soc: Soc, path: str | Path) -> Path:
+    """Write ``soc`` to ``path`` in ``.soc`` format and return the path."""
+    path = Path(path)
+    path.write_text(soc_to_text(soc), encoding="utf-8")
+    return path

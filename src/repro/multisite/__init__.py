@@ -1,0 +1,30 @@
+"""Multi-site test cost model: Equations 4.1-4.6 of the paper."""
+
+from repro.multisite.cost_model import (
+    TestTiming,
+    site_contact_pass_probability,
+    contact_pass_probability,
+    manufacturing_pass_probability,
+)
+from repro.multisite.abort_on_fail import abort_on_fail_test_time, abort_on_fail_saving
+from repro.multisite.retest import contact_fail_rate, retests_per_hour, unique_throughput
+from repro.multisite.throughput import (
+    SECONDS_PER_HOUR,
+    MultiSiteScenario,
+    throughput_per_hour,
+)
+
+__all__ = [
+    "TestTiming",
+    "site_contact_pass_probability",
+    "contact_pass_probability",
+    "manufacturing_pass_probability",
+    "abort_on_fail_test_time",
+    "abort_on_fail_saving",
+    "contact_fail_rate",
+    "retests_per_hour",
+    "unique_throughput",
+    "SECONDS_PER_HOUR",
+    "MultiSiteScenario",
+    "throughput_per_hour",
+]

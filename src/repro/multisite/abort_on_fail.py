@@ -1,0 +1,89 @@
+"""Abort-on-fail test-time model (Section 4, Equation 4.4).
+
+In high-volume production, failing devices are discarded rather than
+analysed, so the test can be aborted as soon as the first failing vector is
+observed.  With a single site this shortens the average test time
+considerably at low yield.  With ``n`` sites tested in parallel, the test
+can only be aborted once *all* sites have started failing, which quickly
+becomes unlikely as ``n`` grows -- one of the paper's conclusions is that
+abort-on-fail loses its benefit beyond roughly four sites.
+
+The paper derives a deliberately optimistic lower bound by assuming that a
+failing device consumes *zero* test time:
+
+``t_t = P_c(n) * ( t_c + P_m(n) * t_m )``                    (Eq. 4.4)
+
+i.e. the contact test is only paid when at least one site makes contact, and
+the manufacturing test is only paid when additionally at least one site is a
+good device.  Because even this optimistic bound converges to ``t_c + t_m``
+for modest ``n``, the conclusion that abort-on-fail does not help multi-site
+testing is conservative.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+from repro.multisite.cost_model import (
+    TestTiming,
+    contact_pass_probability,
+    manufacturing_pass_probability,
+)
+
+
+def abort_on_fail_test_time(
+    timing: TestTiming,
+    contact_yield: float,
+    manufacturing_yield: float,
+    terminals_per_site: int,
+    sites: int,
+) -> float:
+    """Expected (lower-bound) test application time with abort-on-fail, Eq. 4.4.
+
+    Parameters
+    ----------
+    timing:
+        Touchdown timing; only ``t_c`` and ``t_m`` are used.
+    contact_yield:
+        Per-terminal contact yield ``p_c``.
+    manufacturing_yield:
+        Per-device manufacturing yield ``p_m``.
+    terminals_per_site:
+        Probed terminals per site (``k`` signal channels).
+    sites:
+        Number of sites ``n`` tested in parallel.
+
+    Returns
+    -------
+    float
+        The expected test application time ``t_t`` in seconds (excludes the
+        index time).
+    """
+    if sites <= 0:
+        raise ConfigurationError(f"site count must be positive, got {sites}")
+    p_contact = contact_pass_probability(contact_yield, terminals_per_site, sites)
+    p_manufacturing = manufacturing_pass_probability(manufacturing_yield, sites)
+    return p_contact * (
+        timing.contact_test_time_s + p_manufacturing * timing.manufacturing_test_time_s
+    )
+
+
+def abort_on_fail_saving(
+    timing: TestTiming,
+    contact_yield: float,
+    manufacturing_yield: float,
+    terminals_per_site: int,
+    sites: int,
+) -> float:
+    """Fractional test-time saving of abort-on-fail relative to the full test.
+
+    A value of 0.3 means the (optimistic) abort-on-fail test time is 30%
+    shorter than ``t_c + t_m``; a value near 0 means abort-on-fail is
+    ineffective, which is what happens for large site counts.
+    """
+    full = timing.test_time_s
+    if full == 0:
+        return 0.0
+    reduced = abort_on_fail_test_time(
+        timing, contact_yield, manufacturing_yield, terminals_per_site, sites
+    )
+    return 1.0 - reduced / full

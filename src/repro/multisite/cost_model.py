@@ -1,0 +1,105 @@
+"""Multi-site cost model primitives (Section 4, Equations 4.1-4.3).
+
+The total time a multi-site touchdown spends on a set of ``n`` devices is
+
+``t = t_i + t_t``  with  ``t_t = t_c + t_m``               (Eq. 4.1)
+
+where ``t_i`` is the prober index time, ``t_c`` the contact-test time and
+``t_m`` the manufacturing (scan) test time.  Because all sites are tested in
+parallel, the touchdown takes the same time regardless of how many of the
+``n`` devices are good -- unless abort-on-fail is used, which is modelled in
+:mod:`repro.multisite.abort_on_fail`.
+
+The pass probabilities the abort-on-fail model needs are:
+
+``P_c(n) = 1 - (1 - p_c^k)^n``   (at least one site passes contact, Eq. 4.2)
+``P_m(n) = 1 - (1 - p_m)^n``     (at least one site passes the test, Eq. 4.3)
+
+with ``p_c`` the per-terminal contact yield, ``k`` the probed terminals per
+site, and ``p_m`` the manufacturing yield per SOC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+
+
+def _check_probability(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be within [0, 1], got {value}")
+
+
+def site_contact_pass_probability(contact_yield: float, terminals: int) -> float:
+    """Probability that a single site passes its contact test (``p_c^k``)."""
+    _check_probability(contact_yield, "contact yield")
+    if terminals < 0:
+        raise ConfigurationError(f"terminal count must be non-negative, got {terminals}")
+    return contact_yield ** terminals
+
+
+def contact_pass_probability(contact_yield: float, terminals: int, sites: int) -> float:
+    """Eq. 4.2: probability that at least one of ``sites`` sites passes contact."""
+    if sites <= 0:
+        raise ConfigurationError(f"site count must be positive, got {sites}")
+    site_pass = site_contact_pass_probability(contact_yield, terminals)
+    return 1.0 - (1.0 - site_pass) ** sites
+
+
+def manufacturing_pass_probability(manufacturing_yield: float, sites: int) -> float:
+    """Eq. 4.3: probability that at least one of ``sites`` sites passes the test."""
+    _check_probability(manufacturing_yield, "manufacturing yield")
+    if sites <= 0:
+        raise ConfigurationError(f"site count must be positive, got {sites}")
+    return 1.0 - (1.0 - manufacturing_yield) ** sites
+
+
+@dataclass(frozen=True)
+class TestTiming:
+    """The three timing components of one multi-site touchdown (Eq. 4.1).
+
+    Attributes
+    ----------
+    index_time_s:
+        Prober index time ``t_i``.
+    contact_test_time_s:
+        Contact-test time ``t_c``.
+    manufacturing_test_time_s:
+        Manufacturing (scan) test time ``t_m``; for a designed architecture
+        this is ``test_time_cycles / frequency``.
+    """
+
+    index_time_s: float
+    contact_test_time_s: float
+    manufacturing_test_time_s: float
+
+    # Tell pytest this is a domain class, not a test-case class.
+    __test__ = False
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("index time", self.index_time_s),
+            ("contact-test time", self.contact_test_time_s),
+            ("manufacturing test time", self.manufacturing_test_time_s),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{label} must be non-negative, got {value}")
+
+    @property
+    def test_time_s(self) -> float:
+        """Test application time ``t_t = t_c + t_m`` (Eq. 4.1)."""
+        return self.contact_test_time_s + self.manufacturing_test_time_s
+
+    @property
+    def total_time_s(self) -> float:
+        """Total touchdown time ``t = t_i + t_t`` (Eq. 4.1)."""
+        return self.index_time_s + self.test_time_s
+
+    def with_manufacturing_time(self, manufacturing_test_time_s: float) -> "TestTiming":
+        """Return a copy with a different manufacturing test time."""
+        return TestTiming(
+            index_time_s=self.index_time_s,
+            contact_test_time_s=self.contact_test_time_s,
+            manufacturing_test_time_s=manufacturing_test_time_s,
+        )

@@ -1,0 +1,88 @@
+"""Re-test model for contact failures (Section 4, Equation 4.6).
+
+Devices that fail only their contact test are usually re-tested: chances are
+the failure was a bad probe contact rather than a bad die, and discarding
+good product would be wasteful.  Re-testing does not change the number of
+devices the test cell processes per hour (``D_th``), but every re-test slot
+is occupied by a device that was already seen, so the number of *unique*
+devices tested per hour (``D^u_th``) drops.
+
+The paper makes two simplifying assumptions, which we follow (and complement
+with an exact variant):
+
+* at most one terminal fails contact per device, so the per-device contact
+  fail rate is approximately ``k * (1 - p_c)`` for ``k`` probed terminals;
+* a device is re-tested at most once.
+
+With re-test rate ``r`` the unique throughput becomes
+
+``D^u_th = D_th * (1 - r)``                                   (Eq. 4.6)
+
+The exact per-device contact-fail probability is ``1 - p_c^k``; the exact
+unique throughput treating every contact-failed device as consuming one
+extra slot is ``D_th / (1 + (1 - p_c^k))``.  Both variants are exposed so the
+reproduction can show how far the paper's approximation stretches at low
+contact yields.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+from repro.multisite.cost_model import site_contact_pass_probability
+
+
+def contact_fail_rate(contact_yield: float, terminals: int, approximate: bool = True) -> float:
+    """Per-device probability of failing the contact test.
+
+    With ``approximate=True`` this is the paper's linearised rate
+    ``k * (1 - p_c)`` capped at 1; otherwise the exact ``1 - p_c^k``.
+    """
+    if terminals < 0:
+        raise ConfigurationError(f"terminal count must be non-negative, got {terminals}")
+    if not 0.0 <= contact_yield <= 1.0:
+        raise ConfigurationError(f"contact yield must be within [0, 1], got {contact_yield}")
+    if approximate:
+        return min(1.0, terminals * (1.0 - contact_yield))
+    return 1.0 - site_contact_pass_probability(contact_yield, terminals)
+
+
+def retests_per_hour(
+    throughput_per_hour: float,
+    contact_yield: float,
+    terminals: int,
+    approximate: bool = True,
+) -> float:
+    """Number of test slots per hour spent on re-testing contact failures."""
+    if throughput_per_hour < 0:
+        raise ConfigurationError("throughput must be non-negative")
+    return throughput_per_hour * contact_fail_rate(contact_yield, terminals, approximate)
+
+
+def unique_throughput(
+    throughput_per_hour: float,
+    contact_yield: float,
+    terminals: int,
+    approximate: bool = True,
+) -> float:
+    """Unique devices tested per hour, Eq. 4.6.
+
+    Parameters
+    ----------
+    throughput_per_hour:
+        Raw device slots per hour ``D_th`` (Eq. 4.5).
+    contact_yield:
+        Per-terminal contact yield ``p_c``.
+    terminals:
+        Probed terminals per device (``k`` signal channels).
+    approximate:
+        ``True`` (default) reproduces the paper's linearised model
+        ``D^u_th = D_th * (1 - k*(1-p_c))``, clamped at zero.  ``False``
+        uses the exact slot-accounting model ``D_th / (1 + (1 - p_c^k))``.
+    """
+    if throughput_per_hour < 0:
+        raise ConfigurationError("throughput must be non-negative")
+    if approximate:
+        rate = contact_fail_rate(contact_yield, terminals, approximate=True)
+        return max(0.0, throughput_per_hour * (1.0 - rate))
+    rate = contact_fail_rate(contact_yield, terminals, approximate=False)
+    return throughput_per_hour / (1.0 + rate)

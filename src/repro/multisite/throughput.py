@@ -1,0 +1,127 @@
+"""Test throughput model (Section 4, Equation 4.5) and scenario bundling.
+
+Assuming full utilisation of the ATE, the number of devices tested per hour
+with ``n``-site testing is
+
+``D_th = 3600 * n / (t_i + t_t)``                              (Eq. 4.5)
+
+where ``t_t`` is either the plain test application time ``t_c + t_m`` or the
+abort-on-fail expectation of Eq. 4.4.  :class:`MultiSiteScenario` bundles all
+parameters of one multi-site configuration so experiments and the optimiser
+can evaluate throughput, unique throughput and abort-on-fail variants with
+one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.multisite.abort_on_fail import abort_on_fail_test_time
+from repro.multisite.cost_model import TestTiming
+from repro.multisite.retest import unique_throughput
+
+SECONDS_PER_HOUR = 3600.0
+
+
+def throughput_per_hour(sites: int, index_time_s: float, test_time_s: float) -> float:
+    """Eq. 4.5: devices tested per hour for ``sites``-site testing.
+
+    >>> round(throughput_per_hour(4, 0.5, 1.5), 1)
+    7200.0
+    """
+    if sites <= 0:
+        raise ConfigurationError(f"site count must be positive, got {sites}")
+    if index_time_s < 0 or test_time_s < 0:
+        raise ConfigurationError("times must be non-negative")
+    total = index_time_s + test_time_s
+    if total <= 0:
+        raise ConfigurationError("total touchdown time must be positive")
+    return SECONDS_PER_HOUR * sites / total
+
+
+@dataclass(frozen=True)
+class MultiSiteScenario:
+    """One fully specified multi-site configuration.
+
+    Attributes
+    ----------
+    sites:
+        Number of sites ``n`` tested in parallel.
+    timing:
+        Touchdown timing (index, contact test, manufacturing test).
+    channels_per_site:
+        ATE signal channels probed per site (``k``); drives the contact-fail
+        and re-test models.
+    contact_yield:
+        Per-terminal contact yield ``p_c``.
+    manufacturing_yield:
+        Per-device manufacturing yield ``p_m``.
+    """
+
+    sites: int
+    timing: TestTiming
+    channels_per_site: int
+    contact_yield: float = 1.0
+    manufacturing_yield: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sites <= 0:
+            raise ConfigurationError(f"site count must be positive, got {self.sites}")
+        if self.channels_per_site <= 0:
+            raise ConfigurationError(
+                f"channels per site must be positive, got {self.channels_per_site}"
+            )
+        for label, value in (
+            ("contact yield", self.contact_yield),
+            ("manufacturing yield", self.manufacturing_yield),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{label} must be within [0, 1], got {value}")
+
+    # ------------------------------------------------------------------
+    # Test application time
+    # ------------------------------------------------------------------
+    def test_time_s(self, abort_on_fail: bool = False) -> float:
+        """Test application time ``t_t``, optionally with abort-on-fail (Eq. 4.4)."""
+        if not abort_on_fail:
+            return self.timing.test_time_s
+        return abort_on_fail_test_time(
+            self.timing,
+            self.contact_yield,
+            self.manufacturing_yield,
+            self.channels_per_site,
+            self.sites,
+        )
+
+    def total_time_s(self, abort_on_fail: bool = False) -> float:
+        """Total touchdown time ``t_i + t_t``."""
+        return self.timing.index_time_s + self.test_time_s(abort_on_fail)
+
+    # ------------------------------------------------------------------
+    # Throughput
+    # ------------------------------------------------------------------
+    def throughput(self, abort_on_fail: bool = False) -> float:
+        """Devices tested per hour ``D_th`` (Eq. 4.5)."""
+        return throughput_per_hour(
+            self.sites, self.timing.index_time_s, self.test_time_s(abort_on_fail)
+        )
+
+    def unique_throughput(
+        self, abort_on_fail: bool = False, approximate: bool = True
+    ) -> float:
+        """Unique devices tested per hour ``D^u_th`` (Eq. 4.6)."""
+        return unique_throughput(
+            self.throughput(abort_on_fail),
+            self.contact_yield,
+            self.channels_per_site,
+            approximate=approximate,
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (
+            f"{self.sites} sites x {self.channels_per_site} channels: "
+            f"t_i={self.timing.index_time_s:.3f}s, t_t={self.timing.test_time_s:.3f}s, "
+            f"D_th={self.throughput():.0f}/h"
+        )

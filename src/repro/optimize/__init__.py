@@ -1,0 +1,31 @@
+"""The paper's two-step multi-site optimisation algorithm."""
+
+from repro.optimize.config import Objective, OptimizationConfig
+from repro.optimize.channels import (
+    even_floor,
+    max_sites,
+    max_channels_per_site,
+    total_channels_used,
+)
+from repro.optimize.result import Step1Result, SitePoint, TwoStepResult
+from repro.optimize.step1 import run_step1
+from repro.optimize.step2 import run_step2, evaluate_site_count, step1_only_throughput
+from repro.optimize.two_step import optimize_multisite, design_step1_only
+
+__all__ = [
+    "Objective",
+    "OptimizationConfig",
+    "even_floor",
+    "max_sites",
+    "max_channels_per_site",
+    "total_channels_used",
+    "Step1Result",
+    "SitePoint",
+    "TwoStepResult",
+    "run_step1",
+    "run_step2",
+    "evaluate_site_count",
+    "step1_only_throughput",
+    "optimize_multisite",
+    "design_step1_only",
+]

@@ -1,0 +1,70 @@
+"""Multi-site ATE channel arithmetic.
+
+The mapping between the per-site channel requirement ``k``, the ATE channel
+count ``N`` and the achievable number of sites ``n`` depends on whether the
+ATE broadcasts stimuli:
+
+* **without broadcast** every site needs its own ``k`` channels::
+
+      n * k <= N            ->   n_max = floor(N / k)
+                                 k_max(n) = even_floor(N / n)
+
+* **with broadcast** the ``k/2`` stimulus channels are shared::
+
+      k/2 + n * k/2 <= N    ->   n_max = floor((N - k/2) / (k/2))
+                                 k_max(n) = 2 * floor(N / (n + 1))
+
+Channel counts per site are always even (half stimulus, half response).
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+
+
+def _check(channels: int, per_site: int | None = None) -> None:
+    if channels <= 0:
+        raise ConfigurationError(f"ATE channel count must be positive, got {channels}")
+    if per_site is not None:
+        if per_site <= 0 or per_site % 2 != 0:
+            raise ConfigurationError(
+                f"per-site channel count must be a positive even number, got {per_site}"
+            )
+
+
+def even_floor(value: int) -> int:
+    """Largest even number not exceeding ``value`` (at least 0)."""
+    return max(0, (value // 2) * 2)
+
+
+def max_sites(channels: int, channels_per_site: int, broadcast: bool) -> int:
+    """Maximum number of sites the ATE can drive for a per-site requirement ``k``."""
+    _check(channels, channels_per_site)
+    if broadcast:
+        half = channels_per_site // 2
+        return max(0, (channels - half) // half)
+    return channels // channels_per_site
+
+
+def max_channels_per_site(channels: int, sites: int, broadcast: bool) -> int:
+    """Largest even per-site channel count supportable for ``sites`` sites."""
+    _check(channels)
+    if sites <= 0:
+        raise ConfigurationError(f"site count must be positive, got {sites}")
+    if broadcast:
+        return 2 * (channels // (sites + 1))
+    return even_floor(channels // sites)
+
+
+def total_channels_used(channels_per_site: int, sites: int, broadcast: bool) -> int:
+    """ATE channels consumed when testing ``sites`` sites at ``k`` channels each."""
+    if channels_per_site <= 0 or channels_per_site % 2 != 0:
+        raise ConfigurationError(
+            f"per-site channel count must be a positive even number, got {channels_per_site}"
+        )
+    if sites <= 0:
+        raise ConfigurationError(f"site count must be positive, got {sites}")
+    half = channels_per_site // 2
+    if broadcast:
+        return half + sites * half
+    return sites * channels_per_site

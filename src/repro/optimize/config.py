@@ -1,0 +1,91 @@
+"""Configuration of the two-step multi-site optimisation.
+
+The paper's Problems 1 and 2 come in several variants (Section 5):
+
+1. **stimuli broadcast** on or off: with broadcast the stimulus channels are
+   shared by all sites (``n*k/2 + k/2 <= N``); without it every site gets
+   its own stimulus and response channels (``n*k <= N``);
+2. **abort-on-fail** on or off: whether the test time entering the
+   throughput is the plain ``t_c + t_m`` or the Eq. 4.4 expectation;
+3. **re-test** on or off: whether the objective is the raw throughput
+   ``D_th`` or the unique-device throughput ``D^u_th``.
+
+:class:`OptimizationConfig` captures those switches together with the yield
+parameters they need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.core.exceptions import ConfigurationError
+
+
+class Objective(Enum):
+    """What Step 2 maximises."""
+
+    THROUGHPUT = "throughput"
+    UNIQUE_THROUGHPUT = "unique_throughput"
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Switches and yields for the two-step optimisation.
+
+    Attributes
+    ----------
+    broadcast:
+        ``True`` when the ATE broadcasts stimuli to all sites (shared
+        stimulus channels).
+    abort_on_fail:
+        ``True`` to use the Eq. 4.4 abort-on-fail test time in the
+        throughput computation.
+    objective:
+        Whether Step 2 maximises ``D_th`` or ``D^u_th``.
+    manufacturing_yield:
+        Per-device manufacturing yield ``p_m`` (only relevant with
+        abort-on-fail).
+    min_sites, max_sites:
+        Optional clamp on the site counts Step 2 may consider, e.g. when the
+        prober hardware cannot handle more than a given number of sites.
+    """
+
+    broadcast: bool = False
+    abort_on_fail: bool = False
+    objective: Objective = Objective.THROUGHPUT
+    manufacturing_yield: float = 1.0
+    min_sites: int = 1
+    max_sites: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.manufacturing_yield <= 1.0:
+            raise ConfigurationError(
+                f"manufacturing yield must be within [0, 1], got {self.manufacturing_yield}"
+            )
+        if self.min_sites <= 0:
+            raise ConfigurationError(f"min_sites must be positive, got {self.min_sites}")
+        if self.max_sites is not None and self.max_sites < self.min_sites:
+            raise ConfigurationError(
+                f"max_sites ({self.max_sites}) must be >= min_sites ({self.min_sites})"
+            )
+
+    def with_broadcast(self, broadcast: bool) -> "OptimizationConfig":
+        """Return a copy with the broadcast switch changed."""
+        return replace(self, broadcast=broadcast)
+
+    def with_abort_on_fail(self, abort_on_fail: bool) -> "OptimizationConfig":
+        """Return a copy with the abort-on-fail switch changed."""
+        return replace(self, abort_on_fail=abort_on_fail)
+
+    def with_site_limit(self, max_sites: int | None) -> "OptimizationConfig":
+        """Return a copy with a different maximum site count."""
+        return replace(self, max_sites=max_sites)
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (
+            f"broadcast={'on' if self.broadcast else 'off'}, "
+            f"abort-on-fail={'on' if self.abort_on_fail else 'off'}, "
+            f"objective={self.objective.value}, p_m={self.manufacturing_yield:g}"
+        )

@@ -1,0 +1,86 @@
+"""Step 1: design the minimum-channel test infrastructure (Section 6, Step 1).
+
+Step 1 answers the question "what is the smallest number of ATE channels
+``k`` with which one SOC can be tested within the ATE's vector-memory depth,
+and what infrastructure achieves it?".  The channel-group assignment itself
+lives in :mod:`repro.tam.assignment`; this module wraps it with
+
+* the chip-level E-RPCT wrapper sizing,
+* the maximum multi-site computation for the configured broadcast mode, and
+* the infeasibility checks the paper's procedure performs.
+"""
+
+from __future__ import annotations
+
+from repro.ate.probe_station import ProbeStation
+from repro.ate.spec import AteSpec
+from repro.core.exceptions import InfeasibleDesignError
+from repro.optimize.channels import max_sites
+from repro.optimize.config import OptimizationConfig
+from repro.optimize.result import Step1Result
+from repro.rpct.wrapper import design_erpct_wrapper
+from repro.soc.soc import Soc
+from repro.tam.assignment import design_architecture
+
+
+def run_step1(
+    soc: Soc,
+    ate: AteSpec,
+    probe_station: ProbeStation,
+    config: OptimizationConfig | None = None,
+) -> Step1Result:
+    """Design the Step-1 infrastructure and compute the maximum multi-site.
+
+    Parameters
+    ----------
+    soc:
+        The SOC to design the on-chip test infrastructure for.
+    ate:
+        The fixed target ATE.
+    probe_station:
+        The fixed target probe station.
+    config:
+        Optimisation switches; only the broadcast flag matters for Step 1.
+
+    Raises
+    ------
+    InfeasibleDesignError
+        When the SOC's test data cannot be made to fit the ATE at all.
+    """
+    config = config or OptimizationConfig()
+
+    architecture = design_architecture(soc, ate.channels, ate.depth)
+    channels_per_site = architecture.ate_channels
+
+    if channels_per_site > ate.channels:
+        raise InfeasibleDesignError(
+            f"SOC {soc.name!r} needs {channels_per_site} channels but the ATE "
+            f"only has {ate.channels}"
+        )
+    if architecture.test_time_cycles > ate.depth:
+        raise InfeasibleDesignError(
+            f"SOC {soc.name!r} needs {architecture.test_time_cycles} vectors of depth "
+            f"but the ATE only has {ate.depth}"
+        )
+
+    sites = max_sites(ate.channels, channels_per_site, config.broadcast)
+    if sites < 1:
+        raise InfeasibleDesignError(
+            f"SOC {soc.name!r} cannot be tested on {ate.channels} channels even single-site"
+        )
+
+    erpct = design_erpct_wrapper(
+        soc,
+        ate_channels_per_site=channels_per_site,
+        internal_tam_width=architecture.total_width,
+    )
+
+    return Step1Result(
+        architecture=architecture,
+        erpct=erpct,
+        channels_per_site=channels_per_site,
+        max_sites=sites,
+        ate=ate,
+        probe_station=probe_station,
+        config=config,
+    )

@@ -1,0 +1,114 @@
+"""Step 2: find the throughput-optimal number of sites (Section 6, Step 2).
+
+Step 1 maximises the number of sites; Step 2 recognises that the maximum
+multi-site is not necessarily the *optimal* multi-site.  Giving up a site
+frees ATE channels, which -- when redistributed over the remaining sites'
+bottleneck channel groups -- shortens the test time per SOC and can raise the
+overall throughput.  Step 2 therefore linearly searches the site count from
+``n_max`` down to 1, widens the Step-1 architecture to each site count's
+channel budget, evaluates the throughput model, and returns the best point.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+from repro.multisite.cost_model import TestTiming
+from repro.multisite.throughput import MultiSiteScenario
+from repro.optimize.channels import max_channels_per_site
+from repro.optimize.config import Objective, OptimizationConfig
+from repro.optimize.result import SitePoint, Step1Result, TwoStepResult
+from repro.tam.architecture import TestArchitecture
+from repro.tam.redistribution import widen_to_channel_budget
+
+
+def _scenario_for(
+    step1: Step1Result,
+    architecture: TestArchitecture,
+    sites: int,
+) -> MultiSiteScenario:
+    """Build the throughput scenario for an architecture at a site count."""
+    timing = TestTiming(
+        index_time_s=step1.probe_station.index_time_s,
+        contact_test_time_s=step1.probe_station.contact_test_time_s,
+        manufacturing_test_time_s=step1.ate.cycles_to_seconds(
+            architecture.test_time_cycles
+        ),
+    )
+    return MultiSiteScenario(
+        sites=sites,
+        timing=timing,
+        channels_per_site=architecture.ate_channels,
+        contact_yield=step1.probe_station.contact_yield,
+        manufacturing_yield=step1.config.manufacturing_yield,
+    )
+
+
+def _objective_value(scenario: MultiSiteScenario, config: OptimizationConfig) -> float:
+    """Evaluate the configured objective for a scenario."""
+    if config.objective is Objective.UNIQUE_THROUGHPUT:
+        return scenario.unique_throughput(abort_on_fail=config.abort_on_fail)
+    return scenario.throughput(abort_on_fail=config.abort_on_fail)
+
+
+def evaluate_site_count(step1: Step1Result, sites: int) -> SitePoint:
+    """Evaluate one candidate site count, redistributing freed channels.
+
+    The per-site channel budget follows from the site count and the
+    broadcast mode; any budget beyond the Step-1 requirement (at least one
+    full TAM wire, i.e. two channels) is spent widening the bottleneck
+    channel groups.
+    """
+    if sites <= 0:
+        raise ConfigurationError(f"site count must be positive, got {sites}")
+    if sites > step1.max_sites:
+        raise ConfigurationError(
+            f"site count {sites} exceeds the Step-1 maximum of {step1.max_sites}"
+        )
+    budget = max_channels_per_site(step1.ate.channels, sites, step1.config.broadcast)
+    architecture = widen_to_channel_budget(step1.architecture, budget)
+    scenario = _scenario_for(step1, architecture, sites)
+    return SitePoint(
+        sites=sites,
+        channels_per_site=architecture.ate_channels,
+        architecture=architecture,
+        scenario=scenario,
+        throughput=_objective_value(scenario, step1.config),
+    )
+
+
+def step1_only_throughput(step1: Step1Result, sites: int) -> float:
+    """Objective value at ``sites`` sites using the *un-widened* Step-1 design.
+
+    This is the dashed reference line of the paper's Figure 5: what the
+    throughput would be for a given multi-site if only Step 1 had been run.
+    """
+    if sites <= 0:
+        raise ConfigurationError(f"site count must be positive, got {sites}")
+    scenario = _scenario_for(step1, step1.architecture, sites)
+    return _objective_value(scenario, step1.config)
+
+
+def run_step2(step1: Step1Result) -> TwoStepResult:
+    """Linear search for the throughput-optimal site count.
+
+    Returns a :class:`TwoStepResult` containing every evaluated site count
+    (largest first, mirroring the paper's search direction) and the best
+    point.  Ties are resolved towards the larger site count, because more
+    sites at equal throughput means fewer touchdowns per wafer.
+    """
+    config = step1.config
+    upper = step1.max_sites
+    if config.max_sites is not None:
+        upper = min(upper, config.max_sites)
+    lower = max(1, config.min_sites)
+    if lower > upper:
+        raise ConfigurationError(
+            f"no feasible site count: search range [{lower}, {upper}] is empty"
+        )
+
+    points: list[SitePoint] = []
+    for sites in range(upper, lower - 1, -1):
+        points.append(evaluate_site_count(step1, sites))
+
+    best = max(points, key=lambda point: (point.throughput, point.sites))
+    return TwoStepResult(step1=step1, points=tuple(points), best=best)

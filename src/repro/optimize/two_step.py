@@ -1,0 +1,80 @@
+"""The complete two-step algorithm (Section 6) as a single entry point.
+
+:func:`optimize_multisite` is the library's headline API: given an SOC, a
+fixed target ATE and probe station, and the variant switches of Section 5,
+it designs the on-chip test infrastructure (module wrappers, TAMs/channel
+groups, chip-level E-RPCT wrapper) and returns the throughput-optimal
+multi-site configuration.
+"""
+
+from __future__ import annotations
+
+from repro.ate.probe_station import ProbeStation, reference_probe_station
+from repro.ate.spec import AteSpec
+from repro.optimize.config import OptimizationConfig
+from repro.optimize.result import Step1Result, TwoStepResult
+from repro.optimize.step1 import run_step1
+from repro.optimize.step2 import run_step2
+from repro.soc.soc import Soc
+
+
+def optimize_multisite(
+    soc: Soc,
+    ate: AteSpec,
+    probe_station: ProbeStation | None = None,
+    config: OptimizationConfig | None = None,
+) -> TwoStepResult:
+    """Run the full two-step algorithm for ``soc`` on the given test cell.
+
+    Parameters
+    ----------
+    soc:
+        The SOC to design the on-chip test infrastructure for.  Both modular
+        (core-based) SOCs and flattened SOCs (a single module) are handled;
+        the flattened case is the degenerate Problem 2 of the paper.
+    ate:
+        The fixed target ATE (channel count, vector-memory depth, clock).
+    probe_station:
+        The fixed target probe station (index time, contact-test time,
+        contact yield).  Defaults to the paper's reference prober.
+    config:
+        Variant switches (broadcast, abort-on-fail, objective, yields).
+        Defaults to the paper's base case: no broadcast, no abort-on-fail,
+        maximise raw throughput.
+
+    Returns
+    -------
+    TwoStepResult
+        The Step-1 design, every site count Step 2 evaluated, and the
+        optimal point.
+
+    Raises
+    ------
+    InfeasibleDesignError
+        When the SOC cannot be tested on the target ATE at all.
+
+    Example
+    -------
+    >>> from repro.ate import reference_ate
+    >>> from repro.itc02 import load_benchmark
+    >>> soc = load_benchmark("d695")
+    >>> result = optimize_multisite(soc, reference_ate(channels=128, depth_m=1))
+    >>> result.optimal_sites >= 1
+    True
+    """
+    config = config or OptimizationConfig()
+    probe_station = probe_station or reference_probe_station()
+    step1 = run_step1(soc, ate, probe_station, config)
+    return run_step2(step1)
+
+
+def design_step1_only(
+    soc: Soc,
+    ate: AteSpec,
+    probe_station: ProbeStation | None = None,
+    config: OptimizationConfig | None = None,
+) -> Step1Result:
+    """Run only Step 1 (maximum multi-site), as the baseline comparison does."""
+    config = config or OptimizationConfig()
+    probe_station = probe_station or reference_probe_station()
+    return run_step1(soc, ate, probe_station, config)

@@ -1,0 +1,24 @@
+"""Result formatting: tables, series and JSON/CSV export."""
+
+from repro.reporting.tables import Table
+from repro.reporting.series import Series, series_table
+from repro.reporting.export import (
+    architecture_to_records,
+    result_to_records,
+    series_to_record,
+    table_to_records,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "Table",
+    "Series",
+    "series_table",
+    "architecture_to_records",
+    "result_to_records",
+    "series_to_record",
+    "table_to_records",
+    "write_csv",
+    "write_json",
+]

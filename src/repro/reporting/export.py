@@ -1,0 +1,128 @@
+"""Export of results to JSON and CSV.
+
+Experiments return rich dataclasses; downstream users (plotting scripts,
+regression dashboards) usually want flat, serialisable records.  This module
+converts the library's main result types into plain dictionaries and writes
+them as JSON or CSV:
+
+* :class:`~repro.reporting.tables.Table` -> list of row dictionaries
+* :class:`~repro.reporting.series.Series` -> ``{"name": ..., "points": [...]}``
+* :class:`~repro.optimize.result.TwoStepResult` -> a summary record plus one
+  record per evaluated site count
+* :class:`~repro.tam.architecture.TestArchitecture` -> one record per channel
+  group (width, fill, modules)
+
+Only standard-library ``json`` and ``csv`` are used.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.result import TwoStepResult
+from repro.reporting.series import Series
+from repro.reporting.tables import Table
+from repro.tam.architecture import TestArchitecture
+
+
+def table_to_records(table: Table) -> list[dict[str, str]]:
+    """Convert a :class:`Table` into a list of per-row dictionaries."""
+    return [dict(zip(table.columns, row)) for row in table.rows]
+
+
+def series_to_record(series: Series) -> dict[str, Any]:
+    """Convert a :class:`Series` into a JSON-friendly dictionary."""
+    return {
+        "name": series.name,
+        "x_label": series.x_label,
+        "y_label": series.y_label,
+        "points": [[x, y] for x, y in series.points],
+    }
+
+
+def architecture_to_records(architecture: TestArchitecture) -> list[dict[str, Any]]:
+    """Convert a :class:`TestArchitecture` into one record per channel group."""
+    return [
+        {
+            "soc": architecture.soc.name,
+            "group": group.index,
+            "width": group.width,
+            "ate_channels": group.ate_channels,
+            "fill_cycles": group.fill,
+            "free_depth": group.free_depth(architecture.depth),
+            "modules": list(group.module_names),
+        }
+        for group in architecture.groups
+    ]
+
+
+def result_to_records(result: TwoStepResult) -> dict[str, Any]:
+    """Convert a :class:`TwoStepResult` into a summary + per-site records."""
+    return {
+        "soc": result.step1.architecture.soc.name,
+        "ate_channels": result.step1.ate.channels,
+        "ate_depth": result.step1.ate.depth,
+        "broadcast": result.step1.config.broadcast,
+        "objective": result.step1.config.objective.value,
+        "step1": {
+            "channels_per_site": result.step1.channels_per_site,
+            "max_sites": result.step1.max_sites,
+            "test_time_cycles": result.step1.test_time_cycles,
+        },
+        "optimal": {
+            "sites": result.optimal_sites,
+            "channels_per_site": result.best.channels_per_site,
+            "test_time_cycles": result.best.test_time_cycles,
+            "throughput_per_hour": result.optimal_throughput,
+        },
+        "points": [
+            {
+                "sites": point.sites,
+                "channels_per_site": point.channels_per_site,
+                "test_time_cycles": point.test_time_cycles,
+                "throughput_per_hour": point.throughput,
+            }
+            for point in result.points
+        ],
+    }
+
+
+def write_json(data: Any, path: str | Path) -> Path:
+    """Write ``data`` (any JSON-serialisable structure) to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def write_csv(records: Sequence[Mapping[str, Any]] | Iterable[Mapping[str, Any]],
+              path: str | Path) -> Path:
+    """Write an iterable of flat record dictionaries to ``path`` as CSV.
+
+    All records must share the same keys; the header row uses the key order
+    of the first record.
+    """
+    records = list(records)
+    if not records:
+        raise ConfigurationError("cannot write an empty record list to CSV")
+    fieldnames = list(records[0].keys())
+    for record in records:
+        if list(record.keys()) != fieldnames:
+            raise ConfigurationError("all CSV records must share the same keys")
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow({key: _flatten(value) for key, value in record.items()})
+    return path
+
+
+def _flatten(value: Any) -> Any:
+    """Render lists/tuples as ';'-joined strings so they fit a CSV cell."""
+    if isinstance(value, (list, tuple)):
+        return ";".join(str(item) for item in value)
+    return value

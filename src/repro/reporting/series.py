@@ -1,0 +1,127 @@
+"""XY series for regenerated paper figures.
+
+Every figure experiment returns one or more :class:`Series` objects (an
+x-axis label, a y-axis label and a list of points).  The helpers here check
+the qualitative "shape" properties the reproduction asserts against the
+paper: monotonicity, approximate linearity, relative gains, and the location
+of maxima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve of a figure."""
+
+    name: str
+    x_label: str
+    y_label: str
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError(f"series {self.name!r} has no points")
+
+    @property
+    def xs(self) -> tuple[float, ...]:
+        """The x coordinates."""
+        return tuple(x for x, _ in self.points)
+
+    @property
+    def ys(self) -> tuple[float, ...]:
+        """The y coordinates."""
+        return tuple(y for _, y in self.points)
+
+    def y_at(self, x: float) -> float:
+        """Return the y value at an exact x coordinate."""
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.name!r} has no point at x={x}")
+
+    @property
+    def argmax(self) -> float:
+        """x coordinate of the maximum y value."""
+        best = max(self.points, key=lambda point: point[1])
+        return best[0]
+
+    @property
+    def max(self) -> float:
+        """Maximum y value."""
+        return max(self.ys)
+
+    @property
+    def min(self) -> float:
+        """Minimum y value."""
+        return min(self.ys)
+
+    def is_nondecreasing(self, tolerance: float = 0.0) -> bool:
+        """True when y never drops by more than ``tolerance`` (relative)."""
+        ys = self.ys
+        for previous, current in zip(ys, ys[1:]):
+            allowed = previous * (1.0 - tolerance) if previous > 0 else previous
+            if current < allowed:
+                return False
+        return True
+
+    def is_nonincreasing(self, tolerance: float = 0.0) -> bool:
+        """True when y never rises by more than ``tolerance`` (relative)."""
+        ys = self.ys
+        for previous, current in zip(ys, ys[1:]):
+            allowed = previous * (1.0 + tolerance) if previous > 0 else previous
+            if current > allowed:
+                return False
+        return True
+
+    def relative_gain(self) -> float:
+        """Relative increase of the last point over the first point."""
+        first, last = self.ys[0], self.ys[-1]
+        if first == 0:
+            return 0.0
+        return last / first - 1.0
+
+    def linearity_ratio(self) -> float:
+        """How close the end-to-end gain tracks the x-axis growth.
+
+        A value of 1.0 means perfectly proportional (doubling x doubles y);
+        values well below 1.0 indicate sub-linear scaling.  Used to verify
+        the Figure 6 claims (linear in channels, sub-linear in memory).
+        """
+        x_first, x_last = self.xs[0], self.xs[-1]
+        y_first, y_last = self.ys[0], self.ys[-1]
+        if x_first == 0 or y_first == 0 or x_last == x_first:
+            raise ConfigurationError("linearity ratio needs non-zero, distinct endpoints")
+        x_growth = x_last / x_first - 1.0
+        y_growth = y_last / y_first - 1.0
+        return y_growth / x_growth
+
+    def render(self, width: int = 60) -> str:
+        """Render the series as a small text chart (one line per point)."""
+        top = self.max
+        lines = [f"{self.name}  ({self.x_label} vs {self.y_label})"]
+        for x, y in self.points:
+            bar = "#" * (int(round(width * y / top)) if top > 0 else 0)
+            lines.append(f"  {x:>12g} | {bar} {y:g}")
+        return "\n".join(lines)
+
+
+def series_table(series_list: Sequence[Series]) -> str:
+    """Render several series that share the same x grid as aligned columns."""
+    if not series_list:
+        raise ConfigurationError("need at least one series")
+    xs = series_list[0].xs
+    for series in series_list:
+        if series.xs != xs:
+            raise ConfigurationError("all series must share the same x grid")
+    header = [series_list[0].x_label] + [series.name for series in series_list]
+    lines = ["  ".join(f"{column:>16}" for column in header)]
+    for position, x in enumerate(xs):
+        row = [f"{x:>16g}"] + [f"{series.ys[position]:>16.1f}" for series in series_list]
+        lines.append("  ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Plain-text table rendering used by experiments, benches and the CLI.
+
+The experiments produce their results as :class:`Table` objects: a header
+row plus data rows of strings/numbers.  Rendering is deliberately simple
+(fixed-width columns, Markdown-compatible separators) so the regenerated
+paper tables can be diffed and embedded in EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small immutable-ish table of results.
+
+    Attributes
+    ----------
+    title:
+        Table caption (e.g. ``"Table 1 -- d695"``).
+    columns:
+        Column headers.
+    rows:
+        Data rows; each row must have exactly ``len(columns)`` entries.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ConfigurationError("a table needs at least one column")
+        self.columns = [str(column) for column in self.columns]
+        self.rows = [[_format_cell(cell) for cell in row] for row in self.rows]
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ConfigurationError(
+                    f"row {row!r} has {len(row)} cells, expected {len(self.columns)}"
+                )
+
+    def add_row(self, values: Iterable[object]) -> "Table":
+        """Append one row (values are formatted with the default formatter)."""
+        row = [_format_cell(value) for value in values]
+        if len(row) != len(self.columns):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(row)
+        return self
+
+    @property
+    def num_rows(self) -> int:
+        """Number of data rows."""
+        return len(self.rows)
+
+    def column(self, name: str) -> list[str]:
+        """Return all values of the column called ``name``."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError as error:
+            raise KeyError(f"table has no column {name!r}") from error
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as fixed-width text with a Markdown-style header."""
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for position, cell in enumerate(row):
+                widths[position] = max(widths[position], len(cell))
+
+        def format_row(cells: Sequence[str]) -> str:
+            return " | ".join(cell.rjust(widths[position]) for position, cell in enumerate(cells))
+
+        lines = [self.title, ""]
+        lines.append(format_row(list(self.columns)))
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(format_row(row))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured Markdown."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)

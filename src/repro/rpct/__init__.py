@@ -1,0 +1,18 @@
+"""E-RPCT chip-level wrapper and boundary-scan models."""
+
+from repro.rpct.wrapper import (
+    ErpctWrapper,
+    design_erpct_wrapper,
+    DEFAULT_CONTROL_PADS,
+    DEFAULT_POWER_PADS,
+)
+from repro.rpct.boundary_scan import BoundaryScanChain, boundary_scan_for
+
+__all__ = [
+    "ErpctWrapper",
+    "design_erpct_wrapper",
+    "DEFAULT_CONTROL_PADS",
+    "DEFAULT_POWER_PADS",
+    "BoundaryScanChain",
+    "boundary_scan_for",
+]

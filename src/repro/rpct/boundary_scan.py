@@ -1,0 +1,68 @@
+"""Boundary-scan chain model used by the RPCT / E-RPCT wrappers.
+
+RPCT relies on the chip's boundary-scan chain to reach functional pins that
+are not contacted by the prober.  For this reproduction the boundary-scan
+chain is a simple accounting structure: the number of boundary cells, how
+many of them can be accessed serially through the test pads, and the extra
+shift cycles a boundary-scan-applied pattern would cost.  The figures are
+used by the scan-shift simulator and by reports that break down where the
+pin-count reduction comes from; they do not influence the TAM optimisation
+(the paper likewise treats boundary scan as given infrastructure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.soc.soc import Soc
+
+
+@dataclass(frozen=True)
+class BoundaryScanChain:
+    """The chip-level boundary-scan chain.
+
+    Attributes
+    ----------
+    cells:
+        Number of boundary-scan cells (one per functional pin).
+    segments:
+        Number of independently accessible segments the chain is split into
+        by the E-RPCT wrapper; more segments shorten the access path at the
+        cost of more internal routing.
+    """
+
+    cells: int
+    segments: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cells < 0:
+            raise ConfigurationError(f"boundary cell count must be non-negative, got {self.cells}")
+        if self.segments <= 0:
+            raise ConfigurationError(f"segment count must be positive, got {self.segments}")
+        if self.cells and self.segments > self.cells:
+            raise ConfigurationError("cannot split a boundary chain into more segments than cells")
+
+    @property
+    def longest_segment(self) -> int:
+        """Length of the longest segment (balanced split)."""
+        if self.cells == 0:
+            return 0
+        base, extra = divmod(self.cells, self.segments)
+        return base + (1 if extra else 0)
+
+    def access_cycles(self) -> int:
+        """Shift cycles needed to load every boundary cell once."""
+        return self.longest_segment
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (
+            f"boundary scan: {self.cells} cells in {self.segments} segment(s), "
+            f"longest {self.longest_segment}"
+        )
+
+
+def boundary_scan_for(soc: Soc, segments: int = 1) -> BoundaryScanChain:
+    """Build the boundary-scan chain for ``soc`` (one cell per functional pin)."""
+    return BoundaryScanChain(cells=soc.estimated_functional_pins, segments=segments)

@@ -1,0 +1,143 @@
+"""E-RPCT (Enhanced Reduced-Pin-Count Test) chip-level wrapper model.
+
+Reduced-Pin-Count Test narrows the SOC-ATE interface to the scan-chain
+terminals, test-control and clock pins; functional pins are reached through
+the boundary-scan chain.  *Enhanced* RPCT (Vranken et al., ITC 2001) also
+routes the internal scan chains through the boundary-scan architecture, so a
+chip with ``w`` internal TAM wires can be tested through any ``k/2`` external
+test inputs and ``k/2`` external test outputs with ``k/2 <= w``.
+
+For this reproduction the E-RPCT wrapper is an accounting object: it records
+how many pads the ATE must probe per site (the ``k`` test channels plus a
+fixed overhead of test-control and clock pads), which feeds the contact-test
+yield model and the multi-site channel arithmetic.  The structural view
+(which TAM wires map to which external pads) is kept so the scan-shift
+simulator can exercise the full path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.soc.soc import Soc
+
+#: Default number of always-probed control pads: test clock, reset, test
+#: enable, TAP controller signals (TCK/TMS/TDI/TDO are already part of the
+#: test channels in E-RPCT, so the overhead is small).
+DEFAULT_CONTROL_PADS = 4
+
+#: Default number of power/ground pads that must be contacted per site.
+DEFAULT_POWER_PADS = 8
+
+
+@dataclass(frozen=True)
+class ErpctWrapper:
+    """Chip-level E-RPCT wrapper converting ``k`` ATE channels into TAM wires.
+
+    Attributes
+    ----------
+    soc_name:
+        Name of the SOC the wrapper is designed for.
+    external_inputs:
+        Number of external test-input pads (``k/2``).
+    external_outputs:
+        Number of external test-output pads (``k/2``).
+    internal_tam_width:
+        Total internal TAM width ``w`` the wrapper fans out to; the E-RPCT
+        definition requires ``external_inputs <= w``.
+    control_pads:
+        Test-control and clock pads probed in addition to the test channels.
+    power_pads:
+        Power/ground pads probed per site.
+    """
+
+    soc_name: str
+    external_inputs: int
+    external_outputs: int
+    internal_tam_width: int
+    control_pads: int = DEFAULT_CONTROL_PADS
+    power_pads: int = DEFAULT_POWER_PADS
+
+    def __post_init__(self) -> None:
+        if self.external_inputs <= 0 or self.external_outputs <= 0:
+            raise ConfigurationError("E-RPCT wrapper needs at least one input and one output pad")
+        if self.internal_tam_width <= 0:
+            raise ConfigurationError("internal TAM width must be positive")
+        if self.external_inputs > self.internal_tam_width:
+            raise ConfigurationError(
+                f"E-RPCT requires external inputs ({self.external_inputs}) <= "
+                f"internal TAM width ({self.internal_tam_width})"
+            )
+        if self.control_pads < 0 or self.power_pads < 0:
+            raise ConfigurationError("pad overheads must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def ate_channels(self) -> int:
+        """ATE channels required to drive this wrapper (``k``)."""
+        return self.external_inputs + self.external_outputs
+
+    @property
+    def probed_pads(self) -> int:
+        """Pads the prober must contact per site (signal + control + power)."""
+        return self.ate_channels + self.control_pads + self.power_pads
+
+    @property
+    def probed_signal_pads(self) -> int:
+        """Signal pads only (the ``k`` test channels); used by Eq. 4.2."""
+        return self.ate_channels
+
+    def pin_reduction(self, functional_pins: int) -> int:
+        """How many pins the wrapper removes from the ATE interface."""
+        if functional_pins < 0:
+            raise ConfigurationError("functional pin count must be non-negative")
+        return max(0, functional_pins - self.probed_pads)
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (
+            f"E-RPCT({self.soc_name}): {self.external_inputs} in + "
+            f"{self.external_outputs} out test pads -> TAM width {self.internal_tam_width}, "
+            f"{self.probed_pads} probed pads per site"
+        )
+
+
+def design_erpct_wrapper(
+    soc: Soc,
+    ate_channels_per_site: int,
+    internal_tam_width: int | None = None,
+    control_pads: int = DEFAULT_CONTROL_PADS,
+    power_pads: int = DEFAULT_POWER_PADS,
+) -> ErpctWrapper:
+    """Design the chip-level E-RPCT wrapper for a per-site channel budget.
+
+    Parameters
+    ----------
+    soc:
+        The SOC being wrapped.
+    ate_channels_per_site:
+        Number of ATE channels one site uses (``k``); must be an even,
+        positive number because channels split evenly into stimulus and
+        response.
+    internal_tam_width:
+        Total internal TAM width behind the wrapper.  Defaults to ``k/2``
+        (the degenerate flat case where the E-RPCT wrapper and the TAM have
+        equal width).
+    """
+    if ate_channels_per_site <= 0 or ate_channels_per_site % 2 != 0:
+        raise ConfigurationError(
+            f"per-site channel count must be a positive even number, got {ate_channels_per_site}"
+        )
+    half = ate_channels_per_site // 2
+    width = internal_tam_width if internal_tam_width is not None else half
+    return ErpctWrapper(
+        soc_name=soc.name,
+        external_inputs=half,
+        external_outputs=half,
+        internal_tam_width=width,
+        control_pads=control_pads,
+        power_pads=power_pads,
+    )

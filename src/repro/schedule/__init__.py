@@ -1,0 +1,10 @@
+"""Test schedules (per-TAM timelines) derived from channel-group architectures."""
+
+from repro.schedule.timeline import (
+    GroupTimeline,
+    ScheduledTest,
+    TestSchedule,
+    build_schedule,
+)
+
+__all__ = ["GroupTimeline", "ScheduledTest", "TestSchedule", "build_schedule"]

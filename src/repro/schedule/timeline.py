@@ -1,0 +1,190 @@
+"""Test schedule (timeline) derived from a channel-group architecture.
+
+A :class:`~repro.tam.architecture.TestArchitecture` fixes *which* TAM tests
+*which* modules; the schedule makes the timing explicit: on every channel
+group the assigned modules are tested back-to-back, so each module occupies
+a contiguous interval of test-clock cycles on its group.  The schedule is
+what a test engineer would load into the ATE: per TAM, the order of module
+tests and their start/stop cycles.
+
+Besides being a useful artefact in its own right, the schedule exposes the
+quantities the paper's Step 1 criterion 2 is really about: how much of the
+ATE's vector memory is actually used (utilisation) and how much sits idle
+because the groups finish at different times (imbalance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.tam.architecture import TestArchitecture
+from repro.wrapper.combine import module_test_time
+
+
+@dataclass(frozen=True)
+class ScheduledTest:
+    """One module test placed on the timeline of its channel group."""
+
+    module_name: str
+    group_index: int
+    width: int
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def duration(self) -> int:
+        """Length of the test in cycles."""
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass(frozen=True)
+class GroupTimeline:
+    """The back-to-back module tests of one channel group."""
+
+    group_index: int
+    width: int
+    tests: tuple[ScheduledTest, ...]
+
+    @property
+    def end_cycle(self) -> int:
+        """Cycle at which the last module test of the group finishes."""
+        return self.tests[-1].end_cycle if self.tests else 0
+
+    @property
+    def num_tests(self) -> int:
+        """Number of module tests scheduled on this group."""
+        return len(self.tests)
+
+
+@dataclass(frozen=True)
+class TestSchedule:
+    """The complete schedule of an SOC test on its architecture.
+
+    Attributes
+    ----------
+    soc_name:
+        Name of the scheduled SOC.
+    depth:
+        Vector-memory depth the architecture was designed against.
+    groups:
+        Per-group timelines.
+    """
+
+    soc_name: str
+    depth: int
+    groups: tuple[GroupTimeline, ...]
+
+    __test__ = False  # domain class, not a pytest test case
+
+    # ------------------------------------------------------------------
+    # Global quantities
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> int:
+        """SOC test time in cycles (the latest finishing group)."""
+        return max((group.end_cycle for group in self.groups), default=0)
+
+    @property
+    def total_width(self) -> int:
+        """Total TAM width of the scheduled architecture."""
+        return sum(group.width for group in self.groups)
+
+    @property
+    def busy_channel_cycles(self) -> int:
+        """Channel*cycle units during which TAM wires carry test data."""
+        return sum(
+            2 * group.width * group.end_cycle for group in self.groups
+        )
+
+    def memory_utilisation(self) -> float:
+        """Fraction of the occupied vector memory that carries test data.
+
+        The ATE reserves ``depth`` vectors on every used channel; a group
+        that finishes before the deepest group leaves its remaining vectors
+        idle.  This is the quantity the paper's criterion 2 (minimise the
+        memory filling) indirectly optimises.
+        """
+        reserved = 2 * self.total_width * self.makespan
+        if reserved == 0:
+            return 0.0
+        return self.busy_channel_cycles / reserved
+
+    def ate_utilisation(self, channels: int) -> float:
+        """Fraction of all ATE channels kept busy during the SOC test."""
+        if channels <= 0:
+            raise ConfigurationError(f"channel count must be positive, got {channels}")
+        if self.makespan == 0:
+            return 0.0
+        return self.busy_channel_cycles / (channels * self.makespan)
+
+    def tests_for(self, module_name: str) -> ScheduledTest:
+        """Return the scheduled interval of one module."""
+        for group in self.groups:
+            for test in group.tests:
+                if test.module_name == module_name:
+                    return test
+        raise KeyError(f"module {module_name!r} is not in the schedule")
+
+    def iter_tests(self):
+        """Iterate over all scheduled module tests (group order, then time)."""
+        for group in self.groups:
+            yield from group.tests
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_gantt(self, width: int = 72) -> str:
+        """Render the schedule as an ASCII Gantt chart.
+
+        Each group becomes one row; module tests are drawn proportionally to
+        their duration.  Intended for terminals and docs, not for parsing.
+        """
+        if width < 20:
+            raise ConfigurationError("gantt width must be at least 20 characters")
+        span = max(self.makespan, 1)
+        lines = [
+            f"test schedule for {self.soc_name}: {self.makespan} cycles, "
+            f"memory utilisation {self.memory_utilisation() * 100:.0f}%"
+        ]
+        for group in self.groups:
+            bar = ""
+            for test in group.tests:
+                cells = max(1, round(width * test.duration / span))
+                label = test.module_name[: max(0, cells - 2)]
+                bar += "[" + label.ljust(cells - 2, "=") + "]" if cells >= 2 else "|"
+            lines.append(f"  TAM {group.group_index} (w={group.width:3d}) {bar}")
+        return "\n".join(lines)
+
+
+def build_schedule(architecture: TestArchitecture) -> TestSchedule:
+    """Derive the serial-per-group test schedule of ``architecture``.
+
+    Modules keep the order in which Step 1 assigned them to their group; the
+    first module starts at cycle 0 and each subsequent module starts when
+    its predecessor finishes.
+    """
+    timelines = []
+    for group in architecture.groups:
+        cursor = 0
+        tests = []
+        for module in group.modules:
+            duration = module_test_time(module, group.width)
+            tests.append(
+                ScheduledTest(
+                    module_name=module.name,
+                    group_index=group.index,
+                    width=group.width,
+                    start_cycle=cursor,
+                    end_cycle=cursor + duration,
+                )
+            )
+            cursor += duration
+        timelines.append(
+            GroupTimeline(group_index=group.index, width=group.width, tests=tuple(tests))
+        )
+    return TestSchedule(
+        soc_name=architecture.soc.name,
+        depth=architecture.depth,
+        groups=tuple(timelines),
+    )

@@ -1,0 +1,26 @@
+"""Simulation substrate: scan-shift simulator, wafer map, Monte-Carlo flow."""
+
+from repro.sim.scan_sim import (
+    ShiftTrace,
+    GroupTrace,
+    ArchitectureTrace,
+    simulate_module_test,
+    simulate_module_at_width,
+    simulate_architecture,
+)
+from repro.sim.wafer import WaferMap, TouchdownPlan
+from repro.sim.montecarlo import FlowParameters, FlowResult, simulate_flow
+
+__all__ = [
+    "ShiftTrace",
+    "GroupTrace",
+    "ArchitectureTrace",
+    "simulate_module_test",
+    "simulate_module_at_width",
+    "simulate_architecture",
+    "WaferMap",
+    "TouchdownPlan",
+    "FlowParameters",
+    "FlowResult",
+    "simulate_flow",
+]

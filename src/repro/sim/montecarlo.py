@@ -1,0 +1,156 @@
+"""Monte-Carlo simulation of the multi-site wafer-test flow.
+
+The analytic model of Section 4 makes several simplifications (at most one
+failing terminal contact per device, at most one re-test, zero test time for
+failing devices in the abort-on-fail bound).  This simulator replays the
+flow stochastically -- drawing per-terminal contact failures, per-device
+manufacturing failures and first-failing-pattern positions -- and measures
+the realised throughput and unique throughput.  The validation tests check
+that the analytic model and the simulation agree where the assumptions hold
+(high contact yield) and document where they diverge (very low contact
+yield, where the paper's linearised re-test model becomes pessimistic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import DeterministicRng
+from repro.multisite.cost_model import TestTiming
+from repro.multisite.throughput import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class FlowParameters:
+    """Parameters of one simulated multi-site flow."""
+
+    sites: int
+    timing: TestTiming
+    terminals_per_site: int
+    contact_yield: float = 1.0
+    manufacturing_yield: float = 1.0
+    abort_on_fail: bool = False
+    retest_contact_failures: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sites <= 0:
+            raise ConfigurationError(f"site count must be positive, got {self.sites}")
+        if self.terminals_per_site <= 0:
+            raise ConfigurationError("terminals per site must be positive")
+        for label, value in (
+            ("contact yield", self.contact_yield),
+            ("manufacturing yield", self.manufacturing_yield),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{label} must be within [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Aggregated outcome of a Monte-Carlo flow run."""
+
+    touchdowns: int
+    devices_tested: int
+    unique_devices: int
+    retests: int
+    total_time_s: float
+
+    @property
+    def throughput_per_hour(self) -> float:
+        """Measured devices per hour (slots, including re-tests)."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.devices_tested * SECONDS_PER_HOUR / self.total_time_s
+
+    @property
+    def unique_throughput_per_hour(self) -> float:
+        """Measured unique devices per hour."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.unique_devices * SECONDS_PER_HOUR / self.total_time_s
+
+
+def _site_contact_ok(rng: DeterministicRng, params: FlowParameters) -> bool:
+    """Draw whether one site makes contact on all of its terminals.
+
+    Drawing one uniform against ``p_c^terminals`` is statistically identical
+    to drawing every terminal independently and far cheaper for sites with
+    dozens of channels.
+    """
+    site_yield = params.contact_yield ** params.terminals_per_site
+    return rng.uniform(0.0, 1.0) <= site_yield
+
+
+def simulate_flow(
+    params: FlowParameters,
+    devices: int,
+    seed: int = 1,
+) -> FlowResult:
+    """Simulate testing ``devices`` unique devices and return flow statistics.
+
+    Devices are processed in touchdowns of ``sites`` devices.  Devices that
+    fail only the contact test are queued for one re-test (when enabled),
+    occupying slots in later touchdowns exactly as on a real test floor.
+    """
+    if devices <= 0:
+        raise ConfigurationError(f"device count must be positive, got {devices}")
+    rng = DeterministicRng(seed)
+
+    pending_retests = 0
+    unique_remaining = devices
+    touchdowns = 0
+    devices_tested = 0
+    unique_tested = 0
+    retests_done = 0
+    total_time_s = 0.0
+
+    while unique_remaining > 0 or pending_retests > 0:
+        touchdowns += 1
+        # Fill the touchdown with re-tests first, then fresh devices.
+        slots = params.sites
+        retest_slots = min(slots, pending_retests)
+        fresh_slots = min(slots - retest_slots, unique_remaining)
+        pending_retests -= retest_slots
+        unique_remaining -= fresh_slots
+        occupied = retest_slots + fresh_slots
+        if occupied == 0:
+            break
+
+        site_contacts = [_site_contact_ok(rng, params) for _ in range(occupied)]
+        site_good = [
+            rng.uniform(0.0, 1.0) <= params.manufacturing_yield for _ in range(occupied)
+        ]
+
+        # Touchdown time: index + contact test; the manufacturing test is
+        # applied unless abort-on-fail kicks in because no contacted site is
+        # a good device (the paper's optimistic bound: failing devices take
+        # no time).
+        touchdown_time = params.timing.index_time_s + params.timing.contact_test_time_s
+        any_contact = any(site_contacts)
+        any_good = any(
+            contact and good for contact, good in zip(site_contacts, site_good)
+        )
+        if not params.abort_on_fail:
+            touchdown_time += params.timing.manufacturing_test_time_s
+        elif any_contact and any_good:
+            touchdown_time += params.timing.manufacturing_test_time_s
+        total_time_s += touchdown_time
+
+        devices_tested += occupied
+        unique_tested += fresh_slots
+        retests_done += retest_slots
+
+        # Fresh devices that failed only on contact get one re-test.
+        if params.retest_contact_failures:
+            for position in range(retest_slots, occupied):
+                if not site_contacts[position]:
+                    pending_retests += 1
+
+    return FlowResult(
+        touchdowns=touchdowns,
+        devices_tested=devices_tested,
+        unique_devices=unique_tested,
+        retests=retests_done,
+        total_time_s=total_time_s,
+    )

@@ -1,0 +1,137 @@
+"""Wafer map and multi-site touchdown model.
+
+Wafer-level multi-site testing steps a probe card carrying ``n`` sites over
+the wafer; every touchdown contacts ``n`` dies at once (fewer at the wafer
+edge, a loss the paper explicitly ignores).  This module provides
+
+* a simple circular wafer map (which dies exist on a square grid inside a
+  circular wafer),
+* the touchdown plan for an ``n``-site probe card stepping over that map,
+* utilisation statistics (how many probe sites land on non-existent dies at
+  the edge), which quantify the loss the paper ignores.
+
+The Monte-Carlo flow simulator uses the touchdown plan to turn per-device
+times into per-wafer times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WaferMap:
+    """Dies of one wafer laid out on a square grid inside a circle.
+
+    Attributes
+    ----------
+    diameter_mm:
+        Wafer diameter (300 mm is typical for the paper's era onwards).
+    die_width_mm, die_height_mm:
+        Die dimensions including scribe lines.
+    edge_exclusion_mm:
+        Ring at the wafer edge that carries no product dies.
+    """
+
+    diameter_mm: float = 300.0
+    die_width_mm: float = 10.0
+    die_height_mm: float = 10.0
+    edge_exclusion_mm: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.diameter_mm <= 0 or self.die_width_mm <= 0 or self.die_height_mm <= 0:
+            raise ConfigurationError("wafer and die dimensions must be positive")
+        if self.edge_exclusion_mm < 0 or 2 * self.edge_exclusion_mm >= self.diameter_mm:
+            raise ConfigurationError("edge exclusion must be non-negative and smaller than the radius")
+
+    @property
+    def usable_radius_mm(self) -> float:
+        """Radius of the area that can carry complete dies."""
+        return self.diameter_mm / 2.0 - self.edge_exclusion_mm
+
+    def die_positions(self) -> tuple[tuple[int, int], ...]:
+        """Grid coordinates (column, row) of every complete die on the wafer.
+
+        A die is kept when all four of its corners lie within the usable
+        radius.
+        """
+        radius = self.usable_radius_mm
+        columns = int(math.ceil(self.diameter_mm / self.die_width_mm))
+        rows = int(math.ceil(self.diameter_mm / self.die_height_mm))
+        positions: list[tuple[int, int]] = []
+        for row in range(-rows, rows + 1):
+            for column in range(-columns, columns + 1):
+                x_left = column * self.die_width_mm
+                y_bottom = row * self.die_height_mm
+                corners = (
+                    (x_left, y_bottom),
+                    (x_left + self.die_width_mm, y_bottom),
+                    (x_left, y_bottom + self.die_height_mm),
+                    (x_left + self.die_width_mm, y_bottom + self.die_height_mm),
+                )
+                if all(math.hypot(x, y) <= radius for x, y in corners):
+                    positions.append((column, row))
+        return tuple(positions)
+
+    @property
+    def dies_per_wafer(self) -> int:
+        """Number of complete dies on the wafer."""
+        return len(self.die_positions())
+
+
+@dataclass(frozen=True)
+class TouchdownPlan:
+    """Touchdown plan of an ``n``-site probe card over a wafer map.
+
+    The probe card is modelled as a 1 x n horizontal array of sites; the
+    prober steps it column-block by column-block, row by row.
+    """
+
+    wafer: WaferMap
+    sites: int
+
+    def __post_init__(self) -> None:
+        if self.sites <= 0:
+            raise ConfigurationError(f"site count must be positive, got {self.sites}")
+
+    def touchdowns(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Return the dies probed by each touchdown.
+
+        Each element is the tuple of die coordinates contacted by one
+        touchdown; at the wafer edge a touchdown may contact fewer than
+        ``sites`` dies.
+        """
+        dies = self.wafer.die_positions()
+        by_row: dict[int, list[int]] = {}
+        for column, row in dies:
+            by_row.setdefault(row, []).append(column)
+        plan: list[tuple[tuple[int, int], ...]] = []
+        for row in sorted(by_row):
+            columns = sorted(by_row[row])
+            for start in range(0, len(columns), self.sites):
+                block = columns[start : start + self.sites]
+                plan.append(tuple((column, row) for column in block))
+        return tuple(plan)
+
+    @property
+    def num_touchdowns(self) -> int:
+        """Number of touchdowns needed to cover the wafer."""
+        return len(self.touchdowns())
+
+    @property
+    def site_utilisation(self) -> float:
+        """Fraction of probe-card sites that land on real dies, averaged."""
+        plan = self.touchdowns()
+        if not plan:
+            return 0.0
+        used = sum(len(block) for block in plan)
+        return used / (len(plan) * self.sites)
+
+    def wafer_test_time_s(self, index_time_s: float, test_time_s: float) -> float:
+        """Total time to test the whole wafer (index + test per touchdown)."""
+        if index_time_s < 0 or test_time_s < 0:
+            raise ConfigurationError("times must be non-negative")
+        return self.num_touchdowns * (index_time_s + test_time_s)

@@ -1,0 +1,38 @@
+"""SOC data model: modules, scan chains, SOCs, builders and generators."""
+
+from repro.soc.module import Module, ScanChain, make_module
+from repro.soc.soc import Soc, flatten
+from repro.soc.builder import SocBuilder
+from repro.soc.validation import (
+    Severity,
+    ValidationIssue,
+    validate_soc,
+    has_errors,
+    format_issues,
+)
+from repro.soc.synthetic import (
+    LogicModuleProfile,
+    MemoryModuleProfile,
+    make_synthetic_soc,
+    total_min_area,
+)
+from repro.soc.pnx8550 import make_pnx8550
+
+__all__ = [
+    "Module",
+    "ScanChain",
+    "make_module",
+    "Soc",
+    "flatten",
+    "SocBuilder",
+    "Severity",
+    "ValidationIssue",
+    "validate_soc",
+    "has_errors",
+    "format_issues",
+    "LogicModuleProfile",
+    "MemoryModuleProfile",
+    "make_synthetic_soc",
+    "total_min_area",
+    "make_pnx8550",
+]

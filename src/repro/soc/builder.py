@@ -1,0 +1,110 @@
+"""Fluent builder for constructing :class:`~repro.soc.soc.Soc` objects.
+
+The dataclasses in :mod:`repro.soc.module` and :mod:`repro.soc.soc` are
+immutable; the builder offers a convenient mutable staging area for
+programmatic construction (used by the synthetic generators, the ITC'02
+parser and the examples).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.exceptions import InvalidSocError
+from repro.soc.module import Module, make_module
+from repro.soc.soc import Soc
+
+
+class SocBuilder:
+    """Incrementally build an :class:`Soc`.
+
+    Example
+    -------
+    >>> soc = (
+    ...     SocBuilder("tiny")
+    ...     .add_module("core_a", inputs=8, outputs=8, bidirs=0,
+    ...                 scan_lengths=[100, 100], patterns=50)
+    ...     .add_module("core_b", inputs=16, outputs=4, bidirs=2,
+    ...                 scan_lengths=[200], patterns=120)
+    ...     .build()
+    ... )
+    >>> len(soc)
+    2
+    """
+
+    def __init__(self, name: str, functional_pins: int | None = None):
+        if not name:
+            raise InvalidSocError("SOC name must be non-empty")
+        self._name = name
+        self._functional_pins = functional_pins
+        self._modules: list[Module] = []
+        self._names: set[str] = set()
+
+    @property
+    def name(self) -> str:
+        """Name the SOC will be built with."""
+        return self._name
+
+    @property
+    def num_modules(self) -> int:
+        """Number of modules added so far."""
+        return len(self._modules)
+
+    def with_functional_pins(self, pins: int) -> "SocBuilder":
+        """Set the chip-level functional pin count."""
+        if pins < 0:
+            raise InvalidSocError(f"functional pin count must be >= 0, got {pins}")
+        self._functional_pins = pins
+        return self
+
+    def add_module(
+        self,
+        name: str,
+        inputs: int,
+        outputs: int,
+        bidirs: int,
+        scan_lengths: Sequence[int] | Iterable[int],
+        patterns: int,
+        is_memory: bool = False,
+    ) -> "SocBuilder":
+        """Add a module described by its terminal counts and scan-chain lengths."""
+        if name in self._names:
+            raise InvalidSocError(f"duplicate module name {name!r} in SOC {self._name!r}")
+        module = make_module(
+            name=name,
+            inputs=inputs,
+            outputs=outputs,
+            bidirs=bidirs,
+            scan_lengths=scan_lengths,
+            patterns=patterns,
+            is_memory=is_memory,
+        )
+        self._modules.append(module)
+        self._names.add(name)
+        return self
+
+    def add(self, module: Module) -> "SocBuilder":
+        """Add an already-constructed :class:`Module`."""
+        if module.name in self._names:
+            raise InvalidSocError(
+                f"duplicate module name {module.name!r} in SOC {self._name!r}"
+            )
+        self._modules.append(module)
+        self._names.add(module.name)
+        return self
+
+    def build(self) -> Soc:
+        """Construct the immutable :class:`Soc`.
+
+        Raises
+        ------
+        InvalidSocError
+            If no modules were added.
+        """
+        if not self._modules:
+            raise InvalidSocError(f"SOC {self._name!r} must contain at least one module")
+        return Soc(
+            name=self._name,
+            modules=tuple(self._modules),
+            functional_pins=self._functional_pins,
+        )

@@ -1,0 +1,202 @@
+"""Data model for a single testable module (embedded core) of an SOC.
+
+The paper's Problem 1 characterises each module ``m`` by
+
+* the number of test patterns ``p(m)``,
+* the number of functional input terminals ``i(m)``,
+* functional output terminals ``o(m)``,
+* functional bidirectional terminals ``b(m)``,
+* the number of internal scan chains ``s(m)`` and the length of each chain.
+
+This module provides immutable dataclasses for scan chains and modules,
+together with the derived quantities used throughout the library (total
+scan flip-flops, test-data volume, terminal counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.exceptions import InvalidSocError
+
+
+@dataclass(frozen=True)
+class ScanChain:
+    """A single internal scan chain of a module.
+
+    Parameters
+    ----------
+    length:
+        Number of scan flip-flops on the chain.  Must be positive; a module
+        without scan is represented by an empty scan-chain list, not by
+        zero-length chains.
+    name:
+        Optional identifier, used only for reporting.
+    """
+
+    length: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise InvalidSocError(f"scan chain length must be positive, got {self.length}")
+
+
+@dataclass(frozen=True)
+class Module:
+    """A testable module (embedded core) of an SOC.
+
+    The test of a module consists of ``patterns`` scan test patterns applied
+    through a wrapper of some width ``w``; the wrapper design and the
+    resulting test time are computed by :mod:`repro.wrapper`.
+
+    Attributes
+    ----------
+    name:
+        Unique module name within its SOC.
+    inputs:
+        Number of functional input terminals.
+    outputs:
+        Number of functional output terminals.
+    bidirs:
+        Number of functional bidirectional terminals.
+    scan_chains:
+        Internal scan chains (possibly empty for combinational cores or
+        BIST-ed memories whose wrapper only carries functional terminals).
+    patterns:
+        Number of test patterns.
+    is_memory:
+        Marker used by synthetic SOC generators and reports; has no influence
+        on wrapper or TAM design.
+    """
+
+    name: str
+    inputs: int
+    outputs: int
+    bidirs: int
+    scan_chains: tuple[ScanChain, ...]
+    patterns: int
+    is_memory: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidSocError("module name must be non-empty")
+        for label, value in (
+            ("inputs", self.inputs),
+            ("outputs", self.outputs),
+            ("bidirs", self.bidirs),
+            ("patterns", self.patterns),
+        ):
+            if value < 0:
+                raise InvalidSocError(f"module {self.name!r}: {label} must be >= 0, got {value}")
+        if self.patterns == 0:
+            raise InvalidSocError(f"module {self.name!r}: pattern count must be positive")
+        if self.inputs + self.outputs + self.bidirs + len(self.scan_chains) == 0:
+            raise InvalidSocError(
+                f"module {self.name!r}: must have at least one terminal or scan chain"
+            )
+        # Normalise to a tuple so Module stays hashable even when a list of
+        # chains is passed in.
+        if not isinstance(self.scan_chains, tuple):
+            object.__setattr__(self, "scan_chains", tuple(self.scan_chains))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_scan_chains(self) -> int:
+        """Number of internal scan chains."""
+        return len(self.scan_chains)
+
+    @property
+    def scan_lengths(self) -> tuple[int, ...]:
+        """Lengths of the internal scan chains, in declaration order."""
+        return tuple(chain.length for chain in self.scan_chains)
+
+    @property
+    def total_scan_flipflops(self) -> int:
+        """Total number of scan flip-flops over all internal chains."""
+        return sum(chain.length for chain in self.scan_chains)
+
+    @property
+    def scan_in_bits(self) -> int:
+        """Bits that must be shifted in per pattern (scan cells + input cells)."""
+        return self.total_scan_flipflops + self.inputs + self.bidirs
+
+    @property
+    def scan_out_bits(self) -> int:
+        """Bits that must be shifted out per pattern (scan cells + output cells)."""
+        return self.total_scan_flipflops + self.outputs + self.bidirs
+
+    @property
+    def wrapper_input_cells(self) -> int:
+        """Number of wrapper input cells (functional inputs + bidirectionals)."""
+        return self.inputs + self.bidirs
+
+    @property
+    def wrapper_output_cells(self) -> int:
+        """Number of wrapper output cells (functional outputs + bidirectionals)."""
+        return self.outputs + self.bidirs
+
+    @property
+    def test_data_volume_bits(self) -> int:
+        """Total stimulus + response volume in bits over the whole test.
+
+        Used only for reporting and for the theoretical lower bound on the
+        number of ATE channels; the precise test time additionally depends on
+        how well the wrapper balances the scan-in and scan-out loads.
+        """
+        return self.patterns * (self.scan_in_bits + self.scan_out_bits)
+
+    @property
+    def max_useful_width(self) -> int:
+        """Wrapper width beyond which adding more TAM wires cannot help.
+
+        A wrapper chain must receive at least one scan element (scan chain,
+        input cell or output cell); the number of distinct non-empty wrapper
+        chains is therefore bounded by the larger of the scan-in and scan-out
+        item counts.
+        """
+        in_items = self.num_scan_chains + self.wrapper_input_cells
+        out_items = self.num_scan_chains + self.wrapper_output_cells
+        return max(1, in_items, out_items)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by reports and the CLI."""
+        kind = "memory" if self.is_memory else "logic"
+        return (
+            f"{self.name} ({kind}): {self.inputs} in / {self.outputs} out / "
+            f"{self.bidirs} bidir, {self.num_scan_chains} scan chains "
+            f"({self.total_scan_flipflops} FF), {self.patterns} patterns"
+        )
+
+
+def make_module(
+    name: str,
+    inputs: int,
+    outputs: int,
+    bidirs: int,
+    scan_lengths: Sequence[int] | Iterable[int],
+    patterns: int,
+    is_memory: bool = False,
+) -> Module:
+    """Convenience constructor building a :class:`Module` from chain lengths.
+
+    >>> core = make_module("s838", 34, 1, 0, [32], 75)
+    >>> core.total_scan_flipflops
+    32
+    """
+    chains = tuple(
+        ScanChain(length=length, name=f"{name}.sc{index}")
+        for index, length in enumerate(scan_lengths)
+    )
+    return Module(
+        name=name,
+        inputs=inputs,
+        outputs=outputs,
+        bidirs=bidirs,
+        scan_chains=chains,
+        patterns=patterns,
+        is_memory=is_memory,
+    )

@@ -1,0 +1,175 @@
+"""Data model for a System-on-Chip (SOC) under test.
+
+An :class:`Soc` is an ordered collection of :class:`~repro.soc.module.Module`
+objects plus a handful of chip-level attributes (name, functional pin count).
+The paper distinguishes two cases:
+
+* **modular (core-based) SOCs** -- every embedded core is wrapped and tested
+  through TAMs (Problem 1);
+* **flattened SOCs** -- the whole chip is one module, the module wrapper and
+  the chip-level E-RPCT wrapper coincide (Problem 2, a degenerate case of
+  Problem 1 with ``|M| = 1``).
+
+Both are represented by the same class; a flattened SOC simply has a single
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.exceptions import InvalidSocError
+from repro.soc.module import Module
+
+
+@dataclass(frozen=True)
+class Soc:
+    """A System-on-Chip consisting of one or more testable modules.
+
+    Attributes
+    ----------
+    name:
+        Chip name (e.g. ``"d695"`` or ``"pnx8550"``).
+    modules:
+        The testable modules, in a stable order.  Module names must be
+        unique.
+    functional_pins:
+        Total number of functional chip pins.  Only used by the E-RPCT
+        accounting (how many pins the wrapper removes from the ATE
+        interface); when unknown it defaults to the sum of module terminal
+        counts, which is a conservative stand-in.
+    """
+
+    name: str
+    modules: tuple[Module, ...]
+    functional_pins: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidSocError("SOC name must be non-empty")
+        if not isinstance(self.modules, tuple):
+            object.__setattr__(self, "modules", tuple(self.modules))
+        if not self.modules:
+            raise InvalidSocError(f"SOC {self.name!r} must contain at least one module")
+        seen: set[str] = set()
+        for module in self.modules:
+            if module.name in seen:
+                raise InvalidSocError(
+                    f"SOC {self.name!r}: duplicate module name {module.name!r}"
+                )
+            seen.add(module.name)
+        if self.functional_pins is not None and self.functional_pins < 0:
+            raise InvalidSocError(
+                f"SOC {self.name!r}: functional_pins must be >= 0, got {self.functional_pins}"
+            )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, Module):
+            return name in self.modules
+        return any(module.name == name for module in self.modules)
+
+    def module(self, name: str) -> Module:
+        """Return the module called ``name``.
+
+        Raises
+        ------
+        KeyError
+            If no module with that name exists.
+        """
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"SOC {self.name!r} has no module named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def is_flat(self) -> bool:
+        """True when the SOC is tested as a single flattened module."""
+        return len(self.modules) == 1
+
+    @property
+    def module_names(self) -> tuple[str, ...]:
+        """Module names in declaration order."""
+        return tuple(module.name for module in self.modules)
+
+    @property
+    def logic_modules(self) -> tuple[Module, ...]:
+        """Modules not flagged as memories."""
+        return tuple(module for module in self.modules if not module.is_memory)
+
+    @property
+    def memory_modules(self) -> tuple[Module, ...]:
+        """Modules flagged as memories."""
+        return tuple(module for module in self.modules if module.is_memory)
+
+    @property
+    def total_scan_flipflops(self) -> int:
+        """Total scan flip-flop count over all modules."""
+        return sum(module.total_scan_flipflops for module in self.modules)
+
+    @property
+    def total_patterns(self) -> int:
+        """Sum of all module pattern counts."""
+        return sum(module.patterns for module in self.modules)
+
+    @property
+    def test_data_volume_bits(self) -> int:
+        """Total stimulus + response test-data volume in bits."""
+        return sum(module.test_data_volume_bits for module in self.modules)
+
+    @property
+    def estimated_functional_pins(self) -> int:
+        """Functional pin count, falling back to the module terminal total."""
+        if self.functional_pins is not None:
+            return self.functional_pins
+        return sum(
+            module.inputs + module.outputs + module.bidirs for module in self.modules
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary used by reports and the CLI."""
+        lines = [
+            f"SOC {self.name}: {len(self.modules)} modules "
+            f"({len(self.logic_modules)} logic, {len(self.memory_modules)} memory)",
+            f"  scan flip-flops : {self.total_scan_flipflops}",
+            f"  test patterns   : {self.total_patterns}",
+            f"  test data volume: {self.test_data_volume_bits} bits",
+        ]
+        return "\n".join(lines)
+
+
+def flatten(soc: Soc, name: str | None = None) -> Soc:
+    """Return a flattened single-module view of ``soc``.
+
+    The flattened module aggregates all scan chains, terminals and patterns
+    of the original modules.  This models a chip tested with a single
+    top-level test (Problem 2): the pattern count becomes the maximum module
+    pattern count only if tests could be applied concurrently, but a
+    flattened top-level test applies one merged pattern set, so we use the
+    sum of pattern counts as a conservative model.
+    """
+    merged_chains = tuple(
+        chain for module in soc.modules for chain in module.scan_chains
+    )
+    merged = Module(
+        name=name or f"{soc.name}_flat",
+        inputs=sum(module.inputs for module in soc.modules),
+        outputs=sum(module.outputs for module in soc.modules),
+        bidirs=sum(module.bidirs for module in soc.modules),
+        scan_chains=merged_chains,
+        patterns=sum(module.patterns for module in soc.modules),
+    )
+    return Soc(name=name or f"{soc.name}_flat", modules=(merged,),
+               functional_pins=soc.functional_pins)

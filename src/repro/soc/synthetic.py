@@ -1,0 +1,242 @@
+"""Synthetic SOC generator.
+
+Two of the paper's experimental subjects cannot be shipped with this
+reproduction: the Philips PNX8550 test data are proprietary, and the larger
+ITC'02 benchmark files are not available in this offline environment.  The
+generator in this module builds *synthetic but realistic* SOCs:
+
+* module sizes (scan flip-flops, pattern counts, terminal counts) follow
+  log-normal distributions, reproducing the strong skew of real designs
+  (a few very large cores, many small ones);
+* memories are modelled as BIST-ed blocks with a narrow functional
+  interface and no internal scan chains exposed to the TAM;
+* the whole SOC is **calibrated** to a target minimum test-data "area"
+  (the sum over modules of ``patterns * max(scan_in_bits, scan_out_bits)``,
+  i.e. the number of channel*cycle units the test occupies on the ATE in the
+  best case).  Calibration scales the pattern counts so experiments land in
+  the same operating regime as the paper's, which is what the qualitative
+  conclusions depend on.
+
+All generation is seeded through :class:`repro.core.rng.DeterministicRng`,
+so a given (seed, parameters) pair always produces the identical SOC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import DeterministicRng
+from repro.soc.builder import SocBuilder
+from repro.soc.module import Module, make_module
+from repro.soc.soc import Soc
+
+
+@dataclass(frozen=True)
+class LogicModuleProfile:
+    """Distribution parameters for synthetic logic modules.
+
+    ``median_flipflops`` / ``sigma_flipflops`` parameterise the log-normal
+    draw for the scan flip-flop count; analogous fields exist for pattern
+    and terminal counts.  Scan-chain counts are chosen so individual chains
+    stay within ``target_chain_length`` flip-flops.
+    """
+
+    median_flipflops: int = 4000
+    sigma_flipflops: float = 1.1
+    min_flipflops: int = 50
+    max_flipflops: int = 60_000
+    median_patterns: int = 400
+    sigma_patterns: float = 0.9
+    min_patterns: int = 20
+    max_patterns: int = 6000
+    median_terminals: int = 80
+    sigma_terminals: float = 0.7
+    min_terminals: int = 8
+    max_terminals: int = 600
+    target_chain_length: int = 500
+
+
+@dataclass(frozen=True)
+class MemoryModuleProfile:
+    """Distribution parameters for synthetic (BIST-ed) memory modules.
+
+    Memories expose only a narrow functional interface to the wrapper; the
+    heavy lifting happens in on-chip BIST, so the external pattern count is
+    modest.
+    """
+
+    median_patterns: int = 300
+    sigma_patterns: float = 0.8
+    min_patterns: int = 20
+    max_patterns: int = 4000
+    min_terminals: int = 8
+    max_terminals: int = 48
+
+
+def _split_terminals(rng: DeterministicRng, total: int) -> tuple[int, int, int]:
+    """Split a terminal budget into (inputs, outputs, bidirs)."""
+    if total < 2:
+        return max(total, 1), 1, 0
+    inputs = max(1, int(round(total * rng.uniform(0.35, 0.6))))
+    bidirs = int(round(total * rng.uniform(0.0, 0.15)))
+    outputs = max(1, total - inputs - bidirs)
+    return inputs, outputs, bidirs
+
+
+def _make_logic_module(
+    name: str, rng: DeterministicRng, profile: LogicModuleProfile
+) -> Module:
+    flipflops = rng.lognormal_int(
+        profile.median_flipflops,
+        profile.sigma_flipflops,
+        profile.min_flipflops,
+        profile.max_flipflops,
+    )
+    patterns = rng.lognormal_int(
+        profile.median_patterns,
+        profile.sigma_patterns,
+        profile.min_patterns,
+        profile.max_patterns,
+    )
+    terminals = rng.lognormal_int(
+        profile.median_terminals,
+        profile.sigma_terminals,
+        profile.min_terminals,
+        profile.max_terminals,
+    )
+    inputs, outputs, bidirs = _split_terminals(rng, terminals)
+
+    num_chains = max(1, min(64, round(flipflops / profile.target_chain_length)))
+    base, extra = divmod(flipflops, num_chains)
+    scan_lengths = [base + (1 if index < extra else 0) for index in range(num_chains)]
+    scan_lengths = [length for length in scan_lengths if length > 0]
+
+    return make_module(
+        name=name,
+        inputs=inputs,
+        outputs=outputs,
+        bidirs=bidirs,
+        scan_lengths=scan_lengths,
+        patterns=patterns,
+        is_memory=False,
+    )
+
+
+def _make_memory_module(
+    name: str, rng: DeterministicRng, profile: MemoryModuleProfile
+) -> Module:
+    patterns = rng.lognormal_int(
+        profile.median_patterns,
+        profile.sigma_patterns,
+        profile.min_patterns,
+        profile.max_patterns,
+    )
+    terminals = rng.randint(profile.min_terminals, profile.max_terminals)
+    inputs, outputs, bidirs = _split_terminals(rng, terminals)
+    return make_module(
+        name=name,
+        inputs=inputs,
+        outputs=outputs,
+        bidirs=bidirs,
+        scan_lengths=[],
+        patterns=patterns,
+        is_memory=True,
+    )
+
+
+def _module_min_area(module: Module) -> int:
+    """Best-case ATE occupation of a module in channel*cycle units."""
+    return module.patterns * max(module.scan_in_bits, module.scan_out_bits)
+
+
+def _rescale_patterns(module: Module, factor: float) -> Module:
+    """Return a copy of ``module`` with its pattern count scaled by ``factor``."""
+    patterns = max(1, int(round(module.patterns * factor)))
+    return Module(
+        name=module.name,
+        inputs=module.inputs,
+        outputs=module.outputs,
+        bidirs=module.bidirs,
+        scan_chains=module.scan_chains,
+        patterns=patterns,
+        is_memory=module.is_memory,
+    )
+
+
+def make_synthetic_soc(
+    name: str,
+    num_logic: int,
+    num_memory: int,
+    seed: int,
+    target_min_area: int | None = None,
+    logic_profile: LogicModuleProfile | None = None,
+    memory_profile: MemoryModuleProfile | None = None,
+    functional_pins: int | None = None,
+) -> Soc:
+    """Generate a synthetic SOC.
+
+    Parameters
+    ----------
+    name:
+        Name of the generated SOC.
+    num_logic, num_memory:
+        Number of logic and memory modules to generate.
+    seed:
+        Seed for the deterministic random source.
+    target_min_area:
+        When given, pattern counts are scaled (module-proportionally) so the
+        total best-case ATE occupation (channel*cycle units) is approximately
+        this value.  This is the knob used to calibrate the synthetic
+        PNX8550 and the synthetic ITC'02 reconstructions against published
+        operating points.
+    functional_pins:
+        Chip-level functional pin count to record on the SOC.
+
+    Returns
+    -------
+    Soc
+        The generated SOC.  Generation is fully deterministic in ``seed``.
+    """
+    if num_logic < 0 or num_memory < 0:
+        raise ConfigurationError("module counts must be non-negative")
+    if num_logic + num_memory == 0:
+        raise ConfigurationError("SOC must contain at least one module")
+    if target_min_area is not None and target_min_area <= 0:
+        raise ConfigurationError("target_min_area must be positive")
+
+    logic_profile = logic_profile or LogicModuleProfile()
+    memory_profile = memory_profile or MemoryModuleProfile()
+    rng = DeterministicRng(seed)
+
+    modules: list[Module] = []
+    for index in range(num_logic):
+        modules.append(
+            _make_logic_module(f"logic{index:03d}", rng.spawn(index), logic_profile)
+        )
+    for index in range(num_memory):
+        modules.append(
+            _make_memory_module(
+                f"mem{index:03d}", rng.spawn(10_000 + index), memory_profile
+            )
+        )
+
+    if target_min_area is not None:
+        raw_area = sum(_module_min_area(module) for module in modules)
+        if raw_area > 0:
+            factor = target_min_area / raw_area
+            modules = [_rescale_patterns(module, factor) for module in modules]
+
+    builder = SocBuilder(name, functional_pins=functional_pins)
+    for module in modules:
+        builder.add(module)
+    return builder.build()
+
+
+def total_min_area(soc: Soc) -> int:
+    """Return the best-case ATE occupation of ``soc`` in channel*cycle units.
+
+    This is the quantity the synthetic generator calibrates against and the
+    quantity the theoretical channel lower bound divides by the memory depth.
+    """
+    return sum(_module_min_area(module) for module in soc.modules)

@@ -1,0 +1,15 @@
+"""TAM / channel-group design: architectures, Step-1 assignment, redistribution."""
+
+from repro.tam.channel_group import ChannelGroup
+from repro.tam.architecture import TestArchitecture
+from repro.tam.assignment import design_architecture, minimum_widths
+from repro.tam.redistribution import widen_bottleneck, widen_to_channel_budget
+
+__all__ = [
+    "ChannelGroup",
+    "TestArchitecture",
+    "design_architecture",
+    "minimum_widths",
+    "widen_bottleneck",
+    "widen_to_channel_budget",
+]

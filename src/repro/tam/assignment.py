@@ -1,0 +1,252 @@
+"""Step-1 channel-group assignment heuristic (Section 6, Step 1 of the paper).
+
+Given an SOC and a target ATE (channel count ``N`` and vector-memory depth
+``D``), this module designs a :class:`~repro.tam.architecture.TestArchitecture`
+that
+
+1. first minimises the number of ATE channels ``k`` used by one SOC such
+   that every channel group's fill stays within ``D`` (criterion 1 --
+   maximises the achievable multi-site), and
+2. then minimises the actual filling of the vector memory (criterion 2 --
+   reduces the test time per SOC).
+
+The heuristic follows the paper: modules are processed in decreasing order
+of their minimum required width; each module is placed on an existing group
+when possible (choosing the group with the smallest resulting fill);
+otherwise the algorithm compares *creating a new group* against *widening an
+existing group just enough to fit the module*.  Criterion 1 has priority, so
+the alternative that adds the fewest ATE channels wins; among equally cheap
+alternatives the one leaving the most free vector memory on all used
+channels is kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.soc.module import Module
+from repro.soc.soc import Soc
+from repro.tam.architecture import TestArchitecture
+from repro.tam.channel_group import ChannelGroup
+from repro.wrapper.combine import min_width_for_depth, module_test_time
+
+
+@dataclass(frozen=True)
+class _Placement:
+    """One candidate way of accommodating a module (internal helper)."""
+
+    groups: tuple[ChannelGroup, ...]
+    total_width: int
+    added_width: int
+    free_memory: int
+
+
+def _total_free_memory(groups: tuple[ChannelGroup, ...], depth: int) -> int:
+    return sum(group.free_memory(depth) for group in groups)
+
+
+def _try_existing_groups(
+    groups: tuple[ChannelGroup, ...], module: Module, depth: int
+) -> tuple[ChannelGroup, ...] | None:
+    """Assign ``module`` to an existing group if one fits (smallest resulting fill)."""
+    best_index: int | None = None
+    best_fill: int | None = None
+    for position, group in enumerate(groups):
+        fill = group.fill_with(module)
+        if fill <= depth and (best_fill is None or fill < best_fill):
+            best_fill = fill
+            best_index = position
+    if best_index is None:
+        return None
+    return tuple(
+        group.with_module(module) if position == best_index else group
+        for position, group in enumerate(groups)
+    )
+
+
+def _new_group_placement(
+    groups: tuple[ChannelGroup, ...],
+    module: Module,
+    width: int,
+    width_budget: int,
+    depth: int,
+) -> _Placement | None:
+    """Candidate: open a new channel group of ``width`` wires for ``module``."""
+    total_width = sum(group.width for group in groups)
+    if total_width + width > width_budget:
+        return None
+    new_group = ChannelGroup(index=len(groups), width=width, modules=(module,))
+    if new_group.fill > depth:
+        return None
+    new_groups = groups + (new_group,)
+    return _Placement(
+        groups=new_groups,
+        total_width=total_width + width,
+        added_width=width,
+        free_memory=_total_free_memory(new_groups, depth),
+    )
+
+
+def _widen_group_placement(
+    groups: tuple[ChannelGroup, ...],
+    position: int,
+    module: Module,
+    width_budget: int,
+    depth: int,
+) -> _Placement | None:
+    """Candidate: widen ``groups[position]`` just enough to also fit ``module``."""
+    total_width = sum(group.width for group in groups)
+    group = groups[position]
+    headroom = width_budget - total_width
+    if headroom <= 0:
+        return None
+    # Quick reject: if the module set does not fit even at the widest
+    # affordable width, trying every intermediate width is pointless.
+    if group.fill_with(module, group.width + headroom) > depth:
+        return None
+    for extra in range(1, headroom + 1):
+        new_width = group.width + extra
+        if group.fill_with(module, new_width) <= depth:
+            widened = group.with_width(new_width).with_module(module)
+            new_groups = tuple(
+                widened if index == position else existing
+                for index, existing in enumerate(groups)
+            )
+            return _Placement(
+                groups=new_groups,
+                total_width=total_width + extra,
+                added_width=extra,
+                free_memory=_total_free_memory(new_groups, depth),
+            )
+    return None
+
+
+def minimum_widths(soc: Soc, depth: int, width_budget: int) -> dict[str, int]:
+    """Minimum wrapper/TAM width for every module of ``soc`` at depth ``depth``.
+
+    Raises
+    ------
+    InfeasibleDesignError
+        If any module cannot fit the depth even with ``width_budget`` wires.
+    """
+    if width_budget <= 0:
+        raise ConfigurationError(f"width budget must be positive, got {width_budget}")
+    return {
+        module.name: min_width_for_depth(module, depth, width_budget)
+        for module in soc.modules
+    }
+
+
+#: Placement criteria for choosing between "open a new group" and "widen an
+#: existing group" when a module does not fit any existing group.
+#: ``"fewest-channels"`` is the paper's criterion-1-first rule (default);
+#: ``"most-free-memory"`` applies the free-memory tie-breaker unconditionally
+#: and is kept as an ablation of that design choice.
+PLACEMENT_CRITERIA = ("fewest-channels", "most-free-memory")
+
+
+def design_architecture(
+    soc: Soc,
+    channels: int,
+    depth: int,
+    placement_criterion: str = "fewest-channels",
+) -> TestArchitecture:
+    """Design the Step-1 channel-group architecture for ``soc``.
+
+    Parameters
+    ----------
+    soc:
+        The SOC to design for.
+    channels:
+        Available ATE channels ``N``.  One SOC may use at most ``N``
+        channels, i.e. a total TAM width of at most ``N // 2``.
+    depth:
+        Vector-memory depth per channel in vectors.
+    placement_criterion:
+        How to choose between opening a new channel group and widening an
+        existing one; one of :data:`PLACEMENT_CRITERIA`.  The default is the
+        paper's rule (criterion 1 -- fewest additional channels -- first);
+        ``"most-free-memory"`` is provided for the ablation experiment.
+
+    Raises
+    ------
+    InfeasibleDesignError
+        When the SOC cannot be tested on the target ATE at all (a module
+        needs more wires than available, or the channel budget is exhausted
+        during assignment).
+    """
+    if channels <= 1:
+        raise ConfigurationError(f"ATE must provide at least 2 channels, got {channels}")
+    if placement_criterion not in PLACEMENT_CRITERIA:
+        raise ConfigurationError(
+            f"unknown placement criterion {placement_criterion!r}; "
+            f"expected one of {PLACEMENT_CRITERIA}"
+        )
+    width_budget = channels // 2
+
+    widths = minimum_widths(soc, depth, width_budget)
+
+    # Paper: "modules are sorted in decreasing order of their k_min".  Ties
+    # are broken by decreasing test time at that width so big modules are
+    # seated first, then by name for determinism.
+    ordered = sorted(
+        soc.modules,
+        key=lambda module: (
+            -widths[module.name],
+            -module_test_time(module, widths[module.name]),
+            module.name,
+        ),
+    )
+
+    groups: tuple[ChannelGroup, ...] = ()
+    for module in ordered:
+        if not groups:
+            first = ChannelGroup(index=0, width=widths[module.name], modules=(module,))
+            if first.width > width_budget:
+                raise InfeasibleDesignError(
+                    f"module {module.name!r} alone exceeds the ATE channel budget",
+                    module_name=module.name,
+                )
+            groups = (first,)
+            continue
+
+        assigned = _try_existing_groups(groups, module, depth)
+        if assigned is not None:
+            groups = assigned
+            continue
+
+        candidates: list[_Placement] = []
+        new_group = _new_group_placement(
+            groups, module, widths[module.name], width_budget, depth
+        )
+        if new_group is not None:
+            candidates.append(new_group)
+        for position in range(len(groups)):
+            widened = _widen_group_placement(groups, position, module, width_budget, depth)
+            if widened is not None:
+                candidates.append(widened)
+
+        if not candidates:
+            raise InfeasibleDesignError(
+                f"cannot place module {module.name!r}: the {channels}-channel budget "
+                f"is exhausted at depth {depth}",
+                module_name=module.name,
+            )
+
+        # Criterion 1 of the paper has priority: use as few additional ATE
+        # channels as possible (this is what maximises the multi-site).
+        # Among options that add the same number of wires, keep the one
+        # with the maximum total free memory over all used channels
+        # (criterion 2: it minimises the eventual test application time).
+        # The "most-free-memory" ablation applies the free-memory rule
+        # unconditionally, which tends to widen large groups and waste
+        # channels -- the ablation benchmark quantifies that effect.
+        if placement_criterion == "fewest-channels":
+            key = lambda placement: (placement.added_width, -placement.free_memory)
+        else:
+            key = lambda placement: (-placement.free_memory, placement.added_width)
+        best = min(candidates, key=key)
+        groups = best.groups
+
+    return TestArchitecture(soc=soc, groups=groups, depth=depth)

@@ -1,0 +1,66 @@
+"""Step-2 channel redistribution (Section 6, Step 2 of the paper).
+
+When Step 2 gives up one multi-site, the ATE channels that site occupied
+become available to the remaining sites.  The paper redistributes them by
+iteratively assigning free channel pairs (one TAM wire = one stimulus + one
+response channel) to the channel group that is *maximally filled*, because
+widening the bottleneck group is what reduces the SOC test-application time.
+
+This module implements that redistribution as a pure function on
+:class:`~repro.tam.architecture.TestArchitecture` objects, plus a helper
+that widens an architecture up to a given per-site channel budget.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+from repro.tam.architecture import TestArchitecture
+
+
+def widen_bottleneck(architecture: TestArchitecture, extra_wires: int) -> TestArchitecture:
+    """Distribute ``extra_wires`` additional TAM wires over the architecture.
+
+    Wires are handed out one at a time, each to the channel group whose fill
+    is currently the largest (ties towards the lower group index for
+    determinism).  The resulting architecture therefore has
+    ``total_width + extra_wires`` wires and a test time no larger than the
+    original's.
+
+    Parameters
+    ----------
+    architecture:
+        The Step-1 architecture to widen.
+    extra_wires:
+        Number of extra TAM wires (each worth 2 ATE channels).
+    """
+    if extra_wires < 0:
+        raise ConfigurationError(f"extra wire count must be non-negative, got {extra_wires}")
+    current = architecture
+    for _ in range(extra_wires):
+        fills = current.fills
+        bottleneck = max(range(len(fills)), key=lambda position: (fills[position], -position))
+        group = current.groups[bottleneck]
+        current = current.with_group_width(group.index, group.width + 1)
+    return current
+
+
+def widen_to_channel_budget(
+    architecture: TestArchitecture, channels_per_site: int
+) -> TestArchitecture:
+    """Widen ``architecture`` to use at most ``channels_per_site`` ATE channels.
+
+    This is the operation Step 2 performs for every candidate site count:
+    the per-site channel budget follows from the number of sites, and any
+    budget beyond the Step-1 requirement is spent on widening the bottleneck
+    groups.  If the budget is smaller than the architecture already needs,
+    the architecture is returned unchanged (the caller is responsible for
+    rejecting such site counts).
+    """
+    if channels_per_site <= 0:
+        raise ConfigurationError(
+            f"channel budget must be positive, got {channels_per_site}"
+        )
+    extra_channels = channels_per_site - architecture.ate_channels
+    if extra_channels < 2:
+        return architecture
+    return widen_bottleneck(architecture, extra_channels // 2)

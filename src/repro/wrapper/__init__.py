@@ -1,0 +1,41 @@
+"""Module wrapper design: partitioning heuristics, COMBINE, Pareto analysis."""
+
+from repro.wrapper.partition import (
+    Partition,
+    lpt_partition,
+    bfd_partition,
+    best_partition,
+    spread_cells,
+)
+from repro.wrapper.design import WrapperChain, WrapperDesign, scan_test_time
+from repro.wrapper.combine import (
+    design_wrapper,
+    module_test_time,
+    min_width_for_depth,
+)
+from repro.wrapper.pareto import (
+    ParetoPoint,
+    pareto_points,
+    min_test_time,
+    min_area,
+    best_width_for_depth,
+)
+
+__all__ = [
+    "Partition",
+    "lpt_partition",
+    "bfd_partition",
+    "best_partition",
+    "spread_cells",
+    "WrapperChain",
+    "WrapperDesign",
+    "scan_test_time",
+    "design_wrapper",
+    "module_test_time",
+    "min_width_for_depth",
+    "ParetoPoint",
+    "pareto_points",
+    "min_test_time",
+    "min_area",
+    "best_width_for_depth",
+]

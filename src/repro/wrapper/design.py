@@ -1,0 +1,140 @@
+"""Wrapper-design result types and the scan test-time formula.
+
+A module wrapper of width ``w`` organises the module's internal scan chains
+and its wrapper input/output cells into ``w`` *wrapper chains*.  During test,
+every pattern is shifted in through the wrapper chains (stimulus for the
+functional inputs plus the scan-cell contents) while the previous pattern's
+response is shifted out.  The per-module test time in clock cycles is the
+standard formula used by the paper (via references [11], [12], [14]):
+
+``t(w) = (1 + max(si, so)) * p + min(si, so)``
+
+where ``si`` is the length of the longest scan-in path over the wrapper
+chains, ``so`` the longest scan-out path, and ``p`` the pattern count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.soc.module import Module
+
+
+@dataclass(frozen=True)
+class WrapperChain:
+    """A single wrapper chain of a module wrapper.
+
+    Attributes
+    ----------
+    index:
+        Position of the chain within the wrapper (0-based).
+    scan_chain_indices:
+        Indices (into ``module.scan_chains``) of the internal scan chains
+        threaded onto this wrapper chain.
+    scan_flipflops:
+        Total internal scan flip-flops on this chain.
+    input_cells:
+        Wrapper input cells placed on this chain.
+    output_cells:
+        Wrapper output cells placed on this chain.
+    """
+
+    index: int
+    scan_chain_indices: tuple[int, ...]
+    scan_flipflops: int
+    input_cells: int
+    output_cells: int
+
+    @property
+    def scan_in_length(self) -> int:
+        """Bits shifted in through this chain per pattern."""
+        return self.scan_flipflops + self.input_cells
+
+    @property
+    def scan_out_length(self) -> int:
+        """Bits shifted out through this chain per pattern."""
+        return self.scan_flipflops + self.output_cells
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the chain carries no scan cells at all."""
+        return self.scan_in_length == 0 and self.scan_out_length == 0
+
+
+@dataclass(frozen=True)
+class WrapperDesign:
+    """A complete wrapper design for one module at one width.
+
+    Attributes
+    ----------
+    module:
+        The wrapped module.
+    width:
+        Number of TAM wires (wrapper chains) the wrapper was designed for.
+    chains:
+        The wrapper chains.  ``len(chains) <= width``; chains that would be
+        empty are omitted (the physical wrapper simply does not use the
+        corresponding TAM wires during shift).
+    """
+
+    module: Module
+    width: int
+    chains: tuple[WrapperChain, ...]
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigurationError(f"wrapper width must be positive, got {self.width}")
+        if len(self.chains) > self.width:
+            raise ConfigurationError(
+                f"wrapper for {self.module.name!r} has {len(self.chains)} chains "
+                f"but width {self.width}"
+            )
+
+    @property
+    def used_width(self) -> int:
+        """Number of wrapper chains actually carrying scan cells."""
+        return sum(1 for chain in self.chains if not chain.is_empty)
+
+    @property
+    def max_scan_in(self) -> int:
+        """Longest scan-in path over all wrapper chains (``si``)."""
+        return max((chain.scan_in_length for chain in self.chains), default=0)
+
+    @property
+    def max_scan_out(self) -> int:
+        """Longest scan-out path over all wrapper chains (``so``)."""
+        return max((chain.scan_out_length for chain in self.chains), default=0)
+
+    @property
+    def test_time_cycles(self) -> int:
+        """Module test time in test-clock cycles at this wrapper width."""
+        return scan_test_time(
+            self.max_scan_in, self.max_scan_out, self.module.patterns
+        )
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return (
+            f"{self.module.name}: width {self.width} (used {self.used_width}), "
+            f"si={self.max_scan_in}, so={self.max_scan_out}, "
+            f"t={self.test_time_cycles} cycles"
+        )
+
+
+def scan_test_time(scan_in: int, scan_out: int, patterns: int) -> int:
+    """Scan test time in cycles for the given maximum scan path lengths.
+
+    ``t = (1 + max(si, so)) * p + min(si, so)``: each of the ``p`` patterns
+    needs ``max(si, so)`` shift cycles (scan-in of the next pattern overlaps
+    scan-out of the previous response) plus one capture cycle, and the final
+    response still needs ``min(si, so)`` extra cycles to be shifted out.
+
+    >>> scan_test_time(10, 6, 3)
+    39
+    """
+    if patterns <= 0:
+        raise ConfigurationError(f"pattern count must be positive, got {patterns}")
+    if scan_in < 0 or scan_out < 0:
+        raise ConfigurationError("scan path lengths must be non-negative")
+    return (1 + max(scan_in, scan_out)) * patterns + min(scan_in, scan_out)

@@ -1,0 +1,130 @@
+"""Unit tests for the ATE spec, probe station and pricing models."""
+
+import pytest
+
+from repro.ate.pricing import AtePricing
+from repro.ate.probe_station import ProbeStation, reference_probe_station
+from repro.ate.spec import AteSpec, reference_ate
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import MEGA, mega_vectors
+
+
+class TestAteSpec:
+    def test_reference_ate_matches_paper(self):
+        ate = reference_ate()
+        assert ate.channels == 512
+        assert ate.depth == 7 * MEGA
+        assert ate.frequency_hz == 5e6
+
+    def test_max_tam_width(self):
+        assert AteSpec(channels=100, depth=10).max_tam_width == 50
+        assert AteSpec(channels=101, depth=10).max_tam_width == 50
+
+    def test_total_vector_memory(self):
+        assert AteSpec(channels=4, depth=1000).total_vector_memory == 4000
+
+    def test_cycles_to_seconds(self):
+        ate = AteSpec(channels=2, depth=10, frequency_hz=1e6)
+        assert ate.cycles_to_seconds(2_000_000) == pytest.approx(2.0)
+
+    def test_fits(self):
+        ate = AteSpec(channels=2, depth=1000)
+        assert ate.fits(1000)
+        assert not ate.fits(1001)
+
+    def test_with_channels_and_depth(self):
+        ate = reference_ate()
+        assert ate.with_channels(1024).channels == 1024
+        assert ate.with_depth(123).depth == 123
+        # originals untouched
+        assert ate.channels == 512
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AteSpec(channels=0, depth=10)
+        with pytest.raises(ConfigurationError):
+            AteSpec(channels=10, depth=0)
+        with pytest.raises(ConfigurationError):
+            AteSpec(channels=10, depth=10, frequency_hz=0)
+
+    def test_describe_mentions_channels(self):
+        assert "512 channels" in reference_ate().describe()
+
+
+class TestProbeStation:
+    def test_reference_values_match_paper(self):
+        probe = reference_probe_station()
+        assert probe.index_time_s == pytest.approx(0.5)
+        assert probe.contact_test_time_s == pytest.approx(0.010)
+        assert probe.contact_yield == 1.0
+
+    def test_site_contact_yield(self):
+        probe = ProbeStation(contact_yield=0.999)
+        assert probe.site_contact_yield(10) == pytest.approx(0.999 ** 10)
+
+    def test_site_contact_yield_zero_terminals(self):
+        assert ProbeStation(contact_yield=0.9).site_contact_yield(0) == 1.0
+
+    def test_with_contact_yield(self):
+        probe = reference_probe_station().with_contact_yield(0.99)
+        assert probe.contact_yield == 0.99
+
+    def test_with_index_time(self):
+        assert reference_probe_station().with_index_time(0.2).index_time_s == 0.2
+
+    def test_invalid_yield_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProbeStation(contact_yield=1.5)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProbeStation(index_time_s=-1)
+        with pytest.raises(ConfigurationError):
+            ProbeStation(contact_test_time_s=-0.1)
+
+    def test_negative_terminal_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProbeStation().site_contact_yield(-1)
+
+
+class TestAtePricing:
+    def test_paper_default_prices(self):
+        pricing = AtePricing()
+        assert pricing.price_per_channel() == pytest.approx(500.0)
+
+    def test_memory_upgrade_cost_matches_paper_example(self):
+        # Doubling 7 M -> 14 M on all 512 channels costs ~USD 48,000.
+        pricing = AtePricing()
+        ate = reference_ate(channels=512, depth_m=7)
+        cost = pricing.memory_upgrade_cost(ate, mega_vectors(14))
+        assert cost == pytest.approx(48_000, rel=1e-6)
+
+    def test_channel_upgrade_cost(self):
+        pricing = AtePricing()
+        assert pricing.channel_upgrade_cost(reference_ate(), 16) == pytest.approx(8_000)
+
+    def test_channels_for_budget(self):
+        pricing = AtePricing()
+        assert pricing.channels_for_budget(48_000) == 96
+
+    def test_depth_increase_for_budget(self):
+        pricing = AtePricing()
+        ate = reference_ate(channels=512, depth_m=7)
+        increase = pricing.depth_increase_for_budget(ate, 48_000)
+        assert increase == pytest.approx(7 * MEGA, rel=0.01)
+
+    def test_invalid_prices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AtePricing(channel_block_size=0)
+        with pytest.raises(ConfigurationError):
+            AtePricing(channel_block_price_usd=-1)
+        with pytest.raises(ConfigurationError):
+            AtePricing(memory_upgrade_from=100, memory_upgrade_to=50)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AtePricing().channels_for_budget(-1)
+
+    def test_memory_downgrade_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AtePricing().memory_upgrade_cost(reference_ate(), 10)

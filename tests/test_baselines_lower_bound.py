@@ -1,0 +1,87 @@
+"""Unit tests for the theoretical channel lower bound."""
+
+import math
+
+import pytest
+
+from repro.baselines.lower_bound import channel_lower_bound, module_min_feasible_area
+from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.core.units import kilo_vectors
+from repro.soc.builder import SocBuilder
+from repro.tam.assignment import design_architecture
+from repro.wrapper.combine import min_width_for_depth
+from repro.wrapper.pareto import pareto_points
+
+
+class TestModuleMinFeasibleArea:
+    def test_feasible_area_at_least_global_min(self, tiny_soc):
+        module = tiny_soc.modules[0]
+        depth = 10_000
+        area = module_min_feasible_area(module, depth, 32)
+        assert area >= min(point.area for point in pareto_points(module, 32))
+
+    def test_only_feasible_points_considered(self):
+        module = (
+            SocBuilder("s").add_module("m", 0, 0, 0, [100, 100], 10).build().modules[0]
+        )
+        # Width 2 time = 1110 cycles; at depth 1110 the width-1 point (2210)
+        # is infeasible, so the area must be the width-2 one.
+        assert module_min_feasible_area(module, 1110, 8) == 2 * 1110
+
+
+class TestChannelLowerBound:
+    def test_bound_is_even(self, medium_soc):
+        bound = channel_lower_bound(medium_soc, 250_000, 64)
+        assert bound.ate_channels % 2 == 0
+
+    def test_width_bound_matches_widest_module(self, medium_soc):
+        depth = 250_000
+        bound = channel_lower_bound(medium_soc, depth, 64)
+        expected = max(
+            min_width_for_depth(module, depth, 32) for module in medium_soc.modules
+        )
+        assert bound.width_bound == expected
+
+    def test_area_bound_formula(self, medium_soc):
+        depth = 250_000
+        bound = channel_lower_bound(medium_soc, depth, 64)
+        total = sum(
+            module_min_feasible_area(module, depth, 32) for module in medium_soc.modules
+        )
+        assert bound.area_bound == math.ceil(total / depth)
+
+    def test_step1_never_beats_lower_bound(self, medium_soc, d695):
+        cases = [
+            (medium_soc, 64, 250_000),
+            (medium_soc, 128, 400_000),
+            (d695, 256, kilo_vectors(48)),
+            (d695, 256, kilo_vectors(96)),
+            (d695, 1024, kilo_vectors(128)),
+        ]
+        for soc, channels, depth in cases:
+            bound = channel_lower_bound(soc, depth, channels)
+            architecture = design_architecture(soc, channels, depth)
+            assert architecture.ate_channels >= bound.ate_channels
+
+    def test_d695_matches_paper_values(self, d695):
+        # Lower bounds published in the paper's Table 1 for d695.
+        expectations = {48: 28, 64: 22, 96: 14, 128: 12}
+        for depth_k, expected in expectations.items():
+            bound = channel_lower_bound(d695, kilo_vectors(depth_k), 256)
+            assert bound.ate_channels == expected
+
+    def test_deeper_memory_never_raises_bound(self, d695):
+        shallow = channel_lower_bound(d695, kilo_vectors(48), 256)
+        deep = channel_lower_bound(d695, kilo_vectors(128), 256)
+        assert deep.ate_channels <= shallow.ate_channels
+
+    def test_infeasible_module_raises(self):
+        soc = SocBuilder("s").add_module("huge", 0, 0, 0, [5000] * 4, 5000).build()
+        with pytest.raises(InfeasibleDesignError):
+            channel_lower_bound(soc, 1000, 8)
+
+    def test_invalid_parameters(self, tiny_soc):
+        with pytest.raises(ConfigurationError):
+            channel_lower_bound(tiny_soc, 0, 64)
+        with pytest.raises(ConfigurationError):
+            channel_lower_bound(tiny_soc, 1000, 1)

@@ -1,0 +1,87 @@
+"""Unit tests for the rectangle bin-packing baseline."""
+
+import pytest
+
+from repro.baselines.lower_bound import channel_lower_bound
+from repro.baselines.rectangle import pack_rectangles
+from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.core.units import kilo_vectors
+from repro.soc.builder import SocBuilder
+from repro.tam.assignment import design_architecture
+
+
+class TestPackRectangles:
+    def test_all_modules_packed_once(self, medium_soc):
+        packing = pack_rectangles(medium_soc, channels=64, depth=250_000)
+        packed = [name for column in packing.columns for name in column.module_names]
+        assert sorted(packed) == sorted(medium_soc.module_names)
+
+    def test_columns_respect_depth(self, medium_soc):
+        packing = pack_rectangles(medium_soc, channels=64, depth=250_000)
+        assert all(column.fill <= 250_000 for column in packing.columns)
+
+    def test_channels_within_budget(self, medium_soc):
+        packing = pack_rectangles(medium_soc, channels=64, depth=250_000)
+        assert packing.ate_channels <= 64
+
+    def test_never_beats_lower_bound(self, medium_soc, d695):
+        for soc, channels, depth in [
+            (medium_soc, 64, 250_000),
+            (d695, 256, kilo_vectors(48)),
+            (d695, 256, kilo_vectors(96)),
+        ]:
+            bound = channel_lower_bound(soc, depth, channels)
+            packing = pack_rectangles(soc, channels, depth)
+            assert packing.ate_channels >= bound.ate_channels
+
+    def test_step1_usually_at_most_baseline_on_d695(self, d695):
+        # Our Step 1 re-wraps modules at the group width, the baseline packs
+        # rigid rectangles: over the paper's d695 depth grid our channel
+        # count must never exceed the baseline's.
+        for depth_k in (48, 64, 80, 96, 112, 128):
+            depth = kilo_vectors(depth_k)
+            ours = design_architecture(d695, 256, depth).ate_channels
+            baseline = pack_rectangles(d695, 256, depth).ate_channels
+            assert ours <= baseline
+
+    def test_max_sites_arithmetic(self, d695):
+        packing = pack_rectangles(d695, 256, kilo_vectors(64))
+        expected_broadcast = (256 - packing.ate_channels // 2) // (packing.ate_channels // 2)
+        assert packing.max_sites(256, broadcast=True) == expected_broadcast
+        assert packing.max_sites(256, broadcast=False) == 256 // packing.ate_channels
+
+    def test_test_time_is_max_column_fill(self, medium_soc):
+        packing = pack_rectangles(medium_soc, channels=64, depth=250_000)
+        assert packing.test_time_cycles == max(column.fill for column in packing.columns)
+
+    def test_free_depth(self, medium_soc):
+        packing = pack_rectangles(medium_soc, channels=64, depth=250_000)
+        column = packing.columns[0]
+        assert column.free_depth(250_000) == 250_000 - column.fill
+
+    def test_infeasible_module_raises(self):
+        soc = SocBuilder("s").add_module("huge", 0, 0, 0, [5000] * 4, 5000).build()
+        with pytest.raises(InfeasibleDesignError):
+            pack_rectangles(soc, channels=8, depth=1000)
+
+    def test_budget_overflow_raises(self):
+        builder = SocBuilder("s")
+        for index in range(8):
+            builder.add_module(f"m{index}", 0, 0, 0, [300, 300], 200)
+        soc = builder.build()
+        from repro.wrapper.combine import module_test_time
+
+        tight = module_test_time(soc.modules[0], 1)
+        with pytest.raises(InfeasibleDesignError):
+            pack_rectangles(soc, channels=8, depth=tight)
+
+    def test_invalid_parameters(self, tiny_soc):
+        with pytest.raises(ConfigurationError):
+            pack_rectangles(tiny_soc, channels=1, depth=1000)
+        with pytest.raises(ConfigurationError):
+            pack_rectangles(tiny_soc, channels=64, depth=0)
+
+    def test_deterministic(self, medium_soc):
+        first = pack_rectangles(medium_soc, 64, 250_000)
+        second = pack_rectangles(medium_soc, 64, 250_000)
+        assert first == second

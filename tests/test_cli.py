@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.itc02.writer import write_soc_file
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("design", "benchmarks", "table1", "figure5", "figure6",
+                        "figure7", "economics", "all"):
+            assert command in text
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_defaults(self):
+        args = build_parser().parse_args(["design", "d695"])
+        assert args.channels == 512
+        assert args.depth_m == 7.0
+        assert not args.broadcast
+
+
+class TestCommands:
+    def test_benchmarks_command(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "d695" in out and "p93791" in out
+
+    def test_design_command_on_benchmark(self, capsys):
+        exit_code = main([
+            "design", "d695", "--channels", "128", "--depth-m", "0.125",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "two-step result" in out
+        assert "optimal" in out
+
+    def test_design_command_with_broadcast_and_architecture(self, capsys):
+        exit_code = main([
+            "design", "d695", "--channels", "128", "--depth-m", "0.125",
+            "--broadcast", "--show-architecture",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "architecture for d695" in out
+
+    def test_design_command_on_soc_file(self, tmp_path, tiny_soc, capsys):
+        path = write_soc_file(tiny_soc, tmp_path / "tiny.soc")
+        exit_code = main([
+            "design", str(path), "--channels", "64", "--depth-m", "0.25",
+        ])
+        assert exit_code == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_design_command_infeasible_returns_error(self, capsys):
+        exit_code = main([
+            "design", "p93791", "--channels", "8", "--depth-m", "0.01",
+        ])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_benchmark_returns_error(self, capsys):
+        exit_code = main(["design", "not_a_chip", "--channels", "64"])
+        assert exit_code == 1
+        assert "unknown benchmark" in capsys.readouterr().err

@@ -1,0 +1,59 @@
+"""Unit tests for repro.core.exceptions."""
+
+import pytest
+
+from repro.core.exceptions import (
+    ConfigurationError,
+    InfeasibleDesignError,
+    InvalidSocError,
+    ParseError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [InvalidSocError, InfeasibleDesignError, ParseError, ConfigurationError],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catching_base_catches_specific(self):
+        with pytest.raises(ReproError):
+            raise InfeasibleDesignError("nope")
+
+
+class TestInfeasibleDesignError:
+    def test_carries_module_name(self):
+        error = InfeasibleDesignError("too big", module_name="cpu")
+        assert error.module_name == "cpu"
+
+    def test_module_name_defaults_to_none(self):
+        assert InfeasibleDesignError("x").module_name is None
+
+    def test_message_preserved(self):
+        assert "too big" in str(InfeasibleDesignError("too big"))
+
+
+class TestParseError:
+    def test_location_in_message(self):
+        error = ParseError("bad token", filename="chip.soc", line=12)
+        assert "chip.soc:12" in str(error)
+
+    def test_filename_only(self):
+        error = ParseError("bad token", filename="chip.soc")
+        assert "chip.soc" in str(error)
+        assert error.line is None
+
+    def test_no_location(self):
+        error = ParseError("bad token")
+        assert str(error) == "bad token"
+
+    def test_attributes(self):
+        error = ParseError("x", filename="f", line=3)
+        assert error.filename == "f"
+        assert error.line == 3

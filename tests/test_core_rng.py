@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.rng."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 1000) for _ in range(20)] == [
+            b.randint(0, 1000) for _ in range(20)
+        ]
+
+    def test_different_seed_different_sequence(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_spawn_is_deterministic(self):
+        a = DeterministicRng(7).spawn(3)
+        b = DeterministicRng(7).spawn(3)
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_spawn_independent_of_parent_draws(self):
+        parent_a = DeterministicRng(7)
+        parent_b = DeterministicRng(7)
+        parent_b.randint(0, 100)  # extra draw must not affect the child
+        assert parent_a.spawn(1).randint(0, 10**9) == parent_b.spawn(1).randint(0, 10**9)
+
+    def test_seed_property(self):
+        assert DeterministicRng(123).seed == 123
+
+
+class TestDraws:
+    def test_randint_in_range(self):
+        rng = DeterministicRng(0)
+        for _ in range(100):
+            assert 3 <= rng.randint(3, 9) <= 9
+
+    def test_uniform_in_range(self):
+        rng = DeterministicRng(0)
+        for _ in range(100):
+            assert 1.5 <= rng.uniform(1.5, 2.5) <= 2.5
+
+    def test_lognormal_clamped(self):
+        rng = DeterministicRng(0)
+        for _ in range(200):
+            assert 10 <= rng.lognormal_int(100, 2.0, 10, 500) <= 500
+
+    def test_choice_returns_member(self):
+        rng = DeterministicRng(0)
+        options = ["a", "b", "c"]
+        for _ in range(20):
+            assert rng.choice(options) in options
+
+    def test_shuffled_preserves_elements(self):
+        rng = DeterministicRng(0)
+        items = list(range(30))
+        assert sorted(rng.shuffled(items)) == items
+
+    def test_shuffled_does_not_mutate_input(self):
+        rng = DeterministicRng(0)
+        items = [3, 1, 2]
+        rng.shuffled(items)
+        assert items == [3, 1, 2]
+
+    def test_draw_counter(self):
+        rng = DeterministicRng(0)
+        rng.randint(0, 1)
+        rng.uniform(0, 1)
+        rng.choice([1, 2])
+        assert rng.draws == 3
+
+
+class TestValidation:
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng("seed")  # type: ignore[arg-type]
+
+    def test_reversed_randint_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).randint(5, 4)
+
+    def test_reversed_uniform_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).uniform(2.0, 1.0)
+
+    def test_empty_choice_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).choice([])
+
+    def test_nonpositive_median_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).lognormal_int(0, 1.0, 1, 10)
+
+    def test_reversed_lognormal_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).lognormal_int(5, 1.0, 10, 1)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.units."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import (
+    KILO,
+    MEGA,
+    cycles_to_seconds,
+    format_depth,
+    format_si,
+    kilo_vectors,
+    mega_vectors,
+    seconds_to_cycles,
+)
+
+
+class TestVectorUnits:
+    def test_kilo_is_1024(self):
+        assert KILO == 1024
+
+    def test_mega_is_1024_squared(self):
+        assert MEGA == 1024 * 1024
+
+    def test_kilo_vectors(self):
+        assert kilo_vectors(48) == 48 * 1024
+
+    def test_kilo_vectors_fractional(self):
+        assert kilo_vectors(0.5) == 512
+
+    def test_mega_vectors(self):
+        assert mega_vectors(7) == 7 * 1024 * 1024
+
+    def test_mega_vectors_zero(self):
+        assert mega_vectors(0) == 0
+
+    def test_negative_kilo_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kilo_vectors(-1)
+
+    def test_negative_mega_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mega_vectors(-0.1)
+
+
+class TestTimeConversion:
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(5_000_000, 5e6) == pytest.approx(1.0)
+
+    def test_cycles_to_seconds_zero_cycles(self):
+        assert cycles_to_seconds(0, 1e6) == 0.0
+
+    def test_seconds_to_cycles_rounds_up(self):
+        assert seconds_to_cycles(1.0000001, 1e6) == 1_000_001
+
+    def test_roundtrip(self):
+        cycles = 123_456
+        seconds = cycles_to_seconds(cycles, 5e6)
+        assert seconds_to_cycles(seconds, 5e6) == cycles
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycles_to_seconds(100, 0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycles_to_seconds(-1, 1e6)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            seconds_to_cycles(-0.1, 1e6)
+
+
+class TestFormatting:
+    def test_format_depth_mega(self):
+        assert format_depth(7 * MEGA) == "7M"
+
+    def test_format_depth_kilo(self):
+        assert format_depth(48 * KILO) == "48K"
+
+    def test_format_depth_plain(self):
+        assert format_depth(1000) == "1000"
+
+    def test_format_depth_zero(self):
+        assert format_depth(0) == "0"
+
+    def test_format_depth_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_depth(-1)
+
+    def test_format_si_kilo(self):
+        assert format_si(12_500) == "12.5k"
+
+    def test_format_si_mega(self):
+        assert format_si(3_000_000).endswith("M")
+
+    def test_format_si_small(self):
+        assert format_si(7.0) == "7.0"
+
+    def test_format_si_negative(self):
+        assert format_si(-2000).startswith("-")

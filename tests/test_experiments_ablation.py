@@ -1,0 +1,90 @@
+"""Tests for the ablation experiments (reduced operating points for speed)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.experiments.ablation import (
+    run_placement_ablation,
+    run_wrapper_ablation,
+)
+from repro.itc02.registry import load_benchmark
+from repro.tam.assignment import PLACEMENT_CRITERIA, design_architecture
+
+
+class TestPlacementCriterionParameter:
+    def test_unknown_criterion_rejected(self, tiny_soc):
+        with pytest.raises(ConfigurationError):
+            design_architecture(tiny_soc, 64, 10**7, placement_criterion="fastest")
+
+    def test_both_criteria_produce_valid_architectures(self, medium_soc):
+        for criterion in PLACEMENT_CRITERIA:
+            architecture = design_architecture(
+                medium_soc, 64, 250_000, placement_criterion=criterion
+            )
+            assert architecture.test_time_cycles <= 250_000
+            assert architecture.ate_channels <= 64
+
+    def test_paper_rule_never_uses_more_channels(self, medium_soc, d695):
+        from repro.core.units import kilo_vectors
+
+        cases = [(medium_soc, 64, 250_000), (d695, 256, kilo_vectors(64))]
+        for soc, channels, depth in cases:
+            paper = design_architecture(soc, channels, depth,
+                                        placement_criterion="fewest-channels")
+            ablated = design_architecture(soc, channels, depth,
+                                          placement_criterion="most-free-memory")
+            assert paper.ate_channels <= ablated.ate_channels
+
+
+class TestPlacementAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_placement_ablation(points={"d695": (256, 64), "p22810": (512, 704)})
+
+    def test_rows_cover_requested_benchmarks(self, result):
+        assert {row.soc_name for row in result.rows} == {"d695", "p22810"}
+
+    def test_paper_rule_at_most_ablated(self, result):
+        for row in result.rows:
+            assert row.paper_rule_channels <= row.ablated_channels
+            assert row.channel_inflation >= 0.0
+
+    def test_mean_inflation_non_negative(self, result):
+        assert result.mean_inflation >= 0.0
+
+    def test_table_renders(self, result):
+        text = result.to_table().render()
+        assert "d695" in text and "inflation" in text
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_placement_ablation(points={})
+
+
+class TestWrapperAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_wrapper_ablation(soc=load_benchmark("d695"), widths=(2, 3, 4, 8))
+
+    def test_counts_consistent(self, result):
+        assert result.lpt_wins + result.bfd_wins + result.ties == result.cases
+        assert result.cases > 0
+
+    def test_combine_never_worse(self, result):
+        assert result.combine_never_worse
+        assert result.lpt_excess_makespan >= 0.0
+        assert result.bfd_excess_makespan >= 0.0
+
+    def test_table_renders(self, result):
+        assert "d695" in result.to_table().render()
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_wrapper_ablation(soc=load_benchmark("d695"), widths=())
+
+    def test_soc_without_multichain_modules_rejected(self, tiny_soc):
+        from repro.soc.builder import SocBuilder
+
+        scanless = SocBuilder("nochains").add_module("a", 4, 4, 0, [], 10).build()
+        with pytest.raises(ConfigurationError):
+            run_wrapper_ablation(soc=scanless, widths=(2, 4))

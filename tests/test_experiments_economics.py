@@ -1,0 +1,63 @@
+"""Tests for the ATE upgrade economics experiment (on a small SOC)."""
+
+import pytest
+
+from repro.ate.pricing import AtePricing
+from repro.ate.probe_station import reference_probe_station
+from repro.ate.spec import AteSpec
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import kilo_vectors
+from repro.experiments.economics import run_economics, summarize_economics
+from repro.soc.synthetic import make_synthetic_soc
+
+
+@pytest.fixture(scope="module")
+def result():
+    soc = make_synthetic_soc("econ", num_logic=8, num_memory=4, seed=77,
+                             target_min_area=2_500_000)
+    base = AteSpec(channels=128, depth=kilo_vectors(128), frequency_hz=10e6)
+    pricing = AtePricing(
+        memory_upgrade_from=kilo_vectors(128),
+        memory_upgrade_to=kilo_vectors(256),
+    )
+    return run_economics(
+        soc=soc,
+        base_ate=base,
+        probe_station=reference_probe_station(),
+        pricing=pricing,
+    )
+
+
+class TestEconomics:
+    def test_baseline_has_zero_cost(self, result):
+        assert result.baseline.cost_usd == 0.0
+
+    def test_memory_upgrade_doubles_depth(self, result):
+        assert result.memory_upgrade.ate.depth == 2 * result.baseline.ate.depth
+
+    def test_channel_upgrade_adds_channels(self, result):
+        assert result.channel_upgrade.ate.channels > result.baseline.ate.channels
+
+    def test_channel_budget_close_to_memory_budget(self, result):
+        assert result.channel_upgrade.cost_usd <= result.memory_upgrade.cost_usd + 1e-6
+
+    def test_both_upgrades_improve_throughput(self, result):
+        assert result.memory_gain >= -1e-9
+        assert result.channel_gain >= -1e-9
+
+    def test_gains_consistent_with_options(self, result):
+        assert result.memory_gain == pytest.approx(
+            result.memory_upgrade.throughput / result.baseline.throughput - 1.0
+        )
+
+    def test_table_rendering(self, result):
+        text = result.to_table().render()
+        assert "baseline" in text and "channels" in text
+
+    def test_summary(self, result):
+        assert "memory" in summarize_economics(result)
+
+    def test_invalid_depth_factor(self):
+        with pytest.raises(ConfigurationError):
+            run_economics(depth_factor=1.0,
+                          soc=make_synthetic_soc("x", 2, 1, seed=1))

@@ -1,0 +1,170 @@
+"""Tests for the figure experiments, run on reduced (fast) configurations.
+
+The full-paper parameter sets are exercised by the benchmark harness; here
+each experiment runs on a small synthetic SOC and/or a reduced sweep so the
+test suite stays quick while still checking the *shape* claims the paper
+makes.
+"""
+
+import pytest
+
+from repro.ate.probe_station import reference_probe_station
+from repro.ate.spec import AteSpec
+from repro.core.units import kilo_vectors
+from repro.experiments.figure5 import run_figure5, summarize_figure5
+from repro.experiments.figure6 import run_figure6, summarize_figure6
+from repro.experiments.figure7 import (
+    run_figure7a,
+    run_figure7b,
+    summarize_figure7,
+)
+from repro.soc.synthetic import make_synthetic_soc
+
+
+@pytest.fixture(scope="module")
+def small_soc():
+    """A 12-module synthetic SOC used by all figure smoke tests."""
+    return make_synthetic_soc(
+        "figtest", num_logic=9, num_memory=3, seed=2024, target_min_area=2_000_000
+    )
+
+
+@pytest.fixture(scope="module")
+def small_ate():
+    return AteSpec(channels=96, depth=kilo_vectors(96), frequency_hz=10e6, name="fig-ate")
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self, small_soc, small_ate):
+        return run_figure5(soc=small_soc, ate=small_ate,
+                           probe_station=reference_probe_station())
+
+    def test_broadcast_reaches_more_sites(self, result):
+        assert result.broadcast.max_sites >= result.no_broadcast.max_sites
+
+    def test_optimum_not_below_step1_only(self, result):
+        step1_line = result.step1_only_broadcast
+        assert result.broadcast.optimal_throughput >= max(step1_line.ys) - 1e-9
+
+    def test_series_cover_all_site_counts(self, result):
+        assert len(result.throughput_broadcast.points) == result.broadcast.max_sites
+        assert len(result.step1_only_broadcast.points) == result.broadcast.max_sites
+
+    def test_step1_only_line_is_linear_in_sites(self, result):
+        line = result.step1_only_broadcast
+        assert line.linearity_ratio() == pytest.approx(1.0, abs=1e-6)
+
+    def test_step2_gain_at_limit_non_negative(self, result):
+        assert result.step2_gain_at_limit >= -1e-9
+
+    def test_summary_mentions_both_modes(self, result):
+        text = summarize_figure5(result)
+        assert "no broadcast" in text and "broadcast" in text
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self, small_soc):
+        return run_figure6(
+            soc=small_soc,
+            probe_station=reference_probe_station(),
+            channel_sweep=(96, 144, 192),
+            depth_sweep_m=(0.0625, 0.09375, 0.125),  # 64 K .. 128 K
+            base_channels=96,
+            base_depth_m=0.09375,
+            frequency_hz=10e6,
+        )
+
+    def test_throughput_grows_with_channels(self, result):
+        assert result.throughput_vs_channels.is_nondecreasing(tolerance=0.02)
+
+    def test_throughput_grows_with_depth(self, result):
+        assert result.throughput_vs_depth.is_nondecreasing(tolerance=0.02)
+
+    def test_channel_scaling_close_to_linear(self, result):
+        assert result.channel_scaling > 0.6
+
+    def test_depth_scaling_sublinear_vs_channels(self, result):
+        # The headline claim of Figure 6: memory depth scales the throughput
+        # sub-linearly compared to channel count.
+        assert result.depth_scaling < result.channel_scaling
+
+    def test_summary_renders(self, result):
+        assert "Figure 6" in summarize_figure6(result)
+
+
+class TestFigure7a:
+    @pytest.fixture(scope="class")
+    def result(self, small_soc):
+        return run_figure7a(
+            soc=small_soc,
+            probe_station=reference_probe_station(),
+            contact_yields=(1.0, 0.999, 0.99),
+            depth_sweep_m=(0.0625, 0.125),
+            channels=96,
+            frequency_hz=10e6,
+        )
+
+    def test_perfect_yield_highest_throughput(self, result):
+        perfect = result.series(1.0)
+        for contact_yield in result.contact_yields:
+            series = result.series(contact_yield)
+            for x, y in series.points:
+                assert y <= perfect.y_at(x) + 1e-9
+
+    def test_lower_yield_lower_unique_throughput(self, result):
+        best = result.series(0.999)
+        worst = result.series(0.99)
+        for x in best.xs:
+            assert worst.y_at(x) <= best.y_at(x) + 1e-9
+
+    def test_retest_penalty_shrinks_with_depth(self, result):
+        # Deeper memory -> fewer channels -> smaller relative drop.
+        perfect = result.series(1.0)
+        worst = result.series(0.99)
+        drop_shallow = 1 - worst.ys[0] / perfect.ys[0] if perfect.ys[0] else 0
+        drop_deep = 1 - worst.ys[-1] / perfect.ys[-1] if perfect.ys[-1] else 0
+        assert drop_deep <= drop_shallow + 1e-9
+
+
+class TestFigure7b:
+    @pytest.fixture(scope="class")
+    def result(self, small_soc, small_ate):
+        return run_figure7b(
+            soc=small_soc,
+            ate=small_ate,
+            probe_station=reference_probe_station(),
+            manufacturing_yields=(1.0, 0.9, 0.7),
+            site_sweep=(1, 2, 4, 8),
+        )
+
+    def test_test_time_increases_with_sites(self, result):
+        for manufacturing_yield in result.manufacturing_yields:
+            assert result.series(manufacturing_yield).is_nondecreasing()
+
+    def test_lower_yield_shorter_expected_time(self, result):
+        high = result.series(1.0)
+        low = result.series(0.7)
+        for x in high.xs:
+            assert low.y_at(x) <= high.y_at(x) + 1e-9
+
+    def test_abort_benefit_vanishes_by_four_sites(self, result):
+        low = result.series(0.7)
+        assert low.y_at(4.0) >= 0.98 * result.full_test_time_s
+
+    def test_perfect_yield_flat_at_full_time(self, result):
+        perfect = result.series(1.0)
+        for _, y in perfect.points:
+            assert y == pytest.approx(result.full_test_time_s)
+
+    def test_summary_renders(self, result, small_soc):
+        figure7a = run_figure7a(
+            soc=small_soc,
+            probe_station=reference_probe_station(),
+            contact_yields=(1.0, 0.99),
+            depth_sweep_m=(0.0625,),
+            channels=96,
+            frequency_hz=10e6,
+        )
+        assert "Figure 7" in summarize_figure7(figure7a, result)

@@ -1,0 +1,97 @@
+"""Tests for the Table-1 experiment (reduced depth grids for speed)."""
+
+import pytest
+
+from repro.core.units import kilo_vectors
+from repro.experiments.table1 import (
+    DEFAULT_ATE_CHANNELS,
+    DEFAULT_DEPTH_GRIDS_K,
+    run_table1,
+    run_table1_row,
+    summarize_table1,
+)
+
+
+class TestDefaults:
+    def test_grids_cover_all_four_benchmarks(self):
+        assert set(DEFAULT_DEPTH_GRIDS_K) == {"d695", "p22810", "p34392", "p93791"}
+
+    def test_each_grid_has_eleven_depths(self):
+        for grid in DEFAULT_DEPTH_GRIDS_K.values():
+            assert len(grid) == 11
+
+    def test_d695_grid_matches_paper(self):
+        assert DEFAULT_DEPTH_GRIDS_K["d695"] == (48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128)
+
+    def test_channel_counts(self):
+        assert DEFAULT_ATE_CHANNELS["d695"] == 256
+        assert DEFAULT_ATE_CHANNELS["p93791"] == 512
+
+
+class TestRows:
+    def test_d695_48k_row_matches_paper(self):
+        row = run_table1_row("d695", kilo_vectors(48), 256)
+        assert row.lower_bound_channels == 28
+        assert row.our_channels == 28
+        assert row.our_sites == 17
+
+    def test_d695_128k_row_matches_paper(self):
+        row = run_table1_row("d695", kilo_vectors(128), 256)
+        assert row.lower_bound_channels == 12
+        assert row.our_channels == 12
+        assert row.our_sites == 41
+
+    def test_row_invariants(self):
+        row = run_table1_row("p22810", kilo_vectors(512), 512)
+        assert row.our_channels >= row.lower_bound_channels
+        assert row.baseline_channels >= row.lower_bound_channels
+        assert row.our_channels % 2 == 0
+
+
+class TestRunTable1:
+    @pytest.fixture(scope="class")
+    def reduced(self):
+        return run_table1(
+            benchmarks=("d695", "p22810"),
+            depth_grids_k={"d695": (48, 96, 128), "p22810": (512, 1024)},
+        )
+
+    def test_row_count(self, reduced):
+        assert len(reduced.rows) == 5
+        assert len(reduced.rows_for("d695")) == 3
+        assert len(reduced.rows_for("p22810")) == 2
+
+    def test_benchmark_order(self, reduced):
+        assert reduced.benchmarks == ("d695", "p22810")
+
+    def test_ours_never_below_lower_bound(self, reduced):
+        assert all(row.our_channels >= row.lower_bound_channels for row in reduced.rows)
+
+    def test_ours_never_above_baseline_channels(self, reduced):
+        # Our Step 1 re-wraps modules at the group width, so it should never
+        # need more channels than the rigid rectangle packing.
+        assert all(row.our_channels <= row.baseline_channels for row in reduced.rows)
+
+    def test_sites_at_least_baseline(self, reduced):
+        assert all(row.our_sites >= row.baseline_sites for row in reduced.rows)
+
+    def test_channels_decrease_with_depth(self, reduced):
+        for name in reduced.benchmarks:
+            rows = reduced.rows_for(name)
+            channels = [row.our_channels for row in rows]
+            assert channels == sorted(channels, reverse=True)
+
+    def test_sites_increase_with_depth(self, reduced):
+        for name in reduced.benchmarks:
+            rows = reduced.rows_for(name)
+            sites = [row.our_sites for row in rows]
+            assert sites == sorted(sites)
+
+    def test_to_table_renders(self, reduced):
+        table = reduced.to_table("d695")
+        assert table.num_rows == 3
+        assert "48K" in table.render()
+
+    def test_summary_mentions_benchmarks(self, reduced):
+        text = summarize_table1(reduced)
+        assert "d695" in text and "p22810" in text

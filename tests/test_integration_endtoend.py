@@ -1,0 +1,118 @@
+"""Integration tests: the full pipeline from benchmark file to throughput.
+
+These tests wire several subsystems together (parser -> wrapper/TAM design
+-> E-RPCT -> cost model -> two-step optimiser -> simulator) and check
+cross-module consistency rather than individual units.
+"""
+
+import pytest
+
+from repro.ate.probe_station import ProbeStation
+from repro.ate.spec import AteSpec
+from repro.core.units import kilo_vectors
+from repro.itc02.parser import parse_soc_text
+from repro.itc02.registry import load_benchmark
+from repro.itc02.writer import soc_to_text
+from repro.multisite.throughput import throughput_per_hour
+from repro.optimize.config import Objective, OptimizationConfig
+from repro.optimize.two_step import optimize_multisite
+from repro.sim.montecarlo import FlowParameters, simulate_flow
+from repro.sim.scan_sim import simulate_architecture
+from repro.sim.wafer import TouchdownPlan, WaferMap
+
+
+class TestEndToEndD695:
+    @pytest.fixture(scope="class")
+    def result(self):
+        soc = load_benchmark("d695")
+        ate = AteSpec(channels=256, depth=kilo_vectors(96), frequency_hz=5e6)
+        probe = ProbeStation(index_time_s=0.5, contact_test_time_s=0.010, contact_yield=0.999)
+        return optimize_multisite(soc, ate, probe, OptimizationConfig(broadcast=False))
+
+    def test_throughput_consistent_with_equation(self, result):
+        best = result.best
+        expected = throughput_per_hour(
+            best.sites,
+            result.step1.probe_station.index_time_s,
+            best.scenario.test_time_s(),
+        )
+        assert best.throughput == pytest.approx(expected)
+
+    def test_architecture_simulation_agrees(self, result):
+        trace = simulate_architecture(result.best.architecture)
+        assert trace.test_time_cycles == result.best.test_time_cycles
+
+    def test_erpct_pin_count_drives_contact_model(self, result):
+        assert result.best.scenario.channels_per_site == result.best.architecture.ate_channels
+
+    def test_roundtrip_through_soc_file_gives_same_result(self, result):
+        soc = parse_soc_text(soc_to_text(load_benchmark("d695")))
+        ate = AteSpec(channels=256, depth=kilo_vectors(96), frequency_hz=5e6)
+        probe = ProbeStation(index_time_s=0.5, contact_test_time_s=0.010, contact_yield=0.999)
+        replay = optimize_multisite(soc, ate, probe, OptimizationConfig(broadcast=False))
+        assert replay.optimal_sites == result.optimal_sites
+        assert replay.step1.channels_per_site == result.step1.channels_per_site
+
+    def test_montecarlo_flow_matches_analytic_throughput(self, result):
+        best = result.best
+        params = FlowParameters(
+            sites=best.sites,
+            timing=best.scenario.timing,
+            terminals_per_site=best.channels_per_site,
+            contact_yield=0.999,
+            manufacturing_yield=1.0,
+        )
+        flow = simulate_flow(params, devices=5000, seed=3)
+        assert flow.throughput_per_hour == pytest.approx(best.throughput, rel=0.02)
+        assert flow.unique_throughput_per_hour == pytest.approx(
+            best.scenario.unique_throughput(approximate=False), rel=0.05
+        )
+
+    def test_wafer_level_schedule(self, result):
+        wafer = WaferMap(diameter_mm=300, die_width_mm=12, die_height_mm=12)
+        plan = TouchdownPlan(wafer=wafer, sites=result.optimal_sites)
+        wafer_time = plan.wafer_test_time_s(
+            result.step1.probe_station.index_time_s,
+            result.best.scenario.test_time_s(),
+        )
+        assert wafer_time > 0
+        # The whole-wafer time must be consistent with the per-hour rate
+        # within the edge-effect loss the paper ignores.
+        devices = wafer.dies_per_wafer
+        hours = wafer_time / 3600
+        assert devices / hours <= result.best.throughput * 1.01
+        assert devices / hours >= result.best.throughput * plan.site_utilisation * 0.99
+
+
+class TestVariantsEndToEnd:
+    @pytest.fixture(scope="class")
+    def inputs(self):
+        soc = load_benchmark("d695")
+        ate = AteSpec(channels=128, depth=kilo_vectors(64), frequency_hz=5e6)
+        probe = ProbeStation(index_time_s=0.5, contact_test_time_s=0.010, contact_yield=0.998)
+        return soc, ate, probe
+
+    def test_all_variant_combinations_run(self, inputs):
+        soc, ate, probe = inputs
+        for broadcast in (False, True):
+            for abort_on_fail in (False, True):
+                for objective in (Objective.THROUGHPUT, Objective.UNIQUE_THROUGHPUT):
+                    config = OptimizationConfig(
+                        broadcast=broadcast,
+                        abort_on_fail=abort_on_fail,
+                        objective=objective,
+                        manufacturing_yield=0.9,
+                    )
+                    result = optimize_multisite(soc, ate, probe, config)
+                    assert result.optimal_sites >= 1
+                    assert result.optimal_throughput > 0
+
+    def test_unique_objective_prefers_not_more_channels(self, inputs):
+        soc, ate, probe = inputs
+        plain = optimize_multisite(soc, ate, probe, OptimizationConfig())
+        unique = optimize_multisite(
+            soc, ate, probe, OptimizationConfig(objective=Objective.UNIQUE_THROUGHPUT)
+        )
+        # With re-test, wide interfaces are penalised, so the unique-optimal
+        # design never probes more pads per site than the throughput-optimal.
+        assert unique.best.channels_per_site <= plain.best.channels_per_site

@@ -1,0 +1,150 @@
+"""Unit tests for the ITC'02 .soc parser."""
+
+import pytest
+
+from repro.core.exceptions import ParseError
+from repro.itc02.parser import parse_soc_file, parse_soc_text
+
+VALID = """
+# demo SOC
+SocName demo
+FunctionalPins 40
+
+Module 1 core_a
+    Inputs 8
+    Outputs 4
+    Bidirs 2
+    ScanChains 2 : 30 28
+    Patterns 55
+
+Module 2 ram_b memory
+    Inputs 6
+    Outputs 6
+    Bidirs 0
+    ScanChains 0
+    Patterns 17
+"""
+
+
+class TestValidParsing:
+    def test_soc_name_and_pins(self):
+        soc = parse_soc_text(VALID)
+        assert soc.name == "demo"
+        assert soc.functional_pins == 40
+
+    def test_module_count_and_order(self):
+        soc = parse_soc_text(VALID)
+        assert soc.module_names == ("core_a", "ram_b")
+
+    def test_module_fields(self):
+        module = parse_soc_text(VALID).module("core_a")
+        assert module.inputs == 8
+        assert module.outputs == 4
+        assert module.bidirs == 2
+        assert module.scan_lengths == (30, 28)
+        assert module.patterns == 55
+
+    def test_memory_flag(self):
+        soc = parse_soc_text(VALID)
+        assert soc.module("ram_b").is_memory
+        assert not soc.module("core_a").is_memory
+
+    def test_scanless_module(self):
+        assert parse_soc_text(VALID).module("ram_b").num_scan_chains == 0
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hi\n\nSocName s\n# another\nModule 1 a\nInputs 1\nOutputs 1\nBidirs 0\nScanChains 0\nPatterns 1\n"
+        assert parse_soc_text(text).name == "s"
+
+    def test_keywords_case_insensitive(self):
+        text = "SOCNAME s\nMODULE 1 a\ninputs 1\nOUTPUTS 1\nbidirs 0\nscanchains 1 : 9\npatterns 2\n"
+        module = parse_soc_text(text).module("a")
+        assert module.scan_lengths == (9,)
+
+    def test_inline_comment_stripped(self):
+        text = "SocName s # chip\nModule 1 a\nInputs 1\nOutputs 1\nBidirs 0\nScanChains 0\nPatterns 1\n"
+        assert parse_soc_text(text).name == "s"
+
+    def test_functional_pins_optional(self):
+        text = "SocName s\nModule 1 a\nInputs 1\nOutputs 1\nBidirs 0\nScanChains 0\nPatterns 1\n"
+        assert parse_soc_text(text).functional_pins is None
+
+
+class TestParseErrors:
+    def test_missing_soc_name(self):
+        with pytest.raises(ParseError, match="SocName"):
+            parse_soc_text("Module 1 a\nInputs 1\nOutputs 1\nBidirs 0\nScanChains 0\nPatterns 1\n")
+
+    def test_duplicate_soc_name(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_soc_text("SocName a\nSocName b\n")
+
+    def test_no_modules(self):
+        with pytest.raises(ParseError, match="no modules"):
+            parse_soc_text("SocName empty\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ParseError, match="unknown keyword"):
+            parse_soc_text("SocName s\nBogus 3\n")
+
+    def test_field_before_module(self):
+        with pytest.raises(ParseError, match="before any Module"):
+            parse_soc_text("SocName s\nInputs 3\n")
+
+    def test_non_integer_value(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_soc_text("SocName s\nModule 1 a\nInputs many\n")
+
+    def test_missing_fields_reported(self):
+        with pytest.raises(ParseError, match="missing"):
+            parse_soc_text("SocName s\nModule 1 a\nInputs 1\n")
+
+    def test_scanchain_count_mismatch(self):
+        text = "SocName s\nModule 1 a\nInputs 1\nOutputs 1\nBidirs 0\nScanChains 3 : 5 5\nPatterns 1\n"
+        with pytest.raises(ParseError, match="scan-chain lengths"):
+            parse_soc_text(text)
+
+    def test_scanchains_zero_with_lengths_rejected(self):
+        text = "SocName s\nModule 1 a\nInputs 1\nOutputs 1\nBidirs 0\nScanChains 0 : 5\nPatterns 1\n"
+        with pytest.raises(ParseError):
+            parse_soc_text(text)
+
+    def test_scanchains_missing_colon(self):
+        text = "SocName s\nModule 1 a\nInputs 1\nOutputs 1\nBidirs 0\nScanChains 2 5 5\nPatterns 1\n"
+        with pytest.raises(ParseError, match="':'|expects"):
+            parse_soc_text(text)
+
+    def test_module_line_too_short(self):
+        with pytest.raises(ParseError, match="Module expects"):
+            parse_soc_text("SocName s\nModule 1\n")
+
+    def test_unexpected_module_flag(self):
+        with pytest.raises(ParseError, match="unexpected token"):
+            parse_soc_text("SocName s\nModule 1 a gold\n")
+
+    def test_zero_patterns_maps_to_parse_error(self):
+        text = "SocName s\nModule 1 a\nInputs 1\nOutputs 1\nBidirs 0\nScanChains 0\nPatterns 0\n"
+        with pytest.raises(ParseError):
+            parse_soc_text(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_soc_text("SocName s\nBogus 1\n", filename="x.soc")
+        except ParseError as error:
+            assert error.line == 2
+            assert error.filename == "x.soc"
+        else:  # pragma: no cover - should not happen
+            pytest.fail("expected ParseError")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParseError, match="cannot read"):
+            parse_soc_file(tmp_path / "does_not_exist.soc")
+
+
+class TestParseFile:
+    def test_roundtrip_via_file(self, tmp_path):
+        path = tmp_path / "demo.soc"
+        path.write_text(VALID, encoding="utf-8")
+        soc = parse_soc_file(path)
+        assert soc.name == "demo"
+        assert len(soc) == 2

@@ -1,0 +1,73 @@
+"""Unit tests for the benchmark registry."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.itc02.registry import (
+    TABLE1_BENCHMARKS,
+    benchmark_info,
+    list_benchmarks,
+    load_benchmark,
+)
+
+
+class TestRegistry:
+    def test_table1_benchmarks_registered(self):
+        assert TABLE1_BENCHMARKS == ("d695", "p22810", "p34392", "p93791")
+        for name in TABLE1_BENCHMARKS:
+            assert load_benchmark(name).name == name
+
+    def test_d695_from_published_data(self):
+        soc = load_benchmark("d695")
+        assert len(soc) == 10
+        assert not benchmark_info("d695").synthetic
+
+    def test_d695_known_module(self):
+        s38584 = load_benchmark("d695").module("s38584")
+        assert s38584.num_scan_chains == 32
+        assert s38584.patterns == 110
+        assert s38584.total_scan_flipflops == 1426
+
+    def test_d695_scanless_cores(self):
+        soc = load_benchmark("d695")
+        assert soc.module("c6288").num_scan_chains == 0
+        assert soc.module("c7552").num_scan_chains == 0
+
+    def test_p_benchmark_module_counts(self):
+        assert len(load_benchmark("p22810")) == 28
+        assert len(load_benchmark("p34392")) == 19
+        assert len(load_benchmark("p93791")) == 32
+
+    def test_p_benchmarks_flagged_synthetic(self):
+        for name in ("p22810", "p34392", "p93791"):
+            assert benchmark_info(name).synthetic
+
+    def test_benchmark_sizes_ordered(self):
+        # p93791 is the largest benchmark, d695 by far the smallest.
+        from repro.soc.synthetic import total_min_area
+
+        areas = {name: total_min_area(load_benchmark(name)) for name in TABLE1_BENCHMARKS}
+        assert areas["d695"] < areas["p22810"] < areas["p34392"] < areas["p93791"]
+
+    def test_case_insensitive_lookup(self):
+        assert load_benchmark("D695").name == "d695"
+
+    def test_caching_returns_same_object(self):
+        assert load_benchmark("d695") is load_benchmark("d695")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            load_benchmark("t512505")
+
+    def test_unknown_info_rejected(self):
+        with pytest.raises(ConfigurationError):
+            benchmark_info("nope")
+
+    def test_list_benchmarks_metadata(self):
+        infos = {info.name: info for info in list_benchmarks()}
+        assert set(infos) == set(TABLE1_BENCHMARKS)
+        assert infos["p93791"].modules == 32
+
+    def test_info_module_counts_match_loaded(self):
+        for info in list_benchmarks():
+            assert len(load_benchmark(info.name)) == info.modules

@@ -1,0 +1,38 @@
+"""Unit tests for the ITC'02 .soc writer (and parser round-trips)."""
+
+import pytest
+
+from repro.itc02.parser import parse_soc_text
+from repro.itc02.writer import soc_to_text, write_soc_file
+
+
+class TestWriter:
+    def test_roundtrip_equals_original(self, tiny_soc):
+        assert parse_soc_text(soc_to_text(tiny_soc)) == tiny_soc
+
+    def test_roundtrip_medium(self, medium_soc):
+        assert parse_soc_text(soc_to_text(medium_soc)) == medium_soc
+
+    def test_roundtrip_d695(self, d695):
+        assert parse_soc_text(soc_to_text(d695)) == d695
+
+    def test_memory_flag_round_trips(self, medium_soc):
+        rebuilt = parse_soc_text(soc_to_text(medium_soc))
+        assert rebuilt.module("mem0").is_memory
+
+    def test_header_comment_present(self, tiny_soc):
+        assert soc_to_text(tiny_soc).startswith("#")
+
+    def test_functional_pins_written(self, tiny_soc):
+        assert "FunctionalPins 64" in soc_to_text(tiny_soc)
+
+    def test_functional_pins_omitted_when_unknown(self, flat_soc):
+        assert "FunctionalPins" not in soc_to_text(flat_soc)
+
+    def test_write_soc_file(self, tmp_path, tiny_soc):
+        path = write_soc_file(tiny_soc, tmp_path / "tiny.soc")
+        assert path.exists()
+        assert parse_soc_text(path.read_text()) == tiny_soc
+
+    def test_scanless_module_written_as_zero(self, tiny_soc):
+        assert "ScanChains 0" in soc_to_text(tiny_soc)

@@ -1,0 +1,115 @@
+"""Unit tests for the abort-on-fail (Eq. 4.4) and re-test (Eq. 4.6) models."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.multisite.abort_on_fail import abort_on_fail_saving, abort_on_fail_test_time
+from repro.multisite.cost_model import TestTiming
+from repro.multisite.retest import contact_fail_rate, retests_per_hour, unique_throughput
+
+
+@pytest.fixture
+def timing():
+    return TestTiming(index_time_s=0.5, contact_test_time_s=0.010,
+                      manufacturing_test_time_s=1.5)
+
+
+class TestAbortOnFail:
+    def test_perfect_yields_give_full_time(self, timing):
+        assert abort_on_fail_test_time(timing, 1.0, 1.0, 64, 1) == pytest.approx(
+            timing.test_time_s
+        )
+
+    def test_eq44_formula(self, timing):
+        p_c, p_m, k, n = 0.999, 0.8, 64, 2
+        p_contact = 1 - (1 - p_c ** k) ** n
+        p_manu = 1 - (1 - p_m) ** n
+        expected = p_contact * (0.010 + p_manu * 1.5)
+        assert abort_on_fail_test_time(timing, p_c, p_m, k, n) == pytest.approx(expected)
+
+    def test_never_exceeds_full_test_time(self, timing):
+        for sites in (1, 2, 4, 8):
+            value = abort_on_fail_test_time(timing, 0.99, 0.7, 64, sites)
+            assert value <= timing.test_time_s + 1e-12
+
+    def test_saving_shrinks_with_sites(self, timing):
+        savings = [
+            abort_on_fail_saving(timing, 1.0, 0.7, 64, sites) for sites in (1, 2, 4, 8)
+        ]
+        assert all(earlier >= later for earlier, later in zip(savings, savings[1:]))
+
+    def test_saving_negligible_beyond_four_sites_at_70_percent_yield(self, timing):
+        # The paper: "the effectiveness of abort-on-fail becomes invisible
+        # beyond n >= 4" even at 70% yield.
+        assert abort_on_fail_saving(timing, 1.0, 0.7, 64, 4) < 0.02
+
+    def test_single_site_low_yield_saves_a_lot(self, timing):
+        assert abort_on_fail_saving(timing, 1.0, 0.7, 64, 1) > 0.25
+
+    def test_zero_sites_rejected(self, timing):
+        with pytest.raises(ConfigurationError):
+            abort_on_fail_test_time(timing, 1.0, 1.0, 64, 0)
+
+    def test_saving_zero_for_zero_test_time(self):
+        timing = TestTiming(0.5, 0.0, 0.0)
+        assert abort_on_fail_saving(timing, 0.9, 0.9, 10, 2) == 0.0
+
+
+class TestContactFailRate:
+    def test_approximate_is_linear(self):
+        assert contact_fail_rate(0.999, 50, approximate=True) == pytest.approx(0.05)
+
+    def test_approximate_capped_at_one(self):
+        assert contact_fail_rate(0.5, 100, approximate=True) == 1.0
+
+    def test_exact_formula(self):
+        assert contact_fail_rate(0.999, 50, approximate=False) == pytest.approx(
+            1 - 0.999 ** 50
+        )
+
+    def test_exact_below_approximate(self):
+        # The union bound makes the linearised rate an upper bound.
+        exact = contact_fail_rate(0.995, 80, approximate=False)
+        approx = contact_fail_rate(0.995, 80, approximate=True)
+        assert exact <= approx
+
+    def test_perfect_yield_zero_rate(self):
+        assert contact_fail_rate(1.0, 500, approximate=True) == 0.0
+        assert contact_fail_rate(1.0, 500, approximate=False) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            contact_fail_rate(1.2, 10)
+        with pytest.raises(ConfigurationError):
+            contact_fail_rate(0.9, -1)
+
+
+class TestUniqueThroughput:
+    def test_eq46_paper_model(self):
+        assert unique_throughput(10_000, 0.999, 40, approximate=True) == pytest.approx(
+            10_000 * (1 - 40 * 0.001)
+        )
+
+    def test_clamped_at_zero(self):
+        assert unique_throughput(10_000, 0.9, 100, approximate=True) == 0.0
+
+    def test_exact_model(self):
+        rate = 1 - 0.999 ** 40
+        assert unique_throughput(10_000, 0.999, 40, approximate=False) == pytest.approx(
+            10_000 / (1 + rate)
+        )
+
+    def test_perfect_yield_identity(self):
+        assert unique_throughput(12_345, 1.0, 64) == 12_345
+
+    def test_fewer_terminals_means_higher_unique_throughput(self):
+        wide = unique_throughput(10_000, 0.999, 100)
+        narrow = unique_throughput(10_000, 0.999, 20)
+        assert narrow > wide
+
+    def test_retests_per_hour(self):
+        assert retests_per_hour(10_000, 0.999, 40) == pytest.approx(400.0)
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unique_throughput(-1, 0.999, 10)

@@ -1,0 +1,100 @@
+"""Unit tests for the Section-4 cost-model primitives (Eqs. 4.1-4.3)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.multisite.cost_model import (
+    TestTiming,
+    contact_pass_probability,
+    manufacturing_pass_probability,
+    site_contact_pass_probability,
+)
+
+
+class TestSiteContactPass:
+    def test_perfect_yield(self):
+        assert site_contact_pass_probability(1.0, 100) == 1.0
+
+    def test_zero_terminals(self):
+        assert site_contact_pass_probability(0.9, 0) == 1.0
+
+    def test_formula(self):
+        assert site_contact_pass_probability(0.999, 50) == pytest.approx(0.999 ** 50)
+
+    def test_invalid_yield(self):
+        with pytest.raises(ConfigurationError):
+            site_contact_pass_probability(1.1, 10)
+
+    def test_negative_terminals(self):
+        with pytest.raises(ConfigurationError):
+            site_contact_pass_probability(0.9, -1)
+
+
+class TestContactPassProbability:
+    def test_single_site_equals_site_probability(self):
+        assert contact_pass_probability(0.999, 64, 1) == pytest.approx(0.999 ** 64)
+
+    def test_eq42_formula(self):
+        p_site = 0.998 ** 32
+        expected = 1 - (1 - p_site) ** 4
+        assert contact_pass_probability(0.998, 32, 4) == pytest.approx(expected)
+
+    def test_increases_with_sites(self):
+        values = [contact_pass_probability(0.99, 64, sites) for sites in (1, 2, 4, 8)]
+        assert all(earlier < later for earlier, later in zip(values, values[1:]))
+
+    def test_bounded_by_one(self):
+        assert contact_pass_probability(0.5, 10, 100) <= 1.0
+
+    def test_zero_yield_many_terminals(self):
+        assert contact_pass_probability(0.0, 10, 5) == 0.0
+
+    def test_invalid_sites(self):
+        with pytest.raises(ConfigurationError):
+            contact_pass_probability(0.99, 10, 0)
+
+
+class TestManufacturingPassProbability:
+    def test_eq43_formula(self):
+        assert manufacturing_pass_probability(0.7, 4) == pytest.approx(1 - 0.3 ** 4)
+
+    def test_perfect_yield(self):
+        assert manufacturing_pass_probability(1.0, 3) == 1.0
+
+    def test_zero_yield(self):
+        assert manufacturing_pass_probability(0.0, 3) == 0.0
+
+    def test_increases_with_sites(self):
+        values = [manufacturing_pass_probability(0.7, sites) for sites in (1, 2, 4, 8)]
+        assert all(earlier < later for earlier, later in zip(values, values[1:]))
+
+    def test_invalid_yield(self):
+        with pytest.raises(ConfigurationError):
+            manufacturing_pass_probability(-0.1, 2)
+
+    def test_invalid_sites(self):
+        with pytest.raises(ConfigurationError):
+            manufacturing_pass_probability(0.9, 0)
+
+
+class TestTestTiming:
+    def test_eq41_total(self):
+        timing = TestTiming(0.5, 0.010, 1.5)
+        assert timing.test_time_s == pytest.approx(1.51)
+        assert timing.total_time_s == pytest.approx(2.01)
+
+    def test_with_manufacturing_time(self):
+        timing = TestTiming(0.5, 0.010, 1.5).with_manufacturing_time(3.0)
+        assert timing.manufacturing_test_time_s == 3.0
+        assert timing.index_time_s == 0.5
+
+    def test_zero_times_allowed(self):
+        assert TestTiming(0, 0, 0).total_time_s == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TestTiming(-0.1, 0, 0)
+        with pytest.raises(ConfigurationError):
+            TestTiming(0, -0.1, 0)
+        with pytest.raises(ConfigurationError):
+            TestTiming(0, 0, -0.1)

@@ -1,0 +1,92 @@
+"""Unit tests for the throughput model (Eq. 4.5) and MultiSiteScenario."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.multisite.cost_model import TestTiming
+from repro.multisite.throughput import MultiSiteScenario, throughput_per_hour
+
+
+class TestThroughputPerHour:
+    def test_eq45_formula(self):
+        assert throughput_per_hour(4, 0.5, 1.5) == pytest.approx(3600 * 4 / 2.0)
+
+    def test_single_site(self):
+        assert throughput_per_hour(1, 0.5, 0.5) == pytest.approx(3600)
+
+    def test_scales_linearly_with_sites_at_fixed_time(self):
+        single = throughput_per_hour(1, 0.5, 1.0)
+        assert throughput_per_hour(8, 0.5, 1.0) == pytest.approx(8 * single)
+
+    def test_shorter_test_time_increases_throughput(self):
+        assert throughput_per_hour(2, 0.5, 1.0) > throughput_per_hour(2, 0.5, 2.0)
+
+    def test_invalid_sites(self):
+        with pytest.raises(ConfigurationError):
+            throughput_per_hour(0, 0.5, 1.0)
+
+    def test_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            throughput_per_hour(1, -0.1, 1.0)
+
+    def test_zero_total_time(self):
+        with pytest.raises(ConfigurationError):
+            throughput_per_hour(1, 0.0, 0.0)
+
+
+class TestMultiSiteScenario:
+    @pytest.fixture
+    def scenario(self):
+        return MultiSiteScenario(
+            sites=4,
+            timing=TestTiming(0.5, 0.010, 1.5),
+            channels_per_site=64,
+            contact_yield=0.999,
+            manufacturing_yield=0.8,
+        )
+
+    def test_plain_test_time(self, scenario):
+        assert scenario.test_time_s() == pytest.approx(1.51)
+
+    def test_abort_on_fail_test_time_smaller(self, scenario):
+        assert scenario.test_time_s(abort_on_fail=True) <= scenario.test_time_s()
+
+    def test_total_time(self, scenario):
+        assert scenario.total_time_s() == pytest.approx(2.01)
+
+    def test_throughput_matches_equation(self, scenario):
+        assert scenario.throughput() == pytest.approx(3600 * 4 / 2.01)
+
+    def test_abort_on_fail_increases_throughput(self, scenario):
+        assert scenario.throughput(abort_on_fail=True) >= scenario.throughput()
+
+    def test_unique_throughput_below_throughput(self, scenario):
+        assert scenario.unique_throughput() <= scenario.throughput()
+
+    def test_unique_throughput_exact_variant(self, scenario):
+        assert scenario.unique_throughput(approximate=False) <= scenario.throughput()
+
+    def test_perfect_contact_yield_no_retest_loss(self):
+        scenario = MultiSiteScenario(
+            sites=2, timing=TestTiming(0.5, 0.01, 1.0), channels_per_site=32,
+        )
+        assert scenario.unique_throughput() == pytest.approx(scenario.throughput())
+
+    def test_describe(self, scenario):
+        assert "4 sites" in scenario.describe()
+
+    def test_invalid_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiSiteScenario(sites=0, timing=TestTiming(0.5, 0.01, 1.0), channels_per_site=8)
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiSiteScenario(sites=1, timing=TestTiming(0.5, 0.01, 1.0), channels_per_site=0)
+
+    def test_invalid_yields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiSiteScenario(sites=1, timing=TestTiming(0.5, 0.01, 1.0),
+                              channels_per_site=8, contact_yield=2.0)
+        with pytest.raises(ConfigurationError):
+            MultiSiteScenario(sites=1, timing=TestTiming(0.5, 0.01, 1.0),
+                              channels_per_site=8, manufacturing_yield=-0.5)

@@ -1,0 +1,106 @@
+"""Unit tests for the multi-site channel arithmetic."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.channels import (
+    even_floor,
+    max_channels_per_site,
+    max_sites,
+    total_channels_used,
+)
+
+
+class TestEvenFloor:
+    @pytest.mark.parametrize("value, expected", [(0, 0), (1, 0), (2, 2), (7, 6), (8, 8)])
+    def test_values(self, value, expected):
+        assert even_floor(value) == expected
+
+    def test_negative_clamped_to_zero(self):
+        assert even_floor(-3) == 0
+
+
+class TestMaxSites:
+    def test_no_broadcast(self):
+        assert max_sites(512, 72, broadcast=False) == 7
+
+    def test_no_broadcast_exact_division(self):
+        assert max_sites(512, 64, broadcast=False) == 8
+
+    def test_broadcast_shares_stimulus(self):
+        # k/2 = 36 shared + 36 per site: (512 - 36) / 36 = 13.
+        assert max_sites(512, 72, broadcast=True) == 13
+
+    def test_broadcast_always_at_least_no_broadcast(self):
+        for k in (4, 10, 20, 64, 100):
+            assert max_sites(512, k, True) >= max_sites(512, k, False)
+
+    def test_zero_when_soc_does_not_fit(self):
+        assert max_sites(16, 32, broadcast=False) == 0
+
+    def test_odd_per_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_sites(512, 7, False)
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_sites(0, 8, False)
+
+
+class TestMaxChannelsPerSite:
+    def test_no_broadcast(self):
+        assert max_channels_per_site(512, 7, broadcast=False) == 72
+
+    def test_result_is_even(self):
+        for sites in range(1, 20):
+            assert max_channels_per_site(511, sites, False) % 2 == 0
+            assert max_channels_per_site(511, sites, True) % 2 == 0
+
+    def test_broadcast(self):
+        # floor(512 / (13+1)) = 36 -> k = 72.
+        assert max_channels_per_site(512, 13, broadcast=True) == 72
+
+    def test_single_site_gets_everything(self):
+        assert max_channels_per_site(512, 1, broadcast=False) == 512
+        assert max_channels_per_site(512, 1, broadcast=True) == 512
+
+    def test_invalid_sites(self):
+        with pytest.raises(ConfigurationError):
+            max_channels_per_site(512, 0, False)
+
+
+class TestRoundTripConsistency:
+    @pytest.mark.parametrize("broadcast", [False, True])
+    @pytest.mark.parametrize("channels", [64, 128, 500, 512, 1024])
+    @pytest.mark.parametrize("per_site", [2, 8, 14, 36, 72])
+    def test_max_sites_budget_fits(self, channels, per_site, broadcast):
+        sites = max_sites(channels, per_site, broadcast)
+        if sites == 0:
+            return
+        assert total_channels_used(per_site, sites, broadcast) <= channels
+        # One more site would not fit.
+        assert total_channels_used(per_site, sites + 1, broadcast) > channels
+
+    @pytest.mark.parametrize("broadcast", [False, True])
+    @pytest.mark.parametrize("sites", [1, 2, 5, 13])
+    def test_max_channels_fits(self, sites, broadcast):
+        channels = 512
+        per_site = max_channels_per_site(channels, sites, broadcast)
+        assert total_channels_used(per_site, sites, broadcast) <= channels
+        assert total_channels_used(per_site + 2, sites, broadcast) > channels
+
+
+class TestTotalChannelsUsed:
+    def test_no_broadcast(self):
+        assert total_channels_used(10, 4, broadcast=False) == 40
+
+    def test_broadcast(self):
+        assert total_channels_used(10, 4, broadcast=True) == 5 + 4 * 5
+
+    def test_invalid_per_site(self):
+        with pytest.raises(ConfigurationError):
+            total_channels_used(3, 2, False)
+
+    def test_invalid_sites(self):
+        with pytest.raises(ConfigurationError):
+            total_channels_used(4, 0, False)

@@ -1,0 +1,51 @@
+"""Unit tests for the optimisation configuration."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.config import Objective, OptimizationConfig
+
+
+class TestOptimizationConfig:
+    def test_defaults_match_paper_base_case(self):
+        config = OptimizationConfig()
+        assert not config.broadcast
+        assert not config.abort_on_fail
+        assert config.objective is Objective.THROUGHPUT
+        assert config.manufacturing_yield == 1.0
+        assert config.min_sites == 1
+        assert config.max_sites is None
+
+    def test_with_broadcast(self):
+        assert OptimizationConfig().with_broadcast(True).broadcast
+
+    def test_with_abort_on_fail(self):
+        assert OptimizationConfig().with_abort_on_fail(True).abort_on_fail
+
+    def test_with_site_limit(self):
+        assert OptimizationConfig().with_site_limit(8).max_sites == 8
+
+    def test_with_methods_do_not_mutate_original(self):
+        config = OptimizationConfig()
+        config.with_broadcast(True)
+        assert not config.broadcast
+
+    def test_invalid_yield_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OptimizationConfig(manufacturing_yield=1.5)
+
+    def test_invalid_min_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OptimizationConfig(min_sites=0)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OptimizationConfig(min_sites=4, max_sites=2)
+
+    def test_describe_mentions_switches(self):
+        text = OptimizationConfig(broadcast=True, abort_on_fail=True).describe()
+        assert "broadcast=on" in text and "abort-on-fail=on" in text
+
+    def test_objective_values(self):
+        assert Objective.THROUGHPUT.value == "throughput"
+        assert Objective.UNIQUE_THROUGHPUT.value == "unique_throughput"

@@ -1,0 +1,66 @@
+"""Unit tests for Step 1 of the optimisation (maximum multi-site design)."""
+
+import pytest
+
+from repro.ate.spec import AteSpec
+from repro.core.exceptions import InfeasibleDesignError
+from repro.core.units import kilo_vectors
+from repro.optimize.channels import max_sites
+from repro.optimize.config import OptimizationConfig
+from repro.optimize.step1 import run_step1
+from repro.soc.builder import SocBuilder
+
+
+class TestRunStep1:
+    def test_architecture_fits_ate(self, medium_soc, medium_ate, probe):
+        result = run_step1(medium_soc, medium_ate, probe)
+        assert result.architecture.test_time_cycles <= medium_ate.depth
+        assert result.channels_per_site <= medium_ate.channels
+
+    def test_channels_per_site_matches_architecture(self, medium_soc, medium_ate, probe):
+        result = run_step1(medium_soc, medium_ate, probe)
+        assert result.channels_per_site == result.architecture.ate_channels
+
+    def test_max_sites_consistent_with_channel_arithmetic(self, medium_soc, medium_ate, probe):
+        for broadcast in (False, True):
+            result = run_step1(
+                medium_soc, medium_ate, probe, OptimizationConfig(broadcast=broadcast)
+            )
+            assert result.max_sites == max_sites(
+                medium_ate.channels, result.channels_per_site, broadcast
+            )
+
+    def test_broadcast_allows_at_least_as_many_sites(self, medium_soc, medium_ate, probe):
+        plain = run_step1(medium_soc, medium_ate, probe, OptimizationConfig(broadcast=False))
+        shared = run_step1(medium_soc, medium_ate, probe, OptimizationConfig(broadcast=True))
+        assert shared.max_sites >= plain.max_sites
+
+    def test_erpct_matches_channels(self, medium_soc, medium_ate, probe):
+        result = run_step1(medium_soc, medium_ate, probe)
+        assert result.erpct.ate_channels == result.channels_per_site
+        assert result.erpct.internal_tam_width == result.architecture.total_width
+
+    def test_test_time_seconds(self, medium_soc, medium_ate, probe):
+        result = run_step1(medium_soc, medium_ate, probe)
+        expected = result.test_time_cycles / medium_ate.frequency_hz
+        assert result.test_time_seconds == pytest.approx(expected)
+
+    def test_d695_reference_point(self, d695, probe):
+        ate = AteSpec(channels=256, depth=kilo_vectors(64), frequency_hz=5e6)
+        result = run_step1(d695, ate, probe, OptimizationConfig(broadcast=True))
+        # Matches the paper's Table 1 row (64 K): 22 channels, 22 sites.
+        assert result.channels_per_site == 22
+        assert result.max_sites == 22
+
+    def test_infeasible_soc_raises(self, probe):
+        soc = SocBuilder("fat").add_module("m", 0, 0, 0, [4000] * 8, 4000).build()
+        ate = AteSpec(channels=16, depth=10_000)
+        with pytest.raises(InfeasibleDesignError):
+            run_step1(soc, ate, probe)
+
+    def test_describe(self, medium_soc, medium_ate, probe):
+        assert "step1" in run_step1(medium_soc, medium_ate, probe).describe()
+
+    def test_default_config_used_when_none(self, medium_soc, medium_ate, probe):
+        result = run_step1(medium_soc, medium_ate, probe, None)
+        assert result.config == OptimizationConfig()

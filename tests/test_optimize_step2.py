@@ -1,0 +1,125 @@
+"""Unit tests for Step 2 of the optimisation (throughput-optimal site count)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.config import Objective, OptimizationConfig
+from repro.optimize.step1 import run_step1
+from repro.optimize.step2 import evaluate_site_count, run_step2, step1_only_throughput
+
+
+@pytest.fixture
+def step1(medium_soc, medium_ate, probe):
+    return run_step1(medium_soc, medium_ate, probe, OptimizationConfig(broadcast=False))
+
+
+class TestEvaluateSiteCount:
+    def test_channels_within_budget(self, step1):
+        for sites in range(1, step1.max_sites + 1):
+            point = evaluate_site_count(step1, sites)
+            assert point.channels_per_site * sites <= step1.ate.channels
+
+    def test_fewer_sites_never_longer_test(self, step1):
+        times = [
+            evaluate_site_count(step1, sites).test_time_cycles
+            for sites in range(step1.max_sites, 0, -1)
+        ]
+        assert all(earlier >= later for earlier, later in zip(times, times[1:]))
+
+    def test_at_max_sites_uses_step1_architecture(self, step1):
+        point = evaluate_site_count(step1, step1.max_sites)
+        assert point.channels_per_site >= step1.channels_per_site
+
+    def test_scenario_consistent(self, step1):
+        point = evaluate_site_count(step1, 2)
+        assert point.scenario.sites == 2
+        assert point.scenario.channels_per_site == point.channels_per_site
+
+    def test_invalid_site_count(self, step1):
+        with pytest.raises(ConfigurationError):
+            evaluate_site_count(step1, 0)
+        with pytest.raises(ConfigurationError):
+            evaluate_site_count(step1, step1.max_sites + 1)
+
+
+class TestRunStep2:
+    def test_evaluates_every_site_count(self, step1):
+        result = run_step2(step1)
+        assert len(result.points) == step1.max_sites
+        assert {point.sites for point in result.points} == set(range(1, step1.max_sites + 1))
+
+    def test_best_is_maximum(self, step1):
+        result = run_step2(step1)
+        assert result.best.throughput == max(point.throughput for point in result.points)
+
+    def test_best_at_least_step1_throughput(self, step1):
+        result = run_step2(step1)
+        assert result.optimal_throughput >= step1_only_throughput(step1, step1.max_sites) - 1e-9
+
+    def test_points_ordered_descending_sites(self, step1):
+        result = run_step2(step1)
+        sites = [point.sites for point in result.points]
+        assert sites == sorted(sites, reverse=True)
+
+    def test_point_at_lookup(self, step1):
+        result = run_step2(step1)
+        assert result.point_at(1).sites == 1
+        with pytest.raises(KeyError):
+            result.point_at(step1.max_sites + 5)
+
+    def test_max_sites_property(self, step1):
+        assert run_step2(step1).max_sites == step1.max_sites
+
+    def test_site_limit_respected(self, medium_soc, medium_ate, probe):
+        config = OptimizationConfig(max_sites=2)
+        limited = run_step2(run_step1(medium_soc, medium_ate, probe, config))
+        assert all(point.sites <= 2 for point in limited.points)
+
+    def test_min_sites_respected(self, medium_soc, medium_ate, probe):
+        config = OptimizationConfig(min_sites=2)
+        result = run_step2(run_step1(medium_soc, medium_ate, probe, config))
+        assert all(point.sites >= 2 for point in result.points)
+
+    def test_empty_range_rejected(self, medium_soc, medium_ate, probe):
+        step1 = run_step1(medium_soc, medium_ate, probe, OptimizationConfig())
+        constrained = run_step1(
+            medium_soc, medium_ate, probe,
+            OptimizationConfig(min_sites=step1.max_sites + 1),
+        )
+        with pytest.raises(ConfigurationError):
+            run_step2(constrained)
+
+    def test_unique_objective_accounts_for_retest(self, medium_soc, medium_ate, lossy_probe):
+        throughput_cfg = OptimizationConfig(objective=Objective.THROUGHPUT)
+        unique_cfg = OptimizationConfig(objective=Objective.UNIQUE_THROUGHPUT)
+        plain = run_step2(run_step1(medium_soc, medium_ate, lossy_probe, throughput_cfg))
+        unique = run_step2(run_step1(medium_soc, medium_ate, lossy_probe, unique_cfg))
+        matched = plain.point_at(unique.optimal_sites)
+        assert unique.optimal_throughput <= matched.throughput
+
+    def test_gain_over_step1_non_negative(self, step1):
+        result = run_step2(step1)
+        assert result.gain_over_step1() >= -1e-9
+
+    def test_gain_over_step1_with_limit(self, step1):
+        result = run_step2(step1)
+        limit = max(1, step1.max_sites // 2)
+        assert result.gain_over_step1(site_limit=limit) >= -1e-9
+
+
+class TestStep1OnlyThroughput:
+    def test_step2_at_max_sites_at_least_step1_only(self, step1):
+        result = run_step2(step1)
+        value = step1_only_throughput(step1, step1.max_sites)
+        # At n_max, Step 2 can only match or improve on the Step-1 design
+        # (it may still widen when the leftover channel budget allows it).
+        assert result.point_at(step1.max_sites).throughput >= value - 1e-9
+
+    def test_scales_with_sites(self, step1):
+        assert step1_only_throughput(step1, 2) == pytest.approx(
+            2 * step1_only_throughput(step1, 1)
+        )
+
+    def test_invalid_sites(self, step1):
+        with pytest.raises(ConfigurationError):
+            step1_only_throughput(step1, 0)

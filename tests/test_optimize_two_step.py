@@ -1,0 +1,95 @@
+"""Unit tests for the combined two-step driver (the headline API)."""
+
+import pytest
+
+from repro.ate.spec import AteSpec
+from repro.core.exceptions import InfeasibleDesignError
+from repro.core.units import kilo_vectors
+from repro.optimize.config import OptimizationConfig
+from repro.optimize.two_step import design_step1_only, optimize_multisite
+from repro.soc.builder import SocBuilder
+from repro.soc.soc import flatten
+
+
+class TestOptimizeMultisite:
+    def test_returns_feasible_design(self, medium_soc, medium_ate, probe):
+        result = optimize_multisite(medium_soc, medium_ate, probe)
+        assert result.best.architecture.test_time_cycles <= medium_ate.depth
+        assert result.best.channels_per_site * result.optimal_sites <= medium_ate.channels
+
+    def test_optimal_between_one_and_max(self, medium_soc, medium_ate, probe):
+        result = optimize_multisite(medium_soc, medium_ate, probe)
+        assert 1 <= result.optimal_sites <= result.max_sites
+
+    def test_default_probe_station_and_config(self, medium_soc, medium_ate):
+        result = optimize_multisite(medium_soc, medium_ate)
+        assert result.step1.probe_station.index_time_s == pytest.approx(0.5)
+        assert not result.step1.config.broadcast
+
+    def test_broadcast_never_hurts_throughput(self, medium_soc, medium_ate, probe):
+        plain = optimize_multisite(medium_soc, medium_ate, probe,
+                                   OptimizationConfig(broadcast=False))
+        shared = optimize_multisite(medium_soc, medium_ate, probe,
+                                    OptimizationConfig(broadcast=True))
+        assert shared.optimal_throughput >= plain.optimal_throughput - 1e-9
+
+    def test_more_channels_never_hurt(self, medium_soc, probe):
+        small = optimize_multisite(
+            medium_soc, AteSpec(channels=128, depth=kilo_vectors(256)), probe
+        )
+        large = optimize_multisite(
+            medium_soc, AteSpec(channels=256, depth=kilo_vectors(256)), probe
+        )
+        assert large.optimal_throughput >= small.optimal_throughput - 1e-9
+
+    def test_flattened_soc_is_degenerate_case(self, medium_soc, probe):
+        # Flattening merges all pattern sets, so the single top-level test is
+        # long and needs a deeper vector memory than the modular test.
+        flat = flatten(medium_soc)
+        ate = AteSpec(channels=256, depth=kilo_vectors(1024), frequency_hz=5e6)
+        result = optimize_multisite(flat, ate, probe)
+        assert result.step1.architecture.num_groups == 1
+
+    def test_single_module_soc(self, flat_soc, probe):
+        ate = AteSpec(channels=64, depth=kilo_vectors(512))
+        result = optimize_multisite(flat_soc, ate, probe)
+        assert result.optimal_sites >= 1
+
+    def test_abort_on_fail_never_reduces_throughput(self, medium_soc, medium_ate, probe):
+        base = optimize_multisite(
+            medium_soc, medium_ate, probe,
+            OptimizationConfig(manufacturing_yield=0.8),
+        )
+        abort = optimize_multisite(
+            medium_soc, medium_ate, probe,
+            OptimizationConfig(abort_on_fail=True, manufacturing_yield=0.8),
+        )
+        assert abort.optimal_throughput >= base.optimal_throughput - 1e-9
+
+    def test_infeasible_raises(self, probe):
+        soc = SocBuilder("fat").add_module("m", 0, 0, 0, [4000] * 8, 4000).build()
+        with pytest.raises(InfeasibleDesignError):
+            optimize_multisite(soc, AteSpec(channels=16, depth=10_000), probe)
+
+    def test_d695_paper_reference(self, d695, probe):
+        # The paper's Table 1, 96 K row: our algorithm uses 14 channels and
+        # reaches 35 sites with broadcast on a 256-channel ATE.
+        ate = AteSpec(channels=256, depth=kilo_vectors(96), frequency_hz=5e6)
+        result = optimize_multisite(d695, ate, probe, OptimizationConfig(broadcast=True))
+        assert result.step1.channels_per_site == 14
+        assert result.step1.max_sites == 35
+
+    def test_describe(self, medium_soc, medium_ate, probe):
+        assert "two-step result" in optimize_multisite(medium_soc, medium_ate, probe).describe()
+
+
+class TestDesignStep1Only:
+    def test_matches_two_step_step1(self, medium_soc, medium_ate, probe):
+        alone = design_step1_only(medium_soc, medium_ate, probe)
+        combined = optimize_multisite(medium_soc, medium_ate, probe)
+        assert alone.channels_per_site == combined.step1.channels_per_site
+        assert alone.max_sites == combined.step1.max_sites
+
+    def test_defaults(self, medium_soc, medium_ate):
+        result = design_step1_only(medium_soc, medium_ate)
+        assert result.probe_station.contact_yield == 1.0

@@ -1,0 +1,84 @@
+"""Property-based tests for Step-1 architecture design (hypothesis).
+
+These are the heavyweight invariants of the reproduction: for arbitrary
+small SOCs and ATEs, the Step-1 architecture must cover every module exactly
+once, respect the depth and channel budgets, never beat the theoretical
+lower bound, and the cycle-accurate simulator must agree with the analytic
+test time.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.baselines.lower_bound import channel_lower_bound
+from repro.core.exceptions import InfeasibleDesignError
+from repro.sim.scan_sim import simulate_architecture
+from repro.soc.builder import SocBuilder
+from repro.tam.assignment import design_architecture
+from repro.tam.redistribution import widen_bottleneck
+
+
+@st.composite
+def small_socs(draw):
+    """Random SOCs with 1..6 modest modules."""
+    num_modules = draw(st.integers(min_value=1, max_value=6))
+    builder = SocBuilder("prop_soc")
+    for index in range(num_modules):
+        chains = draw(
+            st.lists(st.integers(min_value=1, max_value=200), min_size=0, max_size=6)
+        )
+        inputs = draw(st.integers(min_value=0, max_value=40))
+        outputs = draw(st.integers(min_value=0, max_value=40))
+        bidirs = draw(st.integers(min_value=0, max_value=8))
+        patterns = draw(st.integers(min_value=1, max_value=200))
+        assume(inputs + outputs + bidirs + len(chains) > 0)
+        builder.add_module(f"m{index}", inputs, outputs, bidirs, chains, patterns)
+    return builder.build()
+
+
+ate_channels = st.sampled_from([16, 32, 64, 128])
+ate_depths = st.sampled_from([20_000, 60_000, 200_000])
+
+
+class TestArchitectureProperties:
+    @given(soc=small_socs(), channels=ate_channels, depth=ate_depths)
+    @settings(max_examples=50, deadline=None)
+    def test_step1_invariants(self, soc, channels, depth):
+        try:
+            architecture = design_architecture(soc, channels, depth)
+        except InfeasibleDesignError:
+            return  # infeasible combinations are legitimate outcomes
+        # Coverage: every module in exactly one group.
+        assigned = [name for group in architecture.groups for name in group.module_names]
+        assert sorted(assigned) == sorted(soc.module_names)
+        # Budgets.
+        assert architecture.ate_channels <= channels
+        assert all(group.fill <= depth for group in architecture.groups)
+        # Never below the theoretical lower bound.
+        bound = channel_lower_bound(soc, depth, channels)
+        assert architecture.ate_channels >= bound.ate_channels
+        # The cycle-accurate simulation agrees with the analytic test time.
+        trace = simulate_architecture(architecture)
+        assert trace.test_time_cycles == architecture.test_time_cycles
+
+    @given(soc=small_socs(), channels=ate_channels, depth=ate_depths,
+           extra=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_widening_never_hurts(self, soc, channels, depth, extra):
+        try:
+            architecture = design_architecture(soc, channels, depth)
+        except InfeasibleDesignError:
+            return
+        widened = widen_bottleneck(architecture, extra)
+        assert widened.test_time_cycles <= architecture.test_time_cycles
+        assert widened.total_width == architecture.total_width + extra
+
+    @given(soc=small_socs(), channels=ate_channels)
+    @settings(max_examples=30, deadline=None)
+    def test_deeper_memory_never_needs_more_channels(self, soc, channels):
+        shallow_depth, deep_depth = 60_000, 240_000
+        try:
+            shallow = design_architecture(soc, channels, shallow_depth)
+        except InfeasibleDesignError:
+            return
+        deep = design_architecture(soc, channels, deep_depth)
+        assert deep.ate_channels <= shallow.ate_channels

@@ -1,0 +1,90 @@
+"""Property-based tests for the Section-4 cost model (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.multisite.abort_on_fail import abort_on_fail_test_time
+from repro.multisite.cost_model import (
+    TestTiming,
+    contact_pass_probability,
+    manufacturing_pass_probability,
+)
+from repro.multisite.retest import contact_fail_rate, unique_throughput
+from repro.multisite.throughput import throughput_per_hour
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+yields = st.floats(min_value=0.5, max_value=1.0, allow_nan=False)
+terminal_counts = st.integers(min_value=1, max_value=512)
+site_counts = st.integers(min_value=1, max_value=64)
+times = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestProbabilityProperties:
+    @given(contact_yield=probabilities, terminals=terminal_counts, sites=site_counts)
+    def test_contact_pass_is_probability(self, contact_yield, terminals, sites):
+        value = contact_pass_probability(contact_yield, terminals, sites)
+        assert 0.0 <= value <= 1.0
+
+    @given(contact_yield=probabilities, terminals=terminal_counts, sites=site_counts)
+    def test_contact_pass_monotone_in_sites(self, contact_yield, terminals, sites):
+        assert contact_pass_probability(contact_yield, terminals, sites + 1) >= (
+            contact_pass_probability(contact_yield, terminals, sites) - 1e-12
+        )
+
+    @given(manufacturing_yield=probabilities, sites=site_counts)
+    def test_manufacturing_pass_monotone_in_sites(self, manufacturing_yield, sites):
+        assert manufacturing_pass_probability(manufacturing_yield, sites + 1) >= (
+            manufacturing_pass_probability(manufacturing_yield, sites) - 1e-12
+        )
+
+    @given(contact_yield=yields, terminals=terminal_counts)
+    def test_exact_fail_rate_never_exceeds_linearised(self, contact_yield, terminals):
+        exact = contact_fail_rate(contact_yield, terminals, approximate=False)
+        approx = contact_fail_rate(contact_yield, terminals, approximate=True)
+        assert exact <= approx + 1e-12
+
+
+class TestTimingProperties:
+    @given(index=times, contact=times, manufacturing=times,
+           contact_yield=yields, manufacturing_yield=probabilities,
+           terminals=terminal_counts, sites=site_counts)
+    @settings(max_examples=200)
+    def test_abort_on_fail_is_a_lower_bound(self, index, contact, manufacturing,
+                                            contact_yield, manufacturing_yield,
+                                            terminals, sites):
+        timing = TestTiming(index, contact, manufacturing)
+        reduced = abort_on_fail_test_time(
+            timing, contact_yield, manufacturing_yield, terminals, sites
+        )
+        assert 0.0 <= reduced <= timing.test_time_s + 1e-12
+
+    @given(index=times, contact=times, manufacturing=times,
+           manufacturing_yield=yields, terminals=terminal_counts, sites=site_counts)
+    @settings(max_examples=200)
+    def test_abort_on_fail_monotone_in_sites(self, index, contact, manufacturing,
+                                             manufacturing_yield, terminals, sites):
+        timing = TestTiming(index, contact, manufacturing)
+        fewer = abort_on_fail_test_time(timing, 1.0, manufacturing_yield, terminals, sites)
+        more = abort_on_fail_test_time(timing, 1.0, manufacturing_yield, terminals, sites + 1)
+        assert more >= fewer - 1e-12
+
+
+class TestThroughputProperties:
+    @given(sites=site_counts, index=st.floats(min_value=0.01, max_value=10.0),
+           test=times)
+    def test_throughput_positive_and_linear_in_sites(self, sites, index, test):
+        single = throughput_per_hour(1, index, test)
+        multi = throughput_per_hour(sites, index, test)
+        assert multi > 0
+        assert abs(multi - sites * single) < 1e-6 * max(1.0, multi)
+
+    @given(throughput=st.floats(min_value=0.0, max_value=1e6),
+           contact_yield=yields, terminals=terminal_counts)
+    def test_unique_throughput_bounded(self, throughput, contact_yield, terminals):
+        for approximate in (True, False):
+            value = unique_throughput(throughput, contact_yield, terminals, approximate)
+            assert 0.0 <= value <= throughput + 1e-9
+
+    @given(throughput=st.floats(min_value=1.0, max_value=1e6),
+           terminals=terminal_counts)
+    def test_unique_equals_throughput_at_perfect_yield(self, throughput, terminals):
+        assert unique_throughput(throughput, 1.0, terminals) == throughput

@@ -1,0 +1,52 @@
+"""Property-based round-trip tests for the .soc parser and writer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.itc02.parser import parse_soc_text
+from repro.itc02.writer import soc_to_text
+from repro.soc.builder import SocBuilder
+
+names = st.from_regex(r"[A-Za-z][A-Za-z0-9_\-\.]{0,15}", fullmatch=True)
+
+
+@st.composite
+def socs(draw):
+    soc_name = draw(names)
+    num_modules = draw(st.integers(min_value=1, max_value=8))
+    functional_pins = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=5000)))
+    builder = SocBuilder(soc_name, functional_pins=functional_pins)
+    used = set()
+    for index in range(num_modules):
+        module_name = f"{draw(names)}_{index}"
+        if module_name in used:
+            continue
+        used.add(module_name)
+        chains = draw(st.lists(st.integers(min_value=1, max_value=10_000),
+                               min_size=0, max_size=10))
+        inputs = draw(st.integers(min_value=0, max_value=500))
+        outputs = draw(st.integers(min_value=0, max_value=500))
+        bidirs = draw(st.integers(min_value=0, max_value=100))
+        if inputs + outputs + bidirs + len(chains) == 0:
+            inputs = 1
+        builder.add_module(
+            module_name,
+            inputs,
+            outputs,
+            bidirs,
+            chains,
+            draw(st.integers(min_value=1, max_value=100_000)),
+            is_memory=draw(st.booleans()),
+        )
+    return builder.build()
+
+
+class TestRoundTrip:
+    @given(soc=socs())
+    @settings(max_examples=80, deadline=None)
+    def test_write_then_parse_is_identity(self, soc):
+        assert parse_soc_text(soc_to_text(soc)) == soc
+
+    @given(soc=socs())
+    @settings(max_examples=40, deadline=None)
+    def test_serialisation_is_deterministic(self, soc):
+        assert soc_to_text(soc) == soc_to_text(soc)

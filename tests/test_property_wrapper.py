@@ -1,0 +1,116 @@
+"""Property-based tests for wrapper design and partitioning (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.soc.module import make_module
+from repro.wrapper.combine import design_wrapper, module_test_time
+from repro.wrapper.design import scan_test_time
+from repro.wrapper.partition import best_partition, lpt_partition, spread_cells
+
+
+@st.composite
+def modules_strategy(draw):
+    """Small but structurally diverse valid modules."""
+    inputs = draw(st.integers(min_value=0, max_value=60))
+    outputs = draw(st.integers(min_value=0, max_value=60))
+    bidirs = draw(st.integers(min_value=0, max_value=10))
+    scan_lengths = draw(
+        st.lists(st.integers(min_value=1, max_value=300), min_size=0, max_size=12)
+    )
+    if inputs + outputs + bidirs + len(scan_lengths) == 0:
+        inputs = 1
+    patterns = draw(st.integers(min_value=1, max_value=400))
+    return make_module("prop", inputs, outputs, bidirs, scan_lengths, patterns)
+
+
+modules = modules_strategy()
+widths = st.integers(min_value=1, max_value=24)
+
+
+class TestPartitionProperties:
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=1000), max_size=20),
+           bins=st.integers(min_value=1, max_value=8))
+    def test_lpt_places_every_item_once(self, sizes, bins):
+        partition = lpt_partition(sizes, bins)
+        placed = sorted(i for bin_items in partition.bins for i in bin_items)
+        assert placed == list(range(len(sizes)))
+
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=1000), max_size=20),
+           bins=st.integers(min_value=1, max_value=8))
+    def test_makespan_bounds(self, sizes, bins):
+        partition = best_partition(sizes, bins)
+        total = sum(sizes)
+        largest = max(sizes) if sizes else 0
+        # Any schedule is bounded below by both the average and the largest
+        # item, and LPT/BFD never exceed 2x the optimum, hence <= 2 * bound.
+        lower = max(largest, -(-total // bins))
+        assert partition.makespan >= lower
+        assert partition.makespan <= max(1, 2 * lower)
+
+    @given(base=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=10),
+           cells=st.integers(min_value=0, max_value=2000))
+    def test_spread_cells_conserves_and_balances(self, base, cells):
+        added = spread_cells(base, cells)
+        assert sum(added) == cells
+        assert all(value >= 0 for value in added)
+        final = [b + a for b, a in zip(base, added)]
+        # No chain that received a cell may end up strictly above another
+        # chain's final load by more than 1 (water-filling property).
+        received = [final[i] for i in range(len(base)) if added[i] > 0]
+        if received:
+            assert max(received) <= min(final) + 1
+
+
+class TestWrapperProperties:
+    @given(module=modules, width=widths)
+    @settings(max_examples=60, deadline=None)
+    def test_test_time_matches_formula(self, module, width):
+        design = design_wrapper(module, width)
+        assert design.test_time_cycles == scan_test_time(
+            design.max_scan_in, design.max_scan_out, module.patterns
+        )
+
+    @given(module=modules, width=widths)
+    @settings(max_examples=60, deadline=None)
+    def test_wrapper_conserves_cells_and_chains(self, module, width):
+        design = design_wrapper(module, width)
+        assert sum(chain.scan_flipflops for chain in design.chains) == module.total_scan_flipflops
+        assert sum(chain.input_cells for chain in design.chains) == module.wrapper_input_cells
+        assert sum(chain.output_cells for chain in design.chains) == module.wrapper_output_cells
+        assigned = sorted(
+            index for chain in design.chains for index in chain.scan_chain_indices
+        )
+        assert assigned == list(range(module.num_scan_chains))
+
+    @given(module=modules, width=widths)
+    @settings(max_examples=60, deadline=None)
+    def test_width_never_exceeded(self, module, width):
+        design = design_wrapper(module, width)
+        assert len(design.chains) <= width
+
+    @given(module=modules, width=widths)
+    @settings(max_examples=60, deadline=None)
+    def test_scan_paths_bounded_by_serial_case(self, module, width):
+        design = design_wrapper(module, width)
+        assert design.max_scan_in <= module.scan_in_bits
+        assert design.max_scan_out <= module.scan_out_bits
+
+    @given(module=modules, width=widths)
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bound_on_scan_in(self, module, width):
+        # A perfect partition cannot beat the ceiling of total bits / width.
+        design = design_wrapper(module, width)
+        if module.scan_in_bits:
+            assert design.max_scan_in >= -(-module.scan_in_bits // width)
+
+    @given(module=modules)
+    @settings(max_examples=40, deadline=None)
+    def test_single_wire_serialises(self, module):
+        assert module_test_time(module, 1) == scan_test_time(
+            module.scan_in_bits, module.scan_out_bits, module.patterns
+        )
+
+    @given(module=modules, width=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_wider_is_never_worse_than_serial(self, module, width):
+        assert module_test_time(module, width) <= module_test_time(module, 1)

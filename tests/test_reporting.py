@@ -1,0 +1,121 @@
+"""Unit tests for the reporting helpers (tables and series)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.reporting.series import Series, series_table
+from repro.reporting.tables import Table
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table(title="T", columns=["a", "b"])
+        table.add_row([1, "x"])
+        table.add_row([2.5, "y"])
+        text = table.render()
+        assert "T" in text and "a" in text and "x" in text
+
+    def test_row_length_checked(self):
+        table = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row([1])
+
+    def test_rows_at_construction_checked(self):
+        with pytest.raises(ConfigurationError):
+            Table(title="T", columns=["a"], rows=[["1", "2"]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table(title="T", columns=[])
+
+    def test_column_lookup(self):
+        table = Table(title="T", columns=["a", "b"], rows=[["1", "2"], ["3", "4"]])
+        assert table.column("b") == ["2", "4"]
+        with pytest.raises(KeyError):
+            table.column("zzz")
+
+    def test_float_formatting(self):
+        table = Table(title="T", columns=["v"])
+        table.add_row([3.14159])
+        assert table.rows[0][0] == "3.14"
+
+    def test_integral_float_formatting(self):
+        table = Table(title="T", columns=["v"])
+        table.add_row([5.0])
+        assert table.rows[0][0] == "5"
+
+    def test_num_rows(self):
+        table = Table(title="T", columns=["a"], rows=[["1"], ["2"]])
+        assert table.num_rows == 2
+
+    def test_markdown_output(self):
+        table = Table(title="T", columns=["a", "b"], rows=[["1", "2"]])
+        markdown = table.to_markdown()
+        assert "| a | b |" in markdown
+        assert "| 1 | 2 |" in markdown
+
+
+class TestSeries:
+    @pytest.fixture
+    def series(self):
+        return Series(name="s", x_label="x", y_label="y",
+                      points=((1.0, 10.0), (2.0, 15.0), (3.0, 30.0)))
+
+    def test_xs_ys(self, series):
+        assert series.xs == (1.0, 2.0, 3.0)
+        assert series.ys == (10.0, 15.0, 30.0)
+
+    def test_y_at(self, series):
+        assert series.y_at(2.0) == 15.0
+        with pytest.raises(KeyError):
+            series.y_at(9.0)
+
+    def test_argmax_and_extrema(self, series):
+        assert series.argmax == 3.0
+        assert series.max == 30.0
+        assert series.min == 10.0
+
+    def test_monotonicity_checks(self, series):
+        assert series.is_nondecreasing()
+        assert not series.is_nonincreasing()
+
+    def test_monotonicity_with_tolerance(self):
+        noisy = Series("n", "x", "y", ((1.0, 100.0), (2.0, 99.5), (3.0, 120.0)))
+        assert not noisy.is_nondecreasing()
+        assert noisy.is_nondecreasing(tolerance=0.01)
+
+    def test_relative_gain(self, series):
+        assert series.relative_gain() == pytest.approx(2.0)
+
+    def test_linearity_ratio(self, series):
+        # x grows 3x (gain 2.0), y grows 3x (gain 2.0) -> ratio 1.
+        assert series.linearity_ratio() == pytest.approx(1.0)
+
+    def test_linearity_ratio_sublinear(self):
+        sub = Series("s", "x", "y", ((1.0, 10.0), (2.0, 13.0)))
+        assert sub.linearity_ratio() == pytest.approx(0.3)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series("s", "x", "y", ())
+
+    def test_render_contains_name(self, series):
+        assert "s" in series.render()
+
+
+class TestSeriesTable:
+    def test_aligned_rendering(self):
+        a = Series("a", "x", "y", ((1.0, 10.0), (2.0, 20.0)))
+        b = Series("b", "x", "y", ((1.0, 5.0), (2.0, 6.0)))
+        text = series_table([a, b])
+        assert "a" in text and "b" in text
+
+    def test_mismatched_grids_rejected(self):
+        a = Series("a", "x", "y", ((1.0, 10.0),))
+        b = Series("b", "x", "y", ((2.0, 5.0),))
+        with pytest.raises(ConfigurationError):
+            series_table([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_table([])

@@ -1,0 +1,87 @@
+"""Unit tests for JSON/CSV export of results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import kilo_vectors
+from repro.ate.spec import AteSpec
+from repro.optimize.two_step import optimize_multisite
+from repro.reporting.export import (
+    architecture_to_records,
+    result_to_records,
+    series_to_record,
+    table_to_records,
+    write_csv,
+    write_json,
+)
+from repro.reporting.series import Series
+from repro.reporting.tables import Table
+from repro.tam.assignment import design_architecture
+
+
+@pytest.fixture(scope="module")
+def d695_result():
+    from repro.itc02.registry import load_benchmark
+
+    soc = load_benchmark("d695")
+    ate = AteSpec(channels=128, depth=kilo_vectors(96), frequency_hz=5e6)
+    return optimize_multisite(soc, ate)
+
+
+class TestRecordConversion:
+    def test_table_to_records(self):
+        table = Table(title="t", columns=["a", "b"], rows=[["1", "2"], ["3", "4"]])
+        records = table_to_records(table)
+        assert records == [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+
+    def test_series_to_record(self):
+        series = Series("s", "x", "y", ((1.0, 2.0), (3.0, 4.0)))
+        record = series_to_record(series)
+        assert record["name"] == "s"
+        assert record["points"] == [[1.0, 2.0], [3.0, 4.0]]
+
+    def test_architecture_records(self, medium_soc):
+        architecture = design_architecture(medium_soc, channels=64, depth=250_000)
+        records = architecture_to_records(architecture)
+        assert len(records) == architecture.num_groups
+        assert sum(len(record["modules"]) for record in records) == len(medium_soc)
+        assert all(record["fill_cycles"] <= 250_000 for record in records)
+
+    def test_result_records(self, d695_result):
+        record = result_to_records(d695_result)
+        assert record["soc"] == "d695"
+        assert record["optimal"]["sites"] == d695_result.optimal_sites
+        assert len(record["points"]) == len(d695_result.points)
+        # Must be JSON-serialisable as-is.
+        json.dumps(record)
+
+
+class TestWriters:
+    def test_write_json_roundtrip(self, tmp_path, d695_result):
+        path = write_json(result_to_records(d695_result), tmp_path / "result.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["optimal"]["sites"] == d695_result.optimal_sites
+
+    def test_write_csv(self, tmp_path, medium_soc):
+        architecture = design_architecture(medium_soc, channels=64, depth=250_000)
+        path = write_csv(architecture_to_records(architecture), tmp_path / "arch.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == architecture.num_groups
+        assert "modules" in rows[0]
+
+    def test_write_csv_flattens_lists(self, tmp_path):
+        path = write_csv([{"name": "g0", "modules": ["a", "b"]}], tmp_path / "x.csv")
+        content = path.read_text()
+        assert "a;b" in content
+
+    def test_write_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv([], tmp_path / "empty.csv")
+
+    def test_write_csv_mismatched_keys_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv([{"a": 1}, {"b": 2}], tmp_path / "bad.csv")

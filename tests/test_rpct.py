@@ -1,0 +1,112 @@
+"""Unit tests for the E-RPCT wrapper and boundary-scan models."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.rpct.boundary_scan import BoundaryScanChain, boundary_scan_for
+from repro.rpct.wrapper import (
+    DEFAULT_CONTROL_PADS,
+    DEFAULT_POWER_PADS,
+    ErpctWrapper,
+    design_erpct_wrapper,
+)
+
+
+class TestErpctWrapper:
+    def test_channels_is_inputs_plus_outputs(self):
+        wrapper = ErpctWrapper("soc", external_inputs=8, external_outputs=8,
+                               internal_tam_width=20)
+        assert wrapper.ate_channels == 16
+
+    def test_probed_pads_include_overheads(self):
+        wrapper = ErpctWrapper("soc", 8, 8, 20, control_pads=4, power_pads=8)
+        assert wrapper.probed_pads == 16 + 4 + 8
+
+    def test_signal_pads_exclude_overheads(self):
+        wrapper = ErpctWrapper("soc", 8, 8, 20)
+        assert wrapper.probed_signal_pads == 16
+
+    def test_erpct_invariant_inputs_not_exceed_width(self):
+        with pytest.raises(ConfigurationError):
+            ErpctWrapper("soc", external_inputs=30, external_outputs=30,
+                         internal_tam_width=20)
+
+    def test_zero_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ErpctWrapper("soc", 0, 4, 10)
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ErpctWrapper("soc", 4, 4, 10, control_pads=-1)
+
+    def test_pin_reduction(self):
+        wrapper = ErpctWrapper("soc", 8, 8, 20)
+        assert wrapper.pin_reduction(500) == 500 - wrapper.probed_pads
+
+    def test_pin_reduction_never_negative(self):
+        wrapper = ErpctWrapper("soc", 8, 8, 20)
+        assert wrapper.pin_reduction(4) == 0
+
+    def test_pin_reduction_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ErpctWrapper("soc", 8, 8, 20).pin_reduction(-1)
+
+    def test_describe(self):
+        assert "E-RPCT" in ErpctWrapper("soc", 8, 8, 20).describe()
+
+
+class TestDesignErpctWrapper:
+    def test_splits_channels_evenly(self, tiny_soc):
+        wrapper = design_erpct_wrapper(tiny_soc, ate_channels_per_site=24)
+        assert wrapper.external_inputs == 12
+        assert wrapper.external_outputs == 12
+
+    def test_default_width_is_half_channels(self, tiny_soc):
+        wrapper = design_erpct_wrapper(tiny_soc, 24)
+        assert wrapper.internal_tam_width == 12
+
+    def test_explicit_internal_width(self, tiny_soc):
+        wrapper = design_erpct_wrapper(tiny_soc, 24, internal_tam_width=40)
+        assert wrapper.internal_tam_width == 40
+
+    def test_odd_channel_count_rejected(self, tiny_soc):
+        with pytest.raises(ConfigurationError):
+            design_erpct_wrapper(tiny_soc, 13)
+
+    def test_default_overheads(self, tiny_soc):
+        wrapper = design_erpct_wrapper(tiny_soc, 8)
+        assert wrapper.control_pads == DEFAULT_CONTROL_PADS
+        assert wrapper.power_pads == DEFAULT_POWER_PADS
+
+    def test_soc_name_recorded(self, tiny_soc):
+        assert design_erpct_wrapper(tiny_soc, 8).soc_name == tiny_soc.name
+
+
+class TestBoundaryScan:
+    def test_from_soc_uses_functional_pins(self, tiny_soc):
+        chain = boundary_scan_for(tiny_soc)
+        assert chain.cells == tiny_soc.estimated_functional_pins
+
+    def test_longest_segment_balanced(self):
+        chain = BoundaryScanChain(cells=10, segments=3)
+        assert chain.longest_segment == 4
+
+    def test_single_segment(self):
+        assert BoundaryScanChain(cells=7).longest_segment == 7
+
+    def test_zero_cells(self):
+        assert BoundaryScanChain(cells=0).longest_segment == 0
+
+    def test_access_cycles(self):
+        assert BoundaryScanChain(cells=12, segments=4).access_cycles() == 3
+
+    def test_more_segments_than_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundaryScanChain(cells=2, segments=3)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundaryScanChain(cells=-1)
+
+    def test_describe(self):
+        assert "boundary scan" in BoundaryScanChain(cells=5).describe()

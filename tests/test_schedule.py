@@ -1,0 +1,96 @@
+"""Unit tests for the test-schedule (timeline) derivation."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.schedule.timeline import build_schedule
+from repro.sim.scan_sim import simulate_architecture
+from repro.tam.assignment import design_architecture
+from repro.wrapper.combine import module_test_time
+
+
+@pytest.fixture
+def architecture(medium_soc):
+    return design_architecture(medium_soc, channels=64, depth=250_000)
+
+
+@pytest.fixture
+def schedule(architecture):
+    return build_schedule(architecture)
+
+
+class TestBuildSchedule:
+    def test_every_module_scheduled_once(self, schedule, medium_soc):
+        names = [test.module_name for test in schedule.iter_tests()]
+        assert sorted(names) == sorted(medium_soc.module_names)
+
+    def test_makespan_equals_architecture_test_time(self, schedule, architecture):
+        assert schedule.makespan == architecture.test_time_cycles
+
+    def test_group_end_equals_group_fill(self, schedule, architecture):
+        for group, timeline in zip(architecture.groups, schedule.groups):
+            assert timeline.end_cycle == group.fill
+            assert timeline.width == group.width
+
+    def test_tests_back_to_back_without_overlap(self, schedule):
+        for timeline in schedule.groups:
+            cursor = 0
+            for test in timeline.tests:
+                assert test.start_cycle == cursor
+                assert test.end_cycle > test.start_cycle
+                cursor = test.end_cycle
+
+    def test_durations_match_wrapper_test_times(self, schedule, architecture):
+        for group in architecture.groups:
+            for module in group.modules:
+                scheduled = schedule.tests_for(module.name)
+                assert scheduled.duration == module_test_time(module, group.width)
+                assert scheduled.width == group.width
+
+    def test_matches_cycle_accurate_simulation(self, schedule, architecture):
+        trace = simulate_architecture(architecture)
+        assert schedule.makespan == trace.test_time_cycles
+        assert schedule.busy_channel_cycles == trace.total_channel_cycles
+
+    def test_unknown_module_lookup(self, schedule):
+        with pytest.raises(KeyError):
+            schedule.tests_for("nonexistent")
+
+
+class TestScheduleMetrics:
+    def test_memory_utilisation_bounds(self, schedule):
+        assert 0.0 < schedule.memory_utilisation() <= 1.0
+
+    def test_ate_utilisation_at_most_memory_utilisation(self, schedule, architecture):
+        # Using the whole ATE (more channels than the SOC needs) can only
+        # lower the utilisation.
+        full = schedule.ate_utilisation(channels=64)
+        used_only = schedule.ate_utilisation(channels=architecture.ate_channels)
+        assert full <= used_only <= 1.0
+
+    def test_ate_utilisation_invalid_channels(self, schedule):
+        with pytest.raises(ConfigurationError):
+            schedule.ate_utilisation(0)
+
+    def test_total_width(self, schedule, architecture):
+        assert schedule.total_width == architecture.total_width
+
+    def test_single_group_utilisation_is_one(self, flat_soc):
+        depth = module_test_time(flat_soc.modules[0], 6)
+        architecture = design_architecture(flat_soc, channels=32, depth=depth)
+        schedule = build_schedule(architecture)
+        assert schedule.memory_utilisation() == pytest.approx(1.0)
+
+
+class TestGanttRendering:
+    def test_render_contains_all_groups(self, schedule):
+        text = schedule.render_gantt()
+        for timeline in schedule.groups:
+            assert f"TAM {timeline.group_index}" in text
+
+    def test_render_mentions_utilisation(self, schedule):
+        assert "utilisation" in schedule.render_gantt()
+
+    def test_render_width_validated(self, schedule):
+        with pytest.raises(ConfigurationError):
+            schedule.render_gantt(width=5)

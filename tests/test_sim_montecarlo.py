@@ -1,0 +1,107 @@
+"""Unit tests for the Monte-Carlo multi-site flow simulator."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.multisite.cost_model import TestTiming
+from repro.multisite.retest import unique_throughput
+from repro.multisite.throughput import throughput_per_hour
+from repro.sim.montecarlo import FlowParameters, FlowResult, simulate_flow
+
+
+def _params(**overrides):
+    defaults = dict(
+        sites=4,
+        timing=TestTiming(0.5, 0.010, 1.5),
+        terminals_per_site=40,
+        contact_yield=1.0,
+        manufacturing_yield=1.0,
+        abort_on_fail=False,
+        retest_contact_failures=True,
+    )
+    defaults.update(overrides)
+    return FlowParameters(**defaults)
+
+
+class TestSimulateFlow:
+    def test_ideal_flow_matches_analytic_throughput(self):
+        params = _params()
+        result = simulate_flow(params, devices=4000, seed=7)
+        analytic = throughput_per_hour(4, 0.5, 1.51)
+        assert result.throughput_per_hour == pytest.approx(analytic, rel=0.01)
+
+    def test_ideal_flow_no_retests(self):
+        result = simulate_flow(_params(), devices=1000, seed=1)
+        assert result.retests == 0
+        assert result.unique_devices == 1000
+
+    def test_all_unique_devices_processed(self):
+        result = simulate_flow(_params(contact_yield=0.995), devices=2000, seed=3)
+        assert result.unique_devices == 2000
+        assert result.devices_tested >= 2000
+
+    def test_retests_increase_with_worse_contact_yield(self):
+        good = simulate_flow(_params(contact_yield=0.9999), devices=3000, seed=5)
+        bad = simulate_flow(_params(contact_yield=0.995), devices=3000, seed=5)
+        assert bad.retests > good.retests
+
+    def test_unique_throughput_close_to_exact_model(self):
+        params = _params(contact_yield=0.998)
+        result = simulate_flow(params, devices=20_000, seed=11)
+        analytic_slots = throughput_per_hour(4, 0.5, 1.51)
+        analytic_unique = unique_throughput(
+            analytic_slots, 0.998, 40, approximate=False
+        )
+        assert result.unique_throughput_per_hour == pytest.approx(analytic_unique, rel=0.05)
+
+    def test_abort_on_fail_reduces_total_time_at_low_yield_single_site(self):
+        base = simulate_flow(
+            _params(sites=1, manufacturing_yield=0.5, abort_on_fail=False),
+            devices=3000, seed=13,
+        )
+        abort = simulate_flow(
+            _params(sites=1, manufacturing_yield=0.5, abort_on_fail=True),
+            devices=3000, seed=13,
+        )
+        assert abort.total_time_s < base.total_time_s
+
+    def test_abort_on_fail_effect_vanishes_with_many_sites(self):
+        base = simulate_flow(
+            _params(sites=8, manufacturing_yield=0.7, abort_on_fail=False),
+            devices=4000, seed=17,
+        )
+        abort = simulate_flow(
+            _params(sites=8, manufacturing_yield=0.7, abort_on_fail=True),
+            devices=4000, seed=17,
+        )
+        saving = 1 - abort.total_time_s / base.total_time_s
+        assert saving < 0.02
+
+    def test_deterministic_given_seed(self):
+        first = simulate_flow(_params(contact_yield=0.999), devices=1000, seed=42)
+        second = simulate_flow(_params(contact_yield=0.999), devices=1000, seed=42)
+        assert first == second
+
+    def test_touchdown_count_ideal(self):
+        result = simulate_flow(_params(sites=5), devices=1000, seed=1)
+        assert result.touchdowns == 200
+
+    def test_invalid_devices(self):
+        with pytest.raises(ConfigurationError):
+            simulate_flow(_params(), devices=0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            _params(sites=0)
+        with pytest.raises(ConfigurationError):
+            _params(terminals_per_site=0)
+        with pytest.raises(ConfigurationError):
+            _params(contact_yield=1.5)
+
+
+class TestFlowResult:
+    def test_zero_time_guards(self):
+        result = FlowResult(touchdowns=0, devices_tested=0, unique_devices=0,
+                            retests=0, total_time_s=0.0)
+        assert result.throughput_per_hour == 0.0
+        assert result.unique_throughput_per_hour == 0.0

@@ -1,0 +1,94 @@
+"""Unit tests for the cycle-level scan-shift simulator."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.soc.module import make_module
+from repro.sim.scan_sim import (
+    simulate_architecture,
+    simulate_module_at_width,
+    simulate_module_test,
+)
+from repro.tam.assignment import design_architecture
+from repro.wrapper.combine import design_wrapper, module_test_time
+
+
+class TestSimulateModuleTest:
+    def test_matches_analytic_formula(self):
+        module = make_module("m", 6, 4, 1, [80, 60, 50], 25)
+        for width in (1, 2, 3, 4, 6):
+            trace = simulate_module_at_width(module, width)
+            assert trace.total_cycles == module_test_time(module, width)
+
+    def test_matches_formula_no_scan(self):
+        module = make_module("comb", 32, 32, 0, [], 12)
+        for width in (1, 4, 16):
+            trace = simulate_module_at_width(module, width)
+            assert trace.total_cycles == module_test_time(module, width)
+
+    def test_all_patterns_applied(self):
+        module = make_module("m", 2, 2, 0, [30], 7)
+        trace = simulate_module_at_width(module, 1)
+        assert trace.patterns_applied == 7
+        assert trace.capture_cycles == 7
+        assert not trace.aborted
+
+    def test_abort_on_failing_pattern(self):
+        module = make_module("m", 2, 2, 0, [30], 10)
+        trace = simulate_module_at_width(module, 1, fail_at_pattern=3)
+        assert trace.aborted
+        assert trace.patterns_applied == 3
+        full = simulate_module_at_width(module, 1)
+        assert trace.total_cycles < full.total_cycles
+
+    def test_fail_at_last_pattern_is_not_abort(self):
+        module = make_module("m", 2, 2, 0, [30], 10)
+        trace = simulate_module_at_width(module, 1, fail_at_pattern=10)
+        assert not trace.aborted
+        assert trace.total_cycles == simulate_module_at_width(module, 1).total_cycles
+
+    def test_fail_beyond_patterns_ignored(self):
+        module = make_module("m", 2, 2, 0, [30], 5)
+        trace = simulate_module_at_width(module, 1, fail_at_pattern=99)
+        assert not trace.aborted
+        assert trace.patterns_applied == 5
+
+    def test_invalid_fail_index(self):
+        module = make_module("m", 2, 2, 0, [30], 5)
+        design = design_wrapper(module, 1)
+        with pytest.raises(ConfigurationError):
+            simulate_module_test(design, fail_at_pattern=0)
+
+    def test_module_name_recorded(self):
+        module = make_module("xyz", 2, 2, 0, [30], 5)
+        assert simulate_module_at_width(module, 1).module_name == "xyz"
+
+
+class TestSimulateArchitecture:
+    def test_matches_analytic_architecture_time(self, medium_soc):
+        architecture = design_architecture(medium_soc, channels=64, depth=250_000)
+        trace = simulate_architecture(architecture)
+        assert trace.test_time_cycles == architecture.test_time_cycles
+
+    def test_group_traces_match_fills(self, medium_soc):
+        architecture = design_architecture(medium_soc, channels=64, depth=250_000)
+        trace = simulate_architecture(architecture)
+        for group, group_trace in zip(architecture.groups, trace.group_traces):
+            assert group_trace.total_cycles == group.fill
+            assert group_trace.width == group.width
+
+    def test_total_channel_cycles(self, tiny_soc):
+        architecture = design_architecture(tiny_soc, channels=16, depth=10**7)
+        trace = simulate_architecture(architecture)
+        expected = sum(
+            2 * group.width * group.fill for group in architecture.groups
+        )
+        assert trace.total_channel_cycles == expected
+
+    def test_d695_architecture_simulation(self, d695):
+        from repro.core.units import kilo_vectors
+
+        architecture = design_architecture(d695, channels=256, depth=kilo_vectors(64))
+        trace = simulate_architecture(architecture)
+        assert trace.test_time_cycles == architecture.test_time_cycles
+        assert trace.soc_name == "d695"

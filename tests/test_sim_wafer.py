@@ -1,0 +1,81 @@
+"""Unit tests for the wafer map and touchdown plan."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.sim.wafer import TouchdownPlan, WaferMap
+
+
+class TestWaferMap:
+    def test_die_count_reasonable_for_300mm(self):
+        wafer = WaferMap(diameter_mm=300, die_width_mm=10, die_height_mm=10)
+        # A 300 mm wafer holds on the order of (pi * 147^2) / 100 ~ 670 dies.
+        assert 500 <= wafer.dies_per_wafer <= 700
+
+    def test_smaller_dies_mean_more_dies(self):
+        big = WaferMap(die_width_mm=20, die_height_mm=20).dies_per_wafer
+        small = WaferMap(die_width_mm=10, die_height_mm=10).dies_per_wafer
+        assert small > 3 * big
+
+    def test_dies_within_usable_radius(self):
+        wafer = WaferMap(diameter_mm=100, die_width_mm=10, die_height_mm=10)
+        radius = wafer.usable_radius_mm
+        for column, row in wafer.die_positions():
+            x = (column + 0.5) * wafer.die_width_mm
+            y = (row + 0.5) * wafer.die_height_mm
+            assert (x ** 2 + y ** 2) ** 0.5 <= radius + max(
+                wafer.die_width_mm, wafer.die_height_mm
+            )
+
+    def test_edge_exclusion_reduces_dies(self):
+        tight = WaferMap(edge_exclusion_mm=0.0).dies_per_wafer
+        loose = WaferMap(edge_exclusion_mm=20.0).dies_per_wafer
+        assert loose < tight
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            WaferMap(diameter_mm=0)
+        with pytest.raises(ConfigurationError):
+            WaferMap(die_width_mm=-1)
+        with pytest.raises(ConfigurationError):
+            WaferMap(edge_exclusion_mm=200, diameter_mm=300)
+
+
+class TestTouchdownPlan:
+    @pytest.fixture
+    def wafer(self):
+        return WaferMap(diameter_mm=200, die_width_mm=10, die_height_mm=10)
+
+    def test_every_die_probed_exactly_once(self, wafer):
+        plan = TouchdownPlan(wafer=wafer, sites=4)
+        probed = [die for block in plan.touchdowns() for die in block]
+        assert sorted(probed) == sorted(wafer.die_positions())
+
+    def test_no_touchdown_exceeds_sites(self, wafer):
+        plan = TouchdownPlan(wafer=wafer, sites=4)
+        assert all(len(block) <= 4 for block in plan.touchdowns())
+
+    def test_more_sites_fewer_touchdowns(self, wafer):
+        single = TouchdownPlan(wafer=wafer, sites=1).num_touchdowns
+        multi = TouchdownPlan(wafer=wafer, sites=8).num_touchdowns
+        assert multi < single
+        assert single == wafer.dies_per_wafer
+
+    def test_utilisation_bounds(self, wafer):
+        plan = TouchdownPlan(wafer=wafer, sites=6)
+        assert 0.0 < plan.site_utilisation <= 1.0
+
+    def test_single_site_full_utilisation(self, wafer):
+        assert TouchdownPlan(wafer=wafer, sites=1).site_utilisation == 1.0
+
+    def test_wafer_test_time(self, wafer):
+        plan = TouchdownPlan(wafer=wafer, sites=4)
+        assert plan.wafer_test_time_s(0.5, 1.5) == pytest.approx(plan.num_touchdowns * 2.0)
+
+    def test_invalid_sites(self, wafer):
+        with pytest.raises(ConfigurationError):
+            TouchdownPlan(wafer=wafer, sites=0)
+
+    def test_negative_times_rejected(self, wafer):
+        with pytest.raises(ConfigurationError):
+            TouchdownPlan(wafer=wafer, sites=2).wafer_test_time_s(-1, 1)

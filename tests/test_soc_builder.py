@@ -1,0 +1,72 @@
+"""Unit tests for repro.soc.builder."""
+
+import pytest
+
+from repro.core.exceptions import InvalidSocError
+from repro.soc.builder import SocBuilder
+from repro.soc.module import make_module
+
+
+class TestBuilder:
+    def test_build_simple(self):
+        soc = (
+            SocBuilder("s")
+            .add_module("a", 1, 1, 0, [10], 5)
+            .add_module("b", 2, 2, 0, [], 7)
+            .build()
+        )
+        assert soc.module_names == ("a", "b")
+
+    def test_fluent_returns_self(self):
+        builder = SocBuilder("s")
+        assert builder.add_module("a", 1, 1, 0, [10], 5) is builder
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidSocError):
+            SocBuilder("")
+
+    def test_build_without_modules_rejected(self):
+        with pytest.raises(InvalidSocError):
+            SocBuilder("s").build()
+
+    def test_duplicate_module_rejected(self):
+        builder = SocBuilder("s").add_module("a", 1, 1, 0, [10], 5)
+        with pytest.raises(InvalidSocError):
+            builder.add_module("a", 1, 1, 0, [10], 5)
+
+    def test_duplicate_via_add_rejected(self):
+        builder = SocBuilder("s").add_module("a", 1, 1, 0, [10], 5)
+        with pytest.raises(InvalidSocError):
+            builder.add(make_module("a", 1, 1, 0, [5], 2))
+
+    def test_add_prebuilt_module(self):
+        module = make_module("core", 3, 3, 0, [7, 7], 11)
+        soc = SocBuilder("s").add(module).build()
+        assert soc.module("core") is module
+
+    def test_functional_pins_via_constructor(self):
+        soc = SocBuilder("s", functional_pins=123).add_module("a", 1, 1, 0, [5], 2).build()
+        assert soc.functional_pins == 123
+
+    def test_functional_pins_via_setter(self):
+        soc = (
+            SocBuilder("s").with_functional_pins(55).add_module("a", 1, 1, 0, [5], 2).build()
+        )
+        assert soc.functional_pins == 55
+
+    def test_negative_functional_pins_rejected(self):
+        with pytest.raises(InvalidSocError):
+            SocBuilder("s").with_functional_pins(-2)
+
+    def test_num_modules_counter(self):
+        builder = SocBuilder("s")
+        assert builder.num_modules == 0
+        builder.add_module("a", 1, 1, 0, [5], 2)
+        assert builder.num_modules == 1
+
+    def test_name_property(self):
+        assert SocBuilder("abc").name == "abc"
+
+    def test_invalid_module_parameters_propagate(self):
+        with pytest.raises(InvalidSocError):
+            SocBuilder("s").add_module("a", -1, 1, 0, [5], 2)

@@ -1,0 +1,114 @@
+"""Unit tests for repro.soc.module."""
+
+import pytest
+
+from repro.core.exceptions import InvalidSocError
+from repro.soc.module import Module, ScanChain, make_module
+
+
+class TestScanChain:
+    def test_positive_length_ok(self):
+        assert ScanChain(length=10).length == 10
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(InvalidSocError):
+            ScanChain(length=0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(InvalidSocError):
+            ScanChain(length=-5)
+
+    def test_name_default_empty(self):
+        assert ScanChain(length=1).name == ""
+
+
+class TestModuleConstruction:
+    def test_make_module_builds_chains(self):
+        module = make_module("m", 4, 4, 0, [10, 20, 30], 7)
+        assert module.num_scan_chains == 3
+        assert module.scan_lengths == (10, 20, 30)
+
+    def test_chain_names_generated(self):
+        module = make_module("core", 1, 1, 0, [5, 5], 3)
+        assert module.scan_chains[0].name == "core.sc0"
+        assert module.scan_chains[1].name == "core.sc1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidSocError):
+            make_module("", 1, 1, 0, [5], 3)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(InvalidSocError):
+            make_module("m", -1, 1, 0, [5], 3)
+
+    def test_negative_outputs_rejected(self):
+        with pytest.raises(InvalidSocError):
+            make_module("m", 1, -1, 0, [5], 3)
+
+    def test_negative_bidirs_rejected(self):
+        with pytest.raises(InvalidSocError):
+            make_module("m", 1, 1, -1, [5], 3)
+
+    def test_zero_patterns_rejected(self):
+        with pytest.raises(InvalidSocError):
+            make_module("m", 1, 1, 0, [5], 0)
+
+    def test_completely_empty_module_rejected(self):
+        with pytest.raises(InvalidSocError):
+            make_module("m", 0, 0, 0, [], 3)
+
+    def test_module_without_scan_but_with_terminals_ok(self):
+        module = make_module("comb", 32, 32, 0, [], 12)
+        assert module.total_scan_flipflops == 0
+
+    def test_scan_chains_normalised_to_tuple(self):
+        module = Module(
+            name="m", inputs=1, outputs=1, bidirs=0,
+            scan_chains=[ScanChain(4)], patterns=2,  # type: ignore[arg-type]
+        )
+        assert isinstance(module.scan_chains, tuple)
+
+    def test_module_is_hashable(self):
+        module = make_module("m", 1, 1, 0, [5], 3)
+        assert hash(module) == hash(module)
+
+
+class TestDerivedQuantities:
+    @pytest.fixture
+    def module(self) -> Module:
+        return make_module("m", inputs=10, outputs=6, bidirs=2,
+                           scan_lengths=[100, 50, 50], patterns=20)
+
+    def test_total_scan_flipflops(self, module):
+        assert module.total_scan_flipflops == 200
+
+    def test_scan_in_bits(self, module):
+        assert module.scan_in_bits == 200 + 10 + 2
+
+    def test_scan_out_bits(self, module):
+        assert module.scan_out_bits == 200 + 6 + 2
+
+    def test_wrapper_input_cells(self, module):
+        assert module.wrapper_input_cells == 12
+
+    def test_wrapper_output_cells(self, module):
+        assert module.wrapper_output_cells == 8
+
+    def test_test_data_volume(self, module):
+        assert module.test_data_volume_bits == 20 * (212 + 208)
+
+    def test_max_useful_width(self, module):
+        # 3 scan chains + 12 input cells = 15 scan-in items (dominant side).
+        assert module.max_useful_width == 15
+
+    def test_max_useful_width_no_scan(self):
+        module = make_module("comb", 3, 7, 0, [], 5)
+        assert module.max_useful_width == 7
+
+    def test_describe_mentions_name_and_kind(self, module):
+        text = module.describe()
+        assert "m" in text and "logic" in text
+
+    def test_describe_memory(self):
+        module = make_module("ram", 4, 4, 0, [], 10, is_memory=True)
+        assert "memory" in module.describe()

@@ -1,0 +1,42 @@
+"""Unit tests for the synthetic PNX8550 model."""
+
+from repro.soc.pnx8550 import (
+    PNX8550_NUM_LOGIC,
+    PNX8550_NUM_MEMORY,
+    PNX8550_TARGET_MIN_AREA,
+    make_pnx8550,
+)
+from repro.soc.synthetic import total_min_area
+from repro.soc.validation import Severity, validate_soc
+
+
+class TestPnx8550Model:
+    def test_module_counts_match_paper(self):
+        soc = make_pnx8550()
+        assert len(soc.logic_modules) == PNX8550_NUM_LOGIC == 62
+        assert len(soc.memory_modules) == PNX8550_NUM_MEMORY == 212
+
+    def test_total_module_count(self):
+        assert len(make_pnx8550()) == 274
+
+    def test_caching_returns_same_object(self):
+        assert make_pnx8550() is make_pnx8550()
+
+    def test_calibrated_area(self):
+        area = total_min_area(make_pnx8550())
+        assert abs(area - PNX8550_TARGET_MIN_AREA) / PNX8550_TARGET_MIN_AREA < 0.02
+
+    def test_name(self):
+        assert make_pnx8550().name == "pnx8550"
+
+    def test_no_validation_errors(self):
+        issues = validate_soc(make_pnx8550())
+        assert not any(issue.severity is Severity.ERROR for issue in issues)
+
+    def test_functional_pins_recorded(self):
+        assert make_pnx8550().functional_pins == 1600
+
+    def test_memory_modules_are_flagged(self):
+        soc = make_pnx8550()
+        assert all(module.is_memory for module in soc.memory_modules)
+        assert not any(module.is_memory for module in soc.logic_modules)

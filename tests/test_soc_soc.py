@@ -1,0 +1,120 @@
+"""Unit tests for repro.soc.soc."""
+
+import pytest
+
+from repro.core.exceptions import InvalidSocError
+from repro.soc.module import make_module
+from repro.soc.soc import Soc, flatten
+
+
+def _module(name: str, patterns: int = 10):
+    return make_module(name, 4, 4, 0, [16, 16], patterns)
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        soc = Soc(name="x", modules=(_module("a"), _module("b")))
+        assert len(soc) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidSocError):
+            Soc(name="", modules=(_module("a"),))
+
+    def test_no_modules_rejected(self):
+        with pytest.raises(InvalidSocError):
+            Soc(name="x", modules=())
+
+    def test_duplicate_module_names_rejected(self):
+        with pytest.raises(InvalidSocError):
+            Soc(name="x", modules=(_module("a"), _module("a")))
+
+    def test_negative_functional_pins_rejected(self):
+        with pytest.raises(InvalidSocError):
+            Soc(name="x", modules=(_module("a"),), functional_pins=-1)
+
+    def test_modules_normalised_to_tuple(self):
+        soc = Soc(name="x", modules=[_module("a")])  # type: ignore[arg-type]
+        assert isinstance(soc.modules, tuple)
+
+
+class TestContainerProtocol:
+    @pytest.fixture
+    def soc(self):
+        return Soc(name="x", modules=(_module("a"), _module("b"), _module("c")))
+
+    def test_iteration_order(self, soc):
+        assert [module.name for module in soc] == ["a", "b", "c"]
+
+    def test_len(self, soc):
+        assert len(soc) == 3
+
+    def test_contains_by_name(self, soc):
+        assert "b" in soc
+        assert "z" not in soc
+
+    def test_contains_by_module(self, soc):
+        assert soc.modules[0] in soc
+
+    def test_module_lookup(self, soc):
+        assert soc.module("b").name == "b"
+
+    def test_module_lookup_missing_raises(self, soc):
+        with pytest.raises(KeyError):
+            soc.module("zzz")
+
+    def test_module_names(self, soc):
+        assert soc.module_names == ("a", "b", "c")
+
+
+class TestDerivedQuantities:
+    def test_is_flat(self):
+        assert Soc(name="x", modules=(_module("a"),)).is_flat
+        assert not Soc(name="x", modules=(_module("a"), _module("b"))).is_flat
+
+    def test_logic_and_memory_split(self):
+        memory = make_module("ram", 4, 4, 0, [], 10, is_memory=True)
+        soc = Soc(name="x", modules=(_module("a"), memory))
+        assert [m.name for m in soc.logic_modules] == ["a"]
+        assert [m.name for m in soc.memory_modules] == ["ram"]
+
+    def test_total_scan_flipflops(self):
+        soc = Soc(name="x", modules=(_module("a"), _module("b")))
+        assert soc.total_scan_flipflops == 2 * 32
+
+    def test_total_patterns(self):
+        soc = Soc(name="x", modules=(_module("a", 10), _module("b", 20)))
+        assert soc.total_patterns == 30
+
+    def test_test_data_volume_is_sum(self):
+        a, b = _module("a"), _module("b")
+        soc = Soc(name="x", modules=(a, b))
+        assert soc.test_data_volume_bits == a.test_data_volume_bits + b.test_data_volume_bits
+
+    def test_estimated_functional_pins_explicit(self):
+        soc = Soc(name="x", modules=(_module("a"),), functional_pins=99)
+        assert soc.estimated_functional_pins == 99
+
+    def test_estimated_functional_pins_fallback(self):
+        soc = Soc(name="x", modules=(_module("a"), _module("b")))
+        assert soc.estimated_functional_pins == 2 * 8
+
+    def test_describe_contains_counts(self):
+        soc = Soc(name="chipx", modules=(_module("a"),))
+        assert "chipx" in soc.describe()
+
+
+class TestFlatten:
+    def test_flatten_merges_everything(self, tiny_soc):
+        flat = flatten(tiny_soc)
+        assert flat.is_flat
+        merged = flat.modules[0]
+        assert merged.total_scan_flipflops == tiny_soc.total_scan_flipflops
+        assert merged.patterns == tiny_soc.total_patterns
+        assert merged.inputs == sum(m.inputs for m in tiny_soc.modules)
+        assert merged.outputs == sum(m.outputs for m in tiny_soc.modules)
+
+    def test_flatten_custom_name(self, tiny_soc):
+        assert flatten(tiny_soc, name="flat_chip").name == "flat_chip"
+
+    def test_flatten_preserves_functional_pins(self, tiny_soc):
+        assert flatten(tiny_soc).functional_pins == tiny_soc.functional_pins

@@ -1,0 +1,94 @@
+"""Unit tests for repro.soc.synthetic."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.soc.synthetic import (
+    LogicModuleProfile,
+    MemoryModuleProfile,
+    make_synthetic_soc,
+    total_min_area,
+)
+
+
+class TestGeneration:
+    def test_module_counts(self):
+        soc = make_synthetic_soc("syn", num_logic=5, num_memory=3, seed=1)
+        assert len(soc.logic_modules) == 5
+        assert len(soc.memory_modules) == 3
+
+    def test_determinism_same_seed(self):
+        a = make_synthetic_soc("syn", 6, 4, seed=99)
+        b = make_synthetic_soc("syn", 6, 4, seed=99)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = make_synthetic_soc("syn", 6, 4, seed=1)
+        b = make_synthetic_soc("syn", 6, 4, seed=2)
+        assert a != b
+
+    def test_memory_modules_have_no_scan(self):
+        soc = make_synthetic_soc("syn", 2, 5, seed=3)
+        assert all(module.num_scan_chains == 0 for module in soc.memory_modules)
+
+    def test_logic_modules_have_scan(self):
+        soc = make_synthetic_soc("syn", 5, 0, seed=3)
+        assert all(module.num_scan_chains >= 1 for module in soc.logic_modules)
+
+    def test_functional_pins_recorded(self):
+        soc = make_synthetic_soc("syn", 2, 2, seed=1, functional_pins=321)
+        assert soc.functional_pins == 321
+
+    def test_unique_module_names(self):
+        soc = make_synthetic_soc("syn", 20, 20, seed=5)
+        names = soc.module_names
+        assert len(names) == len(set(names))
+
+    def test_logic_profile_respected(self):
+        profile = LogicModuleProfile(min_flipflops=100, max_flipflops=200,
+                                     median_flipflops=150, sigma_flipflops=0.5)
+        soc = make_synthetic_soc("syn", 10, 0, seed=7, logic_profile=profile)
+        for module in soc.logic_modules:
+            assert 100 <= module.total_scan_flipflops <= 200
+
+    def test_memory_profile_respected(self):
+        profile = MemoryModuleProfile(min_patterns=50, max_patterns=60,
+                                      median_patterns=55)
+        soc = make_synthetic_soc("syn", 0, 10, seed=7, memory_profile=profile)
+        for module in soc.memory_modules:
+            assert 50 <= module.patterns <= 60
+
+
+class TestCalibration:
+    def test_target_min_area_hit_within_tolerance(self):
+        target = 5_000_000
+        soc = make_synthetic_soc("syn", 8, 4, seed=11, target_min_area=target)
+        area = total_min_area(soc)
+        assert abs(area - target) / target < 0.05
+
+    def test_total_min_area_positive(self):
+        soc = make_synthetic_soc("syn", 3, 3, seed=1)
+        assert total_min_area(soc) > 0
+
+    def test_calibration_scales_patterns_not_structure(self):
+        uncalibrated = make_synthetic_soc("syn", 4, 2, seed=13)
+        calibrated = make_synthetic_soc("syn", 4, 2, seed=13,
+                                        target_min_area=2 * total_min_area(uncalibrated))
+        for before, after in zip(uncalibrated.modules, calibrated.modules):
+            assert before.scan_lengths == after.scan_lengths
+            assert before.inputs == after.inputs
+            assert after.patterns >= before.patterns
+
+
+class TestValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_synthetic_soc("syn", -1, 0, seed=1)
+
+    def test_zero_modules_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_synthetic_soc("syn", 0, 0, seed=1)
+
+    def test_nonpositive_target_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_synthetic_soc("syn", 1, 1, seed=1, target_min_area=0)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.soc.validation."""
+
+import pytest
+
+from repro.soc.builder import SocBuilder
+from repro.soc.module import make_module
+from repro.soc.soc import Soc
+from repro.soc.validation import (
+    Severity,
+    ValidationIssue,
+    format_issues,
+    has_errors,
+    validate_soc,
+)
+
+
+class TestValidateSoc:
+    def test_healthy_soc_has_no_warnings_or_errors(self, tiny_soc):
+        issues = validate_soc(tiny_soc)
+        assert not any(issue.severity in (Severity.WARNING, Severity.ERROR) for issue in issues)
+
+    def test_single_pattern_module_flagged_info(self):
+        soc = SocBuilder("s").add_module("a", 1, 1, 0, [5], 1).build()
+        issues = validate_soc(soc)
+        assert any(issue.severity is Severity.INFO for issue in issues)
+
+    def test_huge_scan_chain_warned(self):
+        soc = SocBuilder("s").add_module("a", 1, 1, 0, [200_000], 5).build()
+        issues = validate_soc(soc)
+        assert any(
+            issue.severity is Severity.WARNING and "long" in issue.message for issue in issues
+        )
+
+    def test_huge_pattern_count_warned(self):
+        soc = SocBuilder("s").add_module("a", 1, 1, 0, [5], 20_000_000).build()
+        assert any(issue.severity is Severity.WARNING for issue in validate_soc(soc))
+
+    def test_many_scan_chains_warned(self):
+        soc = SocBuilder("s").add_module("a", 1, 1, 0, [2] * 2000, 5).build()
+        assert any(
+            "scan chains" in issue.message and issue.severity is Severity.WARNING
+            for issue in validate_soc(soc)
+        )
+
+    def test_scanless_module_with_many_terminals_warned(self):
+        soc = SocBuilder("s").add_module("pads", 900, 300, 0, [], 10).build()
+        assert any("no scan chains" in issue.message for issue in validate_soc(soc))
+
+    def test_issue_carries_module_name(self):
+        soc = SocBuilder("s").add_module("weird", 1, 1, 0, [5], 1).build()
+        issues = [issue for issue in validate_soc(soc) if issue.module_name == "weird"]
+        assert issues
+
+
+class TestHelpers:
+    def test_has_errors_false_for_warnings(self):
+        issues = [ValidationIssue(Severity.WARNING, "w")]
+        assert not has_errors(issues)
+
+    def test_has_errors_true_for_error(self):
+        issues = [ValidationIssue(Severity.ERROR, "e")]
+        assert has_errors(issues)
+
+    def test_format_issues_empty(self):
+        assert format_issues([]) == ""
+
+    def test_format_issues_includes_severity_and_module(self):
+        text = format_issues([ValidationIssue(Severity.WARNING, "odd", module_name="core1")])
+        assert "WARNING" in text and "core1" in text and "odd" in text
+
+    def test_str_of_issue_without_module(self):
+        assert "INFO" in str(ValidationIssue(Severity.INFO, "note"))

@@ -1,0 +1,115 @@
+"""Unit tests for repro.tam.architecture."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, InvalidSocError
+from repro.soc.builder import SocBuilder
+from repro.tam.architecture import TestArchitecture
+from repro.tam.channel_group import ChannelGroup
+
+
+@pytest.fixture
+def soc():
+    return (
+        SocBuilder("s")
+        .add_module("a", 4, 4, 0, [60, 40], 20)
+        .add_module("b", 8, 2, 0, [30, 30, 30], 15)
+        .add_module("c", 2, 2, 0, [10], 5)
+        .build()
+    )
+
+
+def _architecture(soc, depth=10_000):
+    groups = (
+        ChannelGroup(index=0, width=2, modules=(soc.module("a"), soc.module("c"))),
+        ChannelGroup(index=1, width=1, modules=(soc.module("b"),)),
+    )
+    return TestArchitecture(soc=soc, groups=groups, depth=depth)
+
+
+class TestConstruction:
+    def test_valid_architecture(self, soc):
+        arch = _architecture(soc)
+        assert arch.num_groups == 2
+
+    def test_missing_module_rejected(self, soc):
+        groups = (ChannelGroup(0, 2, (soc.module("a"),)),)
+        with pytest.raises(InvalidSocError, match="not assigned"):
+            TestArchitecture(soc=soc, groups=groups, depth=1000)
+
+    def test_duplicate_assignment_rejected(self, soc):
+        groups = (
+            ChannelGroup(0, 2, (soc.module("a"), soc.module("b"), soc.module("c"))),
+            ChannelGroup(1, 1, (soc.module("a"),)),
+        )
+        with pytest.raises(InvalidSocError, match="more than one"):
+            TestArchitecture(soc=soc, groups=groups, depth=1000)
+
+    def test_unknown_module_rejected(self, soc):
+        from repro.soc.module import make_module
+
+        stranger = make_module("zz", 1, 1, 0, [5], 2)
+        groups = (
+            ChannelGroup(0, 2, (soc.module("a"), soc.module("b"), soc.module("c"), stranger)),
+        )
+        with pytest.raises(InvalidSocError, match="unknown"):
+            TestArchitecture(soc=soc, groups=groups, depth=1000)
+
+    def test_empty_groups_rejected(self, soc):
+        with pytest.raises(ConfigurationError):
+            TestArchitecture(soc=soc, groups=(), depth=1000)
+
+    def test_nonpositive_depth_rejected(self, soc):
+        groups = (ChannelGroup(0, 1, tuple(soc.modules)),)
+        with pytest.raises(ConfigurationError):
+            TestArchitecture(soc=soc, groups=groups, depth=0)
+
+
+class TestDerivedQuantities:
+    def test_total_width_and_channels(self, soc):
+        arch = _architecture(soc)
+        assert arch.total_width == 3
+        assert arch.ate_channels == 6
+
+    def test_test_time_is_max_fill(self, soc):
+        arch = _architecture(soc)
+        assert arch.test_time_cycles == max(group.fill for group in arch.groups)
+
+    def test_fills_in_group_order(self, soc):
+        arch = _architecture(soc)
+        assert arch.fills == tuple(group.fill for group in arch.groups)
+
+    def test_fits_depth(self, soc):
+        arch = _architecture(soc, depth=10**7)
+        assert arch.fits_depth
+        tight = _architecture(soc, depth=arch.test_time_cycles - 1)
+        assert not tight.fits_depth
+
+    def test_free_memory_total(self, soc):
+        arch = _architecture(soc, depth=10**5)
+        expected = sum(group.free_memory(10**5) for group in arch.groups)
+        assert arch.free_memory == expected
+
+    def test_group_of(self, soc):
+        arch = _architecture(soc)
+        assert arch.group_of("b").index == 1
+        with pytest.raises(KeyError):
+            arch.group_of("nope")
+
+    def test_describe_lists_groups(self, soc):
+        text = _architecture(soc).describe()
+        assert "group 0" in text and "group 1" in text
+
+
+class TestFunctionalUpdates:
+    def test_with_group_width(self, soc):
+        arch = _architecture(soc)
+        widened = arch.with_group_width(0, 5)
+        assert widened.groups[0].width == 5
+        assert widened.groups[1].width == arch.groups[1].width
+        assert arch.groups[0].width == 2  # original untouched
+
+    def test_with_groups_revalidates(self, soc):
+        arch = _architecture(soc)
+        with pytest.raises(InvalidSocError):
+            arch.with_groups((arch.groups[0],))

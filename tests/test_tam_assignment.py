@@ -1,0 +1,95 @@
+"""Unit tests for the Step-1 channel-group assignment heuristic."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.soc.builder import SocBuilder
+from repro.tam.assignment import design_architecture, minimum_widths
+from repro.wrapper.combine import min_width_for_depth, module_test_time
+
+
+class TestMinimumWidths:
+    def test_matches_per_module_computation(self, medium_soc):
+        depth = 250_000
+        widths = minimum_widths(medium_soc, depth, 64)
+        for module in medium_soc.modules:
+            assert widths[module.name] == min_width_for_depth(module, depth, 64)
+
+    def test_invalid_budget_rejected(self, medium_soc):
+        with pytest.raises(ConfigurationError):
+            minimum_widths(medium_soc, 1000, 0)
+
+    def test_infeasible_module_raises(self):
+        soc = SocBuilder("s").add_module("huge", 0, 0, 0, [5000] * 4, 5000).build()
+        with pytest.raises(InfeasibleDesignError):
+            minimum_widths(soc, 1000, 4)
+
+
+class TestDesignArchitecture:
+    def test_covers_all_modules_once(self, medium_soc):
+        arch = design_architecture(medium_soc, channels=64, depth=250_000)
+        assigned = [name for group in arch.groups for name in group.module_names]
+        assert sorted(assigned) == sorted(medium_soc.module_names)
+
+    def test_respects_depth(self, medium_soc):
+        arch = design_architecture(medium_soc, channels=64, depth=250_000)
+        assert all(group.fill <= 250_000 for group in arch.groups)
+
+    def test_respects_channel_budget(self, medium_soc):
+        arch = design_architecture(medium_soc, channels=64, depth=250_000)
+        assert arch.ate_channels <= 64
+
+    def test_channels_even(self, medium_soc):
+        arch = design_architecture(medium_soc, channels=64, depth=250_000)
+        assert arch.ate_channels % 2 == 0
+
+    def test_deeper_memory_never_needs_more_channels(self, medium_soc):
+        shallow = design_architecture(medium_soc, channels=256, depth=150_000)
+        deep = design_architecture(medium_soc, channels=256, depth=600_000)
+        assert deep.ate_channels <= shallow.ate_channels
+
+    def test_single_module_soc(self, flat_soc):
+        depth = module_test_time(flat_soc.modules[0], 6)
+        arch = design_architecture(flat_soc, channels=32, depth=depth)
+        assert arch.num_groups == 1
+        assert arch.total_width <= 6
+        assert arch.test_time_cycles <= depth
+
+    def test_tiny_soc_wide_budget_single_group_possible(self, tiny_soc):
+        # With a huge depth every module fits a 1-wire TAM.
+        arch = design_architecture(tiny_soc, channels=256, depth=10**8)
+        assert arch.total_width == 1
+        assert arch.num_groups == 1
+
+    def test_infeasible_when_depth_too_small(self):
+        soc = SocBuilder("s").add_module("big", 0, 0, 0, [400] * 4, 300).build()
+        with pytest.raises(InfeasibleDesignError):
+            design_architecture(soc, channels=8, depth=1000)
+
+    def test_infeasible_when_budget_exhausted(self):
+        # Each module alone fits, but together they need more than 4 wires.
+        builder = SocBuilder("s")
+        for index in range(6):
+            builder.add_module(f"m{index}", 0, 0, 0, [300, 300], 200)
+        soc = builder.build()
+        tight_depth = module_test_time(soc.modules[0], 1)  # exactly one module per wire
+        with pytest.raises(InfeasibleDesignError):
+            design_architecture(soc, channels=8, depth=tight_depth)
+
+    def test_invalid_channel_count(self, tiny_soc):
+        with pytest.raises(ConfigurationError):
+            design_architecture(tiny_soc, channels=1, depth=1000)
+
+    def test_deterministic(self, medium_soc):
+        first = design_architecture(medium_soc, channels=64, depth=250_000)
+        second = design_architecture(medium_soc, channels=64, depth=250_000)
+        assert first == second
+
+    def test_d695_matches_paper_channel_counts(self, d695):
+        # Reference points from the paper's Table 1 (48 K and 128 K rows).
+        from repro.core.units import kilo_vectors
+
+        arch48 = design_architecture(d695, channels=256, depth=kilo_vectors(48))
+        arch128 = design_architecture(d695, channels=256, depth=kilo_vectors(128))
+        assert arch48.ate_channels == 28
+        assert arch128.ate_channels == 12

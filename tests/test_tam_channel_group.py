@@ -1,0 +1,84 @@
+"""Unit tests for repro.tam.channel_group."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.soc.module import make_module
+from repro.tam.channel_group import ChannelGroup
+from repro.wrapper.combine import module_test_time
+
+
+@pytest.fixture
+def modules():
+    return (
+        make_module("a", 4, 4, 0, [60, 40], 20),
+        make_module("b", 8, 2, 0, [30, 30, 30], 15),
+    )
+
+
+class TestChannelGroup:
+    def test_fill_is_sum_of_module_times(self, modules):
+        group = ChannelGroup(index=0, width=2, modules=modules)
+        expected = module_test_time(modules[0], 2) + module_test_time(modules[1], 2)
+        assert group.fill == expected
+
+    def test_ate_channels_is_twice_width(self, modules):
+        assert ChannelGroup(0, 3, modules).ate_channels == 6
+
+    def test_fill_at_other_width(self, modules):
+        group = ChannelGroup(0, 1, modules)
+        expected = module_test_time(modules[0], 4) + module_test_time(modules[1], 4)
+        assert group.fill_at_width(4) == expected
+
+    def test_fill_with_additional_module(self, modules):
+        extra = make_module("c", 2, 2, 0, [10], 5)
+        group = ChannelGroup(0, 2, modules)
+        assert group.fill_with(extra) == group.fill + module_test_time(extra, 2)
+
+    def test_fill_with_at_new_width(self, modules):
+        extra = make_module("c", 2, 2, 0, [10], 5)
+        group = ChannelGroup(0, 2, modules)
+        expected = group.fill_at_width(3) + module_test_time(extra, 3)
+        assert group.fill_with(extra, width=3) == expected
+
+    def test_free_depth(self, modules):
+        group = ChannelGroup(0, 2, modules)
+        assert group.free_depth(group.fill + 100) == 100
+        assert group.free_depth(group.fill) == 0
+        assert group.free_depth(group.fill - 50) == 0
+
+    def test_free_memory_counts_both_directions(self, modules):
+        group = ChannelGroup(0, 2, modules)
+        depth = group.fill + 10
+        assert group.free_memory(depth) == 10 * 4
+
+    def test_with_module_appends(self, modules):
+        extra = make_module("c", 2, 2, 0, [10], 5)
+        group = ChannelGroup(0, 2, modules).with_module(extra)
+        assert group.module_names == ("a", "b", "c")
+
+    def test_with_width_keeps_modules(self, modules):
+        group = ChannelGroup(0, 2, modules).with_width(5)
+        assert group.width == 5
+        assert group.module_names == ("a", "b")
+
+    def test_widening_does_not_increase_fill(self, modules):
+        narrow = ChannelGroup(0, 1, modules)
+        wide = narrow.with_width(4)
+        assert wide.fill <= narrow.fill
+
+    def test_zero_width_rejected(self, modules):
+        with pytest.raises(ConfigurationError):
+            ChannelGroup(0, 0, modules)
+
+    def test_negative_depth_rejected(self, modules):
+        with pytest.raises(ConfigurationError):
+            ChannelGroup(0, 1, modules).free_depth(-1)
+
+    def test_invalid_fill_width_rejected(self, modules):
+        with pytest.raises(ConfigurationError):
+            ChannelGroup(0, 1, modules).fill_at_width(0)
+
+    def test_describe_mentions_width_and_modules(self, modules):
+        text = ChannelGroup(0, 2, modules).describe(depth=10**6)
+        assert "width 2" in text and "2 modules" in text

@@ -1,0 +1,65 @@
+"""Unit tests for Step-2 channel redistribution."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.tam.assignment import design_architecture
+from repro.tam.redistribution import widen_bottleneck, widen_to_channel_budget
+
+
+@pytest.fixture
+def architecture(medium_soc):
+    return design_architecture(medium_soc, channels=64, depth=250_000)
+
+
+class TestWidenBottleneck:
+    def test_zero_wires_is_identity(self, architecture):
+        assert widen_bottleneck(architecture, 0) == architecture
+
+    def test_adds_exact_width(self, architecture):
+        widened = widen_bottleneck(architecture, 5)
+        assert widened.total_width == architecture.total_width + 5
+
+    def test_never_increases_test_time(self, architecture):
+        widened = widen_bottleneck(architecture, 5)
+        assert widened.test_time_cycles <= architecture.test_time_cycles
+
+    def test_monotone_improvement_with_more_wires(self, architecture):
+        times = [
+            widen_bottleneck(architecture, wires).test_time_cycles
+            for wires in (0, 2, 4, 8, 16)
+        ]
+        assert all(earlier >= later for earlier, later in zip(times, times[1:]))
+
+    def test_first_wire_goes_to_bottleneck(self, architecture):
+        fills = architecture.fills
+        bottleneck = max(range(len(fills)), key=lambda position: fills[position])
+        widened = widen_bottleneck(architecture, 1)
+        assert widened.groups[bottleneck].width == architecture.groups[bottleneck].width + 1
+
+    def test_negative_wires_rejected(self, architecture):
+        with pytest.raises(ConfigurationError):
+            widen_bottleneck(architecture, -1)
+
+    def test_module_assignment_unchanged(self, architecture):
+        widened = widen_bottleneck(architecture, 7)
+        for before, after in zip(architecture.groups, widened.groups):
+            assert before.module_names == after.module_names
+
+
+class TestWidenToChannelBudget:
+    def test_budget_below_current_returns_same(self, architecture):
+        assert widen_to_channel_budget(architecture, architecture.ate_channels - 2) == architecture
+
+    def test_budget_equal_returns_same(self, architecture):
+        assert widen_to_channel_budget(architecture, architecture.ate_channels) == architecture
+
+    def test_budget_used_up_to_pairs(self, architecture):
+        budget = architecture.ate_channels + 7  # only 3 whole wires fit
+        widened = widen_to_channel_budget(architecture, budget)
+        assert widened.total_width == architecture.total_width + 3
+        assert widened.ate_channels <= budget
+
+    def test_invalid_budget_rejected(self, architecture):
+        with pytest.raises(ConfigurationError):
+            widen_to_channel_budget(architecture, 0)

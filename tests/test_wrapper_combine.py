@@ -1,0 +1,124 @@
+"""Unit tests for the COMBINE wrapper-design algorithm."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.soc.module import make_module
+from repro.wrapper.combine import design_wrapper, min_width_for_depth, module_test_time
+from repro.wrapper.design import scan_test_time
+
+
+class TestDesignWrapper:
+    def test_width_one_serialises_everything(self):
+        module = make_module("m", 3, 2, 0, [40, 30], 10)
+        design = design_wrapper(module, 1)
+        assert design.max_scan_in == 70 + 3
+        assert design.max_scan_out == 70 + 2
+        assert design.used_width == 1
+
+    def test_scan_chains_kept_whole(self):
+        module = make_module("m", 0, 0, 0, [50, 30, 20], 5)
+        design = design_wrapper(module, 2)
+        # One chain carries the 50, the other 30+20.
+        assert sorted(chain.scan_flipflops for chain in design.chains) == [50, 50]
+
+    def test_io_cells_balanced(self):
+        module = make_module("m", 10, 10, 0, [], 5)
+        design = design_wrapper(module, 5)
+        assert design.max_scan_in == 2
+        assert design.max_scan_out == 2
+
+    def test_width_larger_than_useful_is_harmless(self):
+        module = make_module("m", 2, 2, 0, [10], 5)
+        narrow = design_wrapper(module, 3)
+        wide = design_wrapper(module, 50)
+        assert wide.test_time_cycles == narrow.test_time_cycles
+
+    def test_chains_do_not_exceed_width(self):
+        module = make_module("m", 20, 20, 0, [30] * 6, 5)
+        design = design_wrapper(module, 4)
+        assert len(design.chains) <= 4
+
+    def test_all_scan_chains_assigned(self):
+        module = make_module("m", 0, 0, 0, [11, 12, 13, 14, 15], 2)
+        design = design_wrapper(module, 3)
+        assigned = sorted(
+            index for chain in design.chains for index in chain.scan_chain_indices
+        )
+        assert assigned == [0, 1, 2, 3, 4]
+
+    def test_all_io_cells_assigned(self):
+        module = make_module("m", 17, 23, 3, [40, 40], 4)
+        design = design_wrapper(module, 3)
+        assert sum(chain.input_cells for chain in design.chains) == 20
+        assert sum(chain.output_cells for chain in design.chains) == 26
+
+    def test_zero_width_rejected(self):
+        module = make_module("m", 1, 1, 0, [5], 2)
+        with pytest.raises(ConfigurationError):
+            design_wrapper(module, 0)
+
+
+class TestModuleTestTime:
+    def test_matches_design(self):
+        module = make_module("m", 5, 5, 1, [60, 40, 40], 12)
+        for width in (1, 2, 3, 5, 8):
+            assert module_test_time(module, width) == design_wrapper(module, width).test_time_cycles
+
+    def test_known_value_width_one(self):
+        module = make_module("m", 4, 2, 0, [30], 10)
+        # si = 34, so = 32 -> (1+34)*10 + 32
+        assert module_test_time(module, 1) == scan_test_time(34, 32, 10)
+
+    def test_non_increasing_with_width_typical(self):
+        module = make_module("m", 8, 8, 0, [64] * 8, 20)
+        times = [module_test_time(module, width) for width in range(1, 12)]
+        assert all(earlier >= later for earlier, later in zip(times, times[1:]))
+
+    def test_wide_limit_equals_longest_chain(self):
+        module = make_module("m", 0, 0, 0, [100, 40, 30], 10)
+        # With >= 3 wires each chain sits alone: si = so = 100.
+        assert module_test_time(module, 3) == scan_test_time(100, 100, 10)
+
+
+class TestMinWidthForDepth:
+    def test_exact_boundary(self):
+        module = make_module("m", 0, 0, 0, [100, 100], 10)
+        # Width 1: si=200 -> (1+200)*10+200 = 2210 cycles;
+        # width 2: si=100 -> (1+100)*10+100 = 1110 cycles.
+        assert min_width_for_depth(module, 2210, 8) == 1
+        assert min_width_for_depth(module, 2209, 8) == 2
+
+    def test_returns_smallest_feasible(self):
+        module = make_module("m", 10, 10, 0, [50] * 10, 100)
+        depth = module_test_time(module, 4)
+        width = min_width_for_depth(module, depth, 32)
+        assert width <= 4
+        assert module_test_time(module, width) <= depth
+        if width > 1:
+            assert module_test_time(module, width - 1) > depth
+
+    def test_infeasible_raises(self):
+        module = make_module("m", 0, 0, 0, [1000] * 4, 1000)
+        with pytest.raises(InfeasibleDesignError):
+            min_width_for_depth(module, 100, 64)
+
+    def test_infeasible_names_module(self):
+        module = make_module("hog", 0, 0, 0, [1000] * 4, 1000)
+        with pytest.raises(InfeasibleDesignError) as excinfo:
+            min_width_for_depth(module, 100, 64)
+        assert excinfo.value.module_name == "hog"
+
+    def test_invalid_depth_rejected(self):
+        module = make_module("m", 1, 1, 0, [5], 2)
+        with pytest.raises(ConfigurationError):
+            min_width_for_depth(module, 0, 4)
+
+    def test_invalid_max_width_rejected(self):
+        module = make_module("m", 1, 1, 0, [5], 2)
+        with pytest.raises(ConfigurationError):
+            min_width_for_depth(module, 100, 0)
+
+    def test_huge_depth_gives_width_one(self):
+        module = make_module("m", 4, 4, 0, [30, 30], 10)
+        assert min_width_for_depth(module, 10**9, 16) == 1

@@ -1,0 +1,90 @@
+"""Unit tests for wrapper design result types and the test-time formula."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.soc.module import make_module
+from repro.wrapper.design import WrapperChain, WrapperDesign, scan_test_time
+
+
+class TestScanTestTime:
+    def test_doc_example(self):
+        assert scan_test_time(10, 6, 3) == 39
+
+    def test_symmetric(self):
+        # Formula uses max/min, so swapping si and so changes nothing.
+        assert scan_test_time(10, 6, 3) == scan_test_time(6, 10, 3)
+
+    def test_single_pattern(self):
+        assert scan_test_time(100, 80, 1) == 101 + 80
+
+    def test_zero_scan_lengths(self):
+        # Purely combinational test: one cycle per pattern.
+        assert scan_test_time(0, 0, 5) == 5
+
+    def test_monotone_in_patterns(self):
+        assert scan_test_time(50, 50, 10) < scan_test_time(50, 50, 11)
+
+    def test_monotone_in_scan_length(self):
+        assert scan_test_time(50, 50, 10) < scan_test_time(51, 50, 10)
+
+    def test_zero_patterns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scan_test_time(1, 1, 0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scan_test_time(-1, 1, 1)
+
+
+class TestWrapperChain:
+    def test_lengths(self):
+        chain = WrapperChain(index=0, scan_chain_indices=(0, 1), scan_flipflops=120,
+                             input_cells=4, output_cells=7)
+        assert chain.scan_in_length == 124
+        assert chain.scan_out_length == 127
+        assert not chain.is_empty
+
+    def test_empty_chain(self):
+        chain = WrapperChain(index=2, scan_chain_indices=(), scan_flipflops=0,
+                             input_cells=0, output_cells=0)
+        assert chain.is_empty
+
+
+class TestWrapperDesign:
+    def _design(self):
+        module = make_module("m", 4, 2, 0, [30, 20], 10)
+        chains = (
+            WrapperChain(0, (0,), 30, 2, 1),
+            WrapperChain(1, (1,), 20, 2, 1),
+        )
+        return WrapperDesign(module=module, width=2, chains=chains)
+
+    def test_max_scan_in_out(self):
+        design = self._design()
+        assert design.max_scan_in == 32
+        assert design.max_scan_out == 31
+
+    def test_test_time_uses_formula(self):
+        design = self._design()
+        assert design.test_time_cycles == scan_test_time(32, 31, 10)
+
+    def test_used_width(self):
+        assert self._design().used_width == 2
+
+    def test_describe(self):
+        assert "m" in self._design().describe()
+
+    def test_zero_width_rejected(self):
+        module = make_module("m", 1, 1, 0, [5], 2)
+        with pytest.raises(ConfigurationError):
+            WrapperDesign(module=module, width=0, chains=())
+
+    def test_more_chains_than_width_rejected(self):
+        module = make_module("m", 1, 1, 0, [5], 2)
+        chains = (
+            WrapperChain(0, (0,), 5, 1, 1),
+            WrapperChain(1, (), 0, 0, 1),
+        )
+        with pytest.raises(ConfigurationError):
+            WrapperDesign(module=module, width=1, chains=chains)

@@ -1,0 +1,80 @@
+"""Unit tests for Pareto-optimal wrapper width enumeration."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.soc.module import make_module
+from repro.wrapper.combine import module_test_time
+from repro.wrapper.pareto import (
+    best_width_for_depth,
+    min_area,
+    min_test_time,
+    pareto_points,
+)
+
+
+@pytest.fixture
+def module():
+    return make_module("m", 12, 8, 2, [80, 60, 60, 40], 25)
+
+
+class TestParetoPoints:
+    def test_first_point_is_width_one(self, module):
+        assert pareto_points(module, 16)[0].width == 1
+
+    def test_strictly_decreasing_times(self, module):
+        points = pareto_points(module, 16)
+        times = [point.test_time_cycles for point in points]
+        assert all(earlier > later for earlier, later in zip(times, times[1:]))
+
+    def test_strictly_increasing_widths(self, module):
+        points = pareto_points(module, 16)
+        widths = [point.width for point in points]
+        assert all(earlier < later for earlier, later in zip(widths, widths[1:]))
+
+    def test_times_match_combine(self, module):
+        for point in pareto_points(module, 16):
+            assert point.test_time_cycles == module_test_time(module, point.width)
+
+    def test_capped_by_max_useful_width(self, module):
+        points = pareto_points(module, 1000)
+        assert points[-1].width <= module.max_useful_width
+
+    def test_area_property(self, module):
+        point = pareto_points(module, 16)[0]
+        assert point.area == point.width * point.test_time_cycles
+
+    def test_invalid_max_width(self, module):
+        with pytest.raises(ConfigurationError):
+            pareto_points(module, 0)
+
+
+class TestHelpers:
+    def test_min_test_time_is_last_point(self, module):
+        points = pareto_points(module, 16)
+        assert min_test_time(module, 16) == points[-1].test_time_cycles
+
+    def test_min_area_not_larger_than_any_point(self, module):
+        points = pareto_points(module, 16)
+        assert min_area(module, 16) <= min(point.area for point in points)
+
+    def test_best_width_for_depth_feasible(self, module):
+        depth = module_test_time(module, 3)
+        point = best_width_for_depth(module, depth, 16)
+        assert point is not None
+        assert point.test_time_cycles <= depth
+
+    def test_best_width_for_depth_is_cheapest(self, module):
+        depth = module_test_time(module, 3)
+        point = best_width_for_depth(module, depth, 16)
+        # No Pareto point with a smaller width fits the depth.
+        for candidate in pareto_points(module, 16):
+            if candidate.width < point.width:
+                assert candidate.test_time_cycles > depth
+
+    def test_best_width_for_depth_infeasible_returns_none(self, module):
+        assert best_width_for_depth(module, 10, 16) is None
+
+    def test_best_width_invalid_depth(self, module):
+        with pytest.raises(ConfigurationError):
+            best_width_for_depth(module, 0, 16)

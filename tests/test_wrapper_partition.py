@@ -1,0 +1,142 @@
+"""Unit tests for the LPT / BFD partitioning heuristics and cell spreading."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.wrapper.partition import (
+    best_partition,
+    bfd_partition,
+    lpt_partition,
+    spread_cells,
+)
+
+
+class TestLpt:
+    def test_simple_case(self):
+        partition = lpt_partition([5, 4, 3, 2], 2)
+        assert partition.makespan == 7
+        assert partition.num_items == 4
+
+    def test_single_bin_sums_everything(self):
+        partition = lpt_partition([3, 1, 4], 1)
+        assert partition.makespan == 8
+        assert partition.loads == (8,)
+
+    def test_more_bins_than_items(self):
+        partition = lpt_partition([9, 2], 5)
+        assert partition.makespan == 9
+        assert partition.num_bins == 5
+
+    def test_empty_items(self):
+        partition = lpt_partition([], 3)
+        assert partition.makespan == 0
+        assert partition.num_items == 0
+
+    def test_all_items_placed_exactly_once(self):
+        sizes = [7, 3, 3, 2, 2, 2, 1]
+        partition = lpt_partition(sizes, 3)
+        placed = sorted(index for bin_items in partition.bins for index in bin_items)
+        assert placed == list(range(len(sizes)))
+
+    def test_loads_match_assignment(self):
+        sizes = [6, 5, 4, 3, 2]
+        partition = lpt_partition(sizes, 2)
+        for bin_items, load in zip(partition.bins, partition.loads):
+            assert sum(sizes[index] for index in bin_items) == load
+
+    def test_zero_bins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lpt_partition([1], 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lpt_partition([1, -2], 2)
+
+
+class TestBfd:
+    def test_simple_case(self):
+        partition = bfd_partition([5, 4, 3, 2], 2)
+        assert partition.makespan >= 7  # 7 is optimal
+
+    def test_all_items_placed(self):
+        sizes = [8, 7, 6, 5, 4, 3, 2, 1]
+        partition = bfd_partition(sizes, 3)
+        assert partition.num_items == len(sizes)
+
+    def test_loads_consistent(self):
+        sizes = [9, 9, 8, 1, 1, 1]
+        partition = bfd_partition(sizes, 3)
+        for bin_items, load in zip(partition.bins, partition.loads):
+            assert sum(sizes[index] for index in bin_items) == load
+
+    def test_makespan_lower_bound(self):
+        sizes = [10, 10, 10, 1]
+        partition = bfd_partition(sizes, 3)
+        assert partition.makespan >= max(sizes)
+        assert partition.makespan >= sum(sizes) / 3
+
+
+class TestBestPartition:
+    def test_best_is_at_least_as_good_as_either(self):
+        sizes = [13, 11, 7, 7, 5, 3, 2]
+        best = best_partition(sizes, 3)
+        assert best.makespan <= lpt_partition(sizes, 3).makespan
+        assert best.makespan <= bfd_partition(sizes, 3).makespan
+
+    def test_known_optimum(self):
+        # 4+4, 3+5 -> makespan 8 is optimal.
+        assert best_partition([5, 4, 4, 3], 2).makespan == 8
+
+
+class TestSpreadCells:
+    def test_doc_example(self):
+        assert spread_cells([5, 1, 1], 4) == (0, 2, 2)
+
+    def test_zero_cells(self):
+        assert spread_cells([3, 2], 0) == (0, 0)
+
+    def test_total_added_equals_cells(self):
+        added = spread_cells([4, 0, 7, 2], 13)
+        assert sum(added) == 13
+
+    def test_minimises_maximum(self):
+        base = [4, 0, 7, 2]
+        added = spread_cells(base, 13)
+        final = [b + a for b, a in zip(base, added)]
+        # Optimal water level: total = 13 + 13 = 26 over 4 bins -> ceil 7.
+        assert max(final) == 7
+
+    def test_empty_chains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spread_cells([], 3)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spread_cells([1], -1)
+
+    def test_large_cell_count_matches_greedy(self):
+        base = [10, 3, 0, 5]
+        cells = 1234
+        added = spread_cells(base, cells)
+        final = [b + a for b, a in zip(base, added)]
+        assert sum(added) == cells
+        # Water level property: all bins within 1 of each other unless they
+        # started above the level.
+        level = max(final)
+        assert all(value >= level - 1 or base[i] > level for i, value in enumerate(final))
+
+    def test_matches_unit_greedy_reference(self):
+        base = [2, 9, 4, 4, 0]
+        cells = 17
+        added = spread_cells(base, cells)
+        # Reference greedy implementation.
+        loads = list(base)
+        reference = [0] * len(base)
+        for _ in range(cells):
+            target = min(range(len(loads)), key=lambda b: (loads[b], b))
+            loads[target] += 1
+            reference[target] += 1
+        final_fast = [b + a for b, a in zip(base, added)]
+        final_ref = [b + a for b, a in zip(base, reference)]
+        assert max(final_fast) == max(final_ref)
+        assert sum(added) == sum(reference)
