@@ -1,45 +1,59 @@
 #!/usr/bin/env python3
 """Quickstart: design the on-chip test infrastructure for an ITC'02 benchmark.
 
-This example walks through the library's headline API:
+This example walks through the library's scenario-first API:
 
-1. load an ITC'02 benchmark SOC (d695),
-2. describe the fixed target test cell (ATE + probe station),
-3. run the paper's two-step algorithm to find the throughput-optimal
-   multi-site configuration,
+1. describe the fixed target test cell (ATE + probe station) as a TestCell,
+2. declare the optimisation run as a Scenario (SOC by benchmark name),
+3. execute it with the Engine to find the throughput-optimal multi-site
+   configuration,
 4. inspect the resulting infrastructure: channel groups (TAMs), module
-   wrappers and the chip-level E-RPCT wrapper.
+   wrappers and the chip-level E-RPCT wrapper,
+5. sweep a parameter grid as one parallel batch.
+
+The legacy free functions (``optimize_multisite``, ``design_step1_only``)
+remain fully supported; the Engine routes through them, so both APIs return
+identical results.
 
 Run with:  python examples/quickstart.py
 """
 
 from repro import (
     AteSpec,
+    Engine,
     OptimizationConfig,
     ProbeStation,
-    load_benchmark,
-    optimize_multisite,
+    Scenario,
+    TestCell,
 )
 from repro.core.units import kilo_vectors
 from repro.wrapper import design_wrapper
 
 
 def main() -> None:
-    # 1. The SOC under test: the d695 benchmark (ten ISCAS cores).
-    soc = load_benchmark("d695")
-    print(soc.describe())
-    print()
-
-    # 2. The fixed test cell: a 256-channel ATE with 64 K vectors per channel
+    # 1. The fixed test cell: a 256-channel ATE with 64 K vectors per channel
     #    and a 5 MHz test clock, plus the paper's reference probe station.
-    ate = AteSpec(channels=256, depth=kilo_vectors(64), frequency_hz=5e6, name="ate-256x64K")
-    probe = ProbeStation(index_time_s=0.5, contact_test_time_s=0.010, contact_yield=0.999)
-    print(ate.describe())
-    print(probe.describe())
+    cell = TestCell(
+        ate=AteSpec(channels=256, depth=kilo_vectors(64), frequency_hz=5e6, name="ate-256x64K"),
+        probe_station=ProbeStation(
+            index_time_s=0.5, contact_test_time_s=0.010, contact_yield=0.999
+        ),
+    )
+    print(cell.describe())
     print()
 
-    # 3. Run the two-step algorithm (no stimuli broadcast, maximise D_th).
-    result = optimize_multisite(soc, ate, probe, OptimizationConfig(broadcast=False))
+    # 2. The run, declared as a scenario: the d695 benchmark (ten ISCAS
+    #    cores, referenced by name) on that cell, no stimuli broadcast.
+    scenario = Scenario(
+        soc="d695", test_cell=cell, config=OptimizationConfig(broadcast=False)
+    )
+    print(scenario.resolve().describe())
+    print()
+
+    # 3. Execute through the engine (a repeated run would be a cache hit).
+    engine = Engine()
+    outcome = engine.run(scenario)
+    result = outcome.result
     print(result.describe())
     print()
 
@@ -64,15 +78,33 @@ def main() -> None:
         )
     print()
 
-    # 5. The Step-2 sweep: throughput for every feasible site count.
+    # 5a. The Step-2 sweep: throughput for every feasible site count.
     print("sites  channels/site  test time (s)  devices/hour")
     for point in sorted(result.points, key=lambda point: point.sites):
         marker = "  <== optimal" if point.sites == result.optimal_sites else ""
-        seconds = ate.cycles_to_seconds(point.test_time_cycles)
+        seconds = cell.ate.cycles_to_seconds(point.test_time_cycles)
         print(
             f"{point.sites:5d}  {point.channels_per_site:13d}  {seconds:13.3f}  "
             f"{point.throughput:12.0f}{marker}"
         )
+    print()
+
+    # 5b. A parameter grid as one batch: channel count x broadcast, executed
+    #     in parallel (the scenario already run is served from the cache).
+    grid = Scenario.sweep(
+        "d695", cell, channels=[128, 256, 512], broadcast=[False, True]
+    )
+    results = engine.run_batch(grid, workers=4)
+    print("batch sweep (channels x broadcast):")
+    for item in results:
+        ate = item.scenario.test_cell.ate
+        shared = "broadcast" if item.scenario.config.broadcast else "no broadcast"
+        print(
+            f"  {ate.channels:4d} channels, {shared:12s}: "
+            f"{item.optimal_sites:3d} sites, {item.optimal_throughput:8.0f} devices/hour"
+        )
+    info = engine.cache_info()
+    print(f"engine cache: {info.hits} hits, {info.misses} misses")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,32 @@
-"""Setup shim.
+"""Packaging configuration.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that ``pip install -e .`` also works on offline machines where build
-isolation cannot download its build dependencies (pip then falls back to the
-legacy ``setup.py develop`` code path).
+Kept as a plain ``setup.py`` so that ``pip install .`` / ``pip install -e .``
+also work on offline machines where build isolation cannot download its
+build dependencies (pip then falls back to the legacy code path).
+
+The ``package_data`` entry matters: the ITC'02 benchmark files under
+``repro/itc02/data/`` are loaded through :mod:`importlib.resources` at
+runtime, so an installed wheel must ship them -- not only a
+``PYTHONPATH=src`` checkout.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-multisite",
+    version="1.0.0",
+    description=(
+        "Reproduction of Goel & Marinissen (DATE 2005): on-chip test "
+        "infrastructure design for optimal multi-site testing of system chips"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.itc02": ["data/*.soc"]},
+    include_package_data=True,
+    entry_points={
+        "console_scripts": [
+            "repro-multisite = repro.cli:main",
+        ],
+    },
+)

@@ -5,19 +5,47 @@ chips: module wrappers (COMBINE), TAM / channel-group design, chip-level
 E-RPCT wrappers, the multi-site throughput cost model, and the two-step
 algorithm that maximises wafer-test throughput on a fixed ATE.
 
-Typical usage::
+Typical usage -- describe a run as a :class:`Scenario` and execute it with
+an :class:`Engine`::
+
+    from repro import Engine, Scenario, reference_test_cell
+
+    cell = reference_test_cell(channels=256, depth_m=0.0625)  # 256 ch x 64 K
+    outcome = Engine().run(Scenario(soc="d695", test_cell=cell))
+    print(outcome.result.describe())
+
+Scenarios are declarative and hashable: :meth:`Scenario.sweep
+<repro.api.scenario.Scenario.sweep>` expands cartesian parameter grids
+(benchmarks x channels x depths x broadcast x site limits), and
+``Engine.run_batch(scenarios, workers=4)`` runs them in parallel with an
+in-process result cache::
+
+    grid = Scenario.sweep("d695", cell, channels=[128, 256, 512],
+                          broadcast=[False, True])
+    results = Engine().run_batch(grid, workers=4)
+
+The classic free functions remain fully supported as thin entry points::
 
     from repro import load_benchmark, reference_ate, optimize_multisite
 
     soc = load_benchmark("d695")
-    ate = reference_ate(channels=256, depth_m=0.0625)   # 256 channels x 64 K
+    ate = reference_ate(channels=256, depth_m=0.0625)
     result = optimize_multisite(soc, ate)
-    print(result.describe())
 
 The sub-packages are documented in DESIGN.md; the most commonly used entry
 points are re-exported here.
 """
 
+from repro.api import (
+    CacheInfo,
+    Engine,
+    Scenario,
+    ScenarioResult,
+    TestCell,
+    batch_throughput_series,
+    reference_test_cell,
+    resolve_soc,
+)
 from repro.ate import AteSpec, ProbeStation, AtePricing, reference_ate, reference_probe_station
 from repro.itc02 import load_benchmark, list_benchmarks, parse_soc_file, write_soc_file
 from repro.multisite import MultiSiteScenario, TestTiming, throughput_per_hour
@@ -37,6 +65,14 @@ from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheInfo",
+    "Engine",
+    "Scenario",
+    "ScenarioResult",
+    "TestCell",
+    "batch_throughput_series",
+    "reference_test_cell",
+    "resolve_soc",
     "AteSpec",
     "ProbeStation",
     "AtePricing",

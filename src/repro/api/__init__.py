@@ -1,0 +1,32 @@
+"""Scenario-first API: declarative runs, batch execution and caching.
+
+This package is the canonical way to drive the reproduction:
+
+* :class:`~repro.api.testcell.TestCell` -- the fixed wafer-test cell (ATE +
+  probe station + optional pricing) as one immutable value;
+* :class:`~repro.api.scenario.Scenario` -- a declarative, hashable
+  description of one optimisation run, with :meth:`Scenario.sweep
+  <repro.api.scenario.Scenario.sweep>` expanding cartesian parameter grids;
+* :class:`~repro.api.engine.Engine` -- executes scenarios serially or as
+  parallel batches (``run_batch(scenarios, workers=N)``) with an in-process
+  memo cache keyed on the scenario's canonical hash.
+
+The classic free functions (:func:`repro.optimize.two_step.optimize_multisite`,
+:func:`repro.optimize.two_step.design_step1_only`) remain supported; the
+engine routes through them, so both APIs return identical results.
+"""
+
+from repro.api.engine import CacheInfo, Engine, ScenarioResult, batch_throughput_series
+from repro.api.scenario import Scenario, resolve_soc
+from repro.api.testcell import TestCell, reference_test_cell
+
+__all__ = [
+    "CacheInfo",
+    "Engine",
+    "Scenario",
+    "ScenarioResult",
+    "TestCell",
+    "batch_throughput_series",
+    "reference_test_cell",
+    "resolve_soc",
+]

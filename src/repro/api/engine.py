@@ -1,0 +1,294 @@
+"""Execution engine for scenarios: serial, cached and parallel-batch runs.
+
+:class:`Engine` is the canonical way to execute
+:class:`~repro.api.scenario.Scenario` objects:
+
+* :meth:`Engine.run` executes one scenario and memoises the outcome in an
+  in-process cache keyed on the scenario's canonical hash, so repeated runs
+  of the same scenario (also via different call sites, e.g. two experiments
+  sweeping over the same operating point) cost one optimisation;
+* :meth:`Engine.run_batch` executes many scenarios, fanning the cache
+  misses out over a ``concurrent.futures`` process pool.  The two-step
+  algorithm is deterministic, so batch results are bit-identical to serial
+  ones regardless of worker count or completion order.
+
+Results are returned as :class:`ScenarioResult` records that convert
+directly into the flat structures of :mod:`repro.reporting.export` and the
+:class:`~repro.reporting.series.Series` curves of the figure experiments.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.api.scenario import Scenario
+from repro.api.testcell import TestCell
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.result import Step1Result, TwoStepResult
+from repro.optimize.two_step import optimize_multisite
+from repro.reporting.export import result_to_records
+from repro.reporting.series import Series
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one executed scenario.
+
+    Wraps the :class:`~repro.optimize.result.TwoStepResult` together with
+    the scenario that produced it, so downstream consumers (reports, series,
+    exports) never have to re-thread run parameters alongside results.
+    """
+
+    scenario: Scenario
+    result: TwoStepResult
+
+    @property
+    def soc_name(self) -> str:
+        """Name of the SOC the scenario ran on."""
+        return self.scenario.soc_name
+
+    @property
+    def step1(self) -> Step1Result:
+        """The Step-1 design of the underlying two-step result."""
+        return self.result.step1
+
+    @property
+    def optimal_sites(self) -> int:
+        """The throughput-optimal site count."""
+        return self.result.optimal_sites
+
+    @property
+    def optimal_throughput(self) -> float:
+        """Throughput (devices/hour) at the optimal site count."""
+        return self.result.optimal_throughput
+
+    def to_record(self) -> dict[str, Any]:
+        """Flat record for :mod:`repro.reporting.export` (JSON/CSV)."""
+        record = result_to_records(self.result)
+        record["scenario_key"] = self.scenario.key
+        return record
+
+    def describe(self) -> str:
+        """One-line summary used by reports and logs."""
+        return f"{self.scenario.describe()} -> {self.result.describe().splitlines()[0]}"
+
+
+def _execute(scenario: Scenario) -> TwoStepResult:
+    """Run one scenario's optimisation (top-level so process pools can pickle it)."""
+    return optimize_multisite(
+        scenario.resolve(),
+        scenario.test_cell.ate,
+        scenario.test_cell.probe_station,
+        scenario.config,
+    )
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss statistics of an engine's scenario cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+class Engine:
+    """Runs scenarios with in-process memoisation and parallel batches.
+
+    Parameters
+    ----------
+    cache:
+        When ``True`` (default), results are memoised on the scenario's
+        canonical hash; re-running an equal scenario is a cache hit.
+    workers:
+        Default worker count for :meth:`run_batch`.  ``None`` or ``1`` mean
+        serial execution; batches can override per call.
+    """
+
+    def __init__(self, cache: bool = True, workers: int | None = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ConfigurationError(f"worker count must be positive, got {workers}")
+        self._cache_enabled = cache
+        self._workers = workers
+        self._cache: dict[tuple, ScenarioResult] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the scenario cache."""
+        with self._lock:
+            return CacheInfo(hits=self._hits, misses=self._misses, size=len(self._cache))
+
+    def clear_cache(self) -> None:
+        """Drop all memoised results (statistics are reset too)."""
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def _lookup(self, key: tuple) -> ScenarioResult | None:
+        if not self._cache_enabled:
+            return None
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+            return cached
+
+    def _store(self, key: tuple, result: ScenarioResult) -> None:
+        with self._lock:
+            self._misses += 1
+            if self._cache_enabled:
+                self._cache[key] = result
+
+    @staticmethod
+    def _deliver(scenario: Scenario, cached: ScenarioResult) -> ScenarioResult:
+        """Return ``cached`` for ``scenario``, keeping the request's own fields.
+
+        Canonically-equal scenarios may still differ in cosmetic fields (ATE
+        or probe-station labels, pricing).  The cached record is returned
+        as-is only when the raw fields match; otherwise the shared result is
+        rebound to the requested scenario, so callers never see another
+        run's labels on ``result.scenario``.
+        """
+        ours = (scenario.soc, scenario.test_cell, scenario.config)
+        theirs = (cached.scenario.soc, cached.scenario.test_cell, cached.scenario.config)
+        if ours == theirs:
+            return cached
+        return ScenarioResult(scenario=scenario, result=cached.result)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario) -> ScenarioResult:
+        """Execute one scenario (a repeated run of an equal scenario is a cache hit)."""
+        key = scenario.canonical_key()
+        cached = self._lookup(key)
+        if cached is not None:
+            return self._deliver(scenario, cached)
+        result = ScenarioResult(scenario=scenario, result=_execute(scenario))
+        self._store(key, result)
+        return result
+
+    def run_batch(
+        self,
+        scenarios: Sequence[Scenario],
+        workers: int | None = None,
+    ) -> tuple[ScenarioResult, ...]:
+        """Execute many scenarios, in the input order.
+
+        Cache misses are deduplicated (equal scenarios run once) and fanned
+        out over a process pool of ``workers`` processes; ``workers=None``
+        falls back to the engine default, and ``1`` runs serially in
+        process.  Results are bit-identical to serial :meth:`run` calls.
+        """
+        if workers is not None and workers <= 0:
+            raise ConfigurationError(f"worker count must be positive, got {workers}")
+        scenarios = list(scenarios)
+        effective_workers = workers if workers is not None else (self._workers or 1)
+
+        # Resolve cache hits and deduplicate the remaining work.
+        keys = [scenario.canonical_key() for scenario in scenarios]
+        pending: dict[tuple, Scenario] = {}
+        resolved: dict[tuple, ScenarioResult] = {}
+        for scenario, key in zip(scenarios, keys):
+            if key in resolved or key in pending:
+                continue
+            cached = self._lookup(key)
+            if cached is not None:
+                resolved[key] = cached
+            else:
+                pending[key] = scenario
+
+        todo = list(pending.items())
+        worker_count = min(effective_workers, len(todo))
+        if worker_count > 1:
+            outcomes = self._map_parallel(_execute, [s for _, s in todo], worker_count)
+        else:
+            outcomes = [_execute(scenario) for _, scenario in todo]
+        for (key, scenario), outcome in zip(todo, outcomes):
+            record = ScenarioResult(scenario=scenario, result=outcome)
+            self._store(key, record)
+            resolved[key] = record
+
+        return tuple(
+            self._deliver(scenario, resolved[key])
+            for scenario, key in zip(scenarios, keys)
+        )
+
+    @staticmethod
+    def _map_parallel(
+        function: Callable[[Scenario], TwoStepResult],
+        scenarios: Sequence[Scenario],
+        workers: int,
+    ) -> list[TwoStepResult]:
+        """Map over scenarios with a process pool, falling back to serial.
+
+        The fallback covers sandboxed platforms where multiprocessing
+        primitives are unavailable (pool construction fails) or the pool
+        dies at bootstrap (workers killed by resource limits --
+        ``BrokenExecutor``); the batch then still completes, just without
+        the speed-up.  Exceptions raised by the optimisation *tasks*
+        themselves -- whatever their type -- propagate unchanged, exactly
+        as in serial execution: they surface from ``future.result()`` with
+        their original class, which the fallback deliberately not catches.
+        """
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, PermissionError, ImportError):
+            return [function(scenario) for scenario in scenarios]
+        try:
+            with pool:
+                futures = [pool.submit(function, scenario) for scenario in scenarios]
+                return [future.result() for future in futures]
+        except BrokenExecutor:
+            return [function(scenario) for scenario in scenarios]
+
+
+def optimize_scenario(
+    engine: "Engine | None",
+    soc,
+    ate,
+    probe_station,
+    config,
+) -> TwoStepResult:
+    """Run one (soc, ate, probe, config) operating point through ``engine``.
+
+    This is the bridge the experiment modules use: with an engine the run is
+    memoised (shared operating points across experiments are optimised
+    once); without one it degrades to a plain direct call.
+    """
+    scenario = Scenario(
+        soc=soc,
+        test_cell=TestCell(ate=ate, probe_station=probe_station),
+        config=config,
+    )
+    if engine is None:
+        return _execute(scenario)
+    return engine.run(scenario).result
+
+
+def batch_throughput_series(
+    results: Sequence[ScenarioResult],
+    x_axis: Callable[[ScenarioResult], float],
+    name: str,
+    x_label: str,
+    y_label: str = "devices/hour",
+) -> Series:
+    """Build a figure :class:`Series` from batch results.
+
+    ``x_axis`` extracts the x coordinate from each result (e.g.
+    ``lambda r: r.scenario.test_cell.ate.channels``); the y coordinate is
+    the optimal throughput.
+    """
+    if not results:
+        raise ConfigurationError("cannot build a series from an empty batch")
+    points = tuple((float(x_axis(result)), result.optimal_throughput) for result in results)
+    return Series(name=name, x_label=x_label, y_label=y_label, points=points)

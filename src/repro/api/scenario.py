@@ -1,0 +1,219 @@
+"""Declarative description of one multi-site optimisation run.
+
+A :class:`Scenario` pins down everything the two-step algorithm needs --
+the SOC (by registered benchmark name or as a :class:`~repro.soc.soc.Soc`
+object), the :class:`~repro.api.testcell.TestCell` and the
+:class:`~repro.optimize.config.OptimizationConfig` -- as one immutable,
+hashable value.  Two scenarios that describe the same run compare equal and
+hash identically even when one references its SOC by name and the other by
+object, which is what lets the :class:`~repro.api.engine.Engine` memoise
+results across call sites.
+
+:meth:`Scenario.sweep` expands cartesian parameter grids (benchmarks x
+channels x depths x sites x broadcast) into scenario lists for batch
+execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.api.testcell import TestCell
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.config import OptimizationConfig
+from repro.soc.soc import Soc
+
+
+def resolve_soc(soc: Soc | str) -> Soc:
+    """Resolve a SOC reference: a :class:`Soc`, a benchmark name or ``"pnx8550"``.
+
+    Raises
+    ------
+    ConfigurationError
+        When a string reference names neither ``"pnx8550"`` nor a registered
+        ITC'02 benchmark.
+    """
+    if isinstance(soc, Soc):
+        return soc
+    # Imported lazily so that building scenario lists does not parse any
+    # benchmark file until the SOC is actually needed.
+    if soc.lower() == "pnx8550":
+        from repro.soc.pnx8550 import make_pnx8550
+
+        return make_pnx8550()
+    from repro.itc02.registry import load_benchmark
+
+    return load_benchmark(soc)
+
+
+@dataclass(frozen=True, eq=False)
+class Scenario:
+    """One declarative optimisation run: SOC + test cell + config.
+
+    Attributes
+    ----------
+    soc:
+        The SOC under test, either as an object or as a reference string
+        (a registered ITC'02 benchmark name, or ``"pnx8550"``).
+    test_cell:
+        The fixed wafer-test cell the run targets.
+    config:
+        Variant switches of the optimisation (broadcast, abort-on-fail,
+        objective, yields, site clamps).
+    """
+
+    soc: Soc | str
+    test_cell: TestCell
+    config: OptimizationConfig = OptimizationConfig()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.soc, (Soc, str)):
+            raise ConfigurationError(
+                f"scenario SOC must be a Soc or a benchmark name, got {type(self.soc).__name__}"
+            )
+        if isinstance(self.soc, str) and not self.soc:
+            raise ConfigurationError("scenario SOC reference must be non-empty")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def soc_name(self) -> str:
+        """Name of the referenced SOC without resolving benchmark files."""
+        return self.soc if isinstance(self.soc, str) else self.soc.name
+
+    def resolve(self) -> Soc:
+        """Resolve the SOC reference into a :class:`Soc` object."""
+        return resolve_soc(self.soc)
+
+    def canonical_key(self) -> tuple:
+        """Canonical identity of this scenario.
+
+        The key is built from the *resolved* SOC contents, so referencing a
+        benchmark by name and by loaded object yields the same key (and
+        therefore the same engine cache entry).  Fields that cannot change
+        the optimisation outcome are ignored: the cosmetic ``name`` labels
+        of the ATE and probe station, and the cell's ``pricing`` model (it
+        only feeds cost reporting) -- two experiments sweeping the same
+        operating point under different labels or pricing share one cache
+        entry.
+        """
+        cell = self.test_cell
+        cell = replace(
+            cell,
+            ate=replace(cell.ate, name=""),
+            probe_station=replace(cell.probe_station, name=""),
+            pricing=None,
+        )
+        return (self.resolve(), cell, self.config)
+
+    @property
+    def key(self) -> str:
+        """Stable hex digest of the canonical key, used in exported records."""
+        return hashlib.sha256(repr(self.canonical_key()).encode("utf-8")).hexdigest()[:16]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Scenario):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    # ------------------------------------------------------------------
+    # Derived scenarios
+    # ------------------------------------------------------------------
+    def with_channels(self, channels: int) -> "Scenario":
+        """Return a copy whose ATE has ``channels`` channels."""
+        return replace(self, test_cell=self.test_cell.with_channels(channels))
+
+    def with_depth(self, depth: int) -> "Scenario":
+        """Return a copy whose ATE has a vector-memory depth of ``depth``."""
+        return replace(self, test_cell=self.test_cell.with_depth(depth))
+
+    def with_config(self, config: OptimizationConfig) -> "Scenario":
+        """Return a copy with a different optimisation config."""
+        return replace(self, config=config)
+
+    def describe(self) -> str:
+        """One-line summary used by reports and logs."""
+        return (
+            f"scenario[{self.soc_name} @ {self.test_cell.ate.channels}ch x "
+            f"{self.test_cell.ate.depth} vectors, {self.config.describe()}]"
+        )
+
+    # ------------------------------------------------------------------
+    # Sweep expansion
+    # ------------------------------------------------------------------
+    @classmethod
+    def sweep(
+        cls,
+        socs: Soc | str | Sequence[Soc | str],
+        test_cell: TestCell,
+        *,
+        channels: Sequence[int] | None = None,
+        depths: Sequence[int] | None = None,
+        broadcast: Sequence[bool] | bool | None = None,
+        max_sites: Sequence[int | None] | None = None,
+        config: OptimizationConfig | None = None,
+    ) -> list["Scenario"]:
+        """Expand a cartesian parameter grid into a scenario list.
+
+        Every axis is optional; an omitted axis keeps the corresponding value
+        of ``test_cell`` / ``config``.  The expansion order is deterministic:
+        SOCs vary slowest, then channels, depths, broadcast, and site limits.
+
+        >>> from repro.api.testcell import reference_test_cell
+        >>> cell = reference_test_cell(channels=256, depth_m=0.0625)
+        >>> grid = Scenario.sweep("d695", cell, channels=[128, 256], broadcast=[False, True])
+        >>> len(grid)
+        4
+        """
+        base_config = config or OptimizationConfig()
+        soc_axis: Sequence[Soc | str]
+        if isinstance(socs, (Soc, str)):
+            soc_axis = [socs]
+        else:
+            soc_axis = list(socs)
+        if not soc_axis:
+            raise ConfigurationError("scenario sweep needs at least one SOC")
+
+        channel_axis: Sequence[int | None] = list(channels) if channels is not None else [None]
+        depth_axis: Sequence[int | None] = list(depths) if depths is not None else [None]
+        if broadcast is None:
+            broadcast_axis: Sequence[bool | None] = [None]
+        elif isinstance(broadcast, bool):
+            broadcast_axis = [broadcast]
+        else:
+            broadcast_axis = list(broadcast)
+        sites_axis: Sequence[int | None] = (
+            list(max_sites) if max_sites is not None else [base_config.max_sites]
+        )
+        for axis, label in (
+            (channel_axis, "channels"),
+            (depth_axis, "depths"),
+            (broadcast_axis, "broadcast"),
+            (sites_axis, "max_sites"),
+        ):
+            if not axis:
+                raise ConfigurationError(f"scenario sweep axis {label!r} must not be empty")
+
+        scenarios: list[Scenario] = []
+        for soc, channel_count, depth, shared, site_limit in itertools.product(
+            soc_axis, channel_axis, depth_axis, broadcast_axis, sites_axis
+        ):
+            cell = test_cell
+            if channel_count is not None:
+                cell = cell.with_channels(channel_count)
+            if depth is not None:
+                cell = cell.with_depth(depth)
+            run_config = base_config
+            if shared is not None and shared != run_config.broadcast:
+                run_config = run_config.with_broadcast(shared)
+            if site_limit != run_config.max_sites:
+                run_config = run_config.with_site_limit(site_limit)
+            scenarios.append(cls(soc=soc, test_cell=cell, config=run_config))
+        return scenarios

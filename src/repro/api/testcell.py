@@ -1,0 +1,85 @@
+"""The fixed wafer-test cell: ATE + probe station (+ optional pricing).
+
+The paper assumes a *given and fixed* target test cell.  Before this API
+existed, every call site passed an :class:`~repro.ate.spec.AteSpec` and a
+:class:`~repro.ate.probe_station.ProbeStation` around separately (and the
+economics experiment additionally threaded an
+:class:`~repro.ate.pricing.AtePricing`).  :class:`TestCell` bundles the
+three into one immutable, hashable value so a
+:class:`~repro.api.scenario.Scenario` can reference the whole cell at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ate.pricing import AtePricing
+from repro.ate.probe_station import ProbeStation, reference_probe_station
+from repro.ate.spec import AteSpec, reference_ate
+
+
+@dataclass(frozen=True)
+class TestCell:
+    """A complete wafer-test cell: ATE, probe station and optional pricing.
+
+    Attributes
+    ----------
+    ate:
+        The fixed target ATE (channel count, vector-memory depth, clock).
+    probe_station:
+        The fixed probe station (index time, contact-test time, contact
+        yield).  Defaults to the paper's reference prober.
+    pricing:
+        Optional upgrade pricing model, needed only by economics scenarios.
+    """
+
+    ate: AteSpec
+    probe_station: ProbeStation = ProbeStation(name="prober-ref")
+    pricing: AtePricing | None = None
+
+    #: Despite the Test* name this is not a test case; keep pytest away.
+    __test__ = False
+
+    # ------------------------------------------------------------------
+    # Derived configurations (sweep helpers)
+    # ------------------------------------------------------------------
+    def with_ate(self, ate: AteSpec) -> "TestCell":
+        """Return a copy of this cell with a different ATE."""
+        return replace(self, ate=ate)
+
+    def with_channels(self, channels: int) -> "TestCell":
+        """Return a copy whose ATE has ``channels`` channels."""
+        return replace(self, ate=self.ate.with_channels(channels))
+
+    def with_depth(self, depth: int) -> "TestCell":
+        """Return a copy whose ATE has a vector-memory depth of ``depth``."""
+        return replace(self, ate=self.ate.with_depth(depth))
+
+    def with_probe_station(self, probe_station: ProbeStation) -> "TestCell":
+        """Return a copy of this cell with a different probe station."""
+        return replace(self, probe_station=probe_station)
+
+    def describe(self) -> str:
+        """Multi-line summary used by reports and the CLI."""
+        lines = [self.ate.describe(), self.probe_station.describe()]
+        if self.pricing is not None:
+            lines.append(
+                f"pricing: {self.pricing.channel_block_size} channels per block at "
+                f"USD {self.pricing.channel_block_price_usd:g}"
+            )
+        return "\n".join(lines)
+
+
+def reference_test_cell(
+    channels: int = 512,
+    depth_m: float = 7,
+    frequency_mhz: float = 5.0,
+    contact_yield: float = 1.0,
+    pricing: AtePricing | None = None,
+) -> TestCell:
+    """The paper's reference test cell: 512x7M ATE at 5 MHz, 0.5 s prober."""
+    return TestCell(
+        ate=reference_ate(channels=channels, depth_m=depth_m, frequency_mhz=frequency_mhz),
+        probe_station=reference_probe_station(contact_yield=contact_yield),
+        pricing=pricing,
+    )

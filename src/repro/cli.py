@@ -1,15 +1,19 @@
 """Command-line interface.
 
-Installed as ``repro-multisite`` (see ``pyproject.toml``) and runnable as
+Installed as ``repro-multisite`` (see ``setup.py``) and runnable as
 ``python -m repro``.  Sub-commands:
 
 * ``design``     -- run the two-step algorithm for one SOC / ATE and print the
   resulting infrastructure and throughput;
 * ``benchmarks`` -- list the registered ITC'02 benchmarks;
-* ``table1``     -- regenerate the paper's Table 1;
-* ``figure5`` / ``figure6`` / ``figure7`` -- regenerate the figures;
-* ``economics``  -- regenerate the memory-vs-channels cost comparison;
-* ``all``        -- run every experiment (slow).
+* ``all``        -- regenerate the full experiment report (slow);
+* one sub-command per registered experiment (``table1``, ``figure5``,
+  ``figure6``, ``figure7``, ``economics``, ``ablation``, ...).
+
+The experiment sub-commands are generated from the experiment registry
+(:mod:`repro.experiments.registry`), so registering a new experiment adds
+its CLI command automatically; ``design`` and ``all`` drive the scenario
+:class:`~repro.api.engine.Engine` directly.
 """
 
 from __future__ import annotations
@@ -18,32 +22,48 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.api.engine import Engine
+from repro.api.scenario import Scenario
+from repro.api.testcell import TestCell
 from repro.ate.probe_station import ProbeStation
 from repro.ate.spec import AteSpec
 from repro.core.exceptions import ReproError
 from repro.core.units import mega_vectors
-from repro.experiments.economics import run_economics, summarize_economics
-from repro.experiments.figure5 import run_figure5, summarize_figure5
-from repro.experiments.figure6 import run_figure6, summarize_figure6
-from repro.experiments.figure7 import run_figure7a, run_figure7b, summarize_figure7
+from repro.experiments.registry import list_experiments, render_experiment, run_experiment
 from repro.experiments.runner import run_all_experiments
-from repro.experiments.table1 import run_table1, summarize_table1
 from repro.itc02.parser import parse_soc_file
-from repro.itc02.registry import list_benchmarks, load_benchmark
+from repro.itc02.registry import list_benchmarks
 from repro.optimize.config import Objective, OptimizationConfig
-from repro.optimize.two_step import optimize_multisite
-from repro.reporting.series import series_table
-from repro.soc.pnx8550 import make_pnx8550
 from repro.soc.soc import Soc
 
+#: Sub-commands with bespoke handlers; every other sub-command is generated
+#: from (and dispatched through) the experiment registry.
+_BUILTIN_COMMANDS = ("design", "benchmarks", "all")
 
-def _load_soc(spec: str) -> Soc:
-    """Resolve an SOC argument: a registered benchmark name, ``pnx8550`` or a file."""
-    if spec.lower() == "pnx8550":
-        return make_pnx8550()
+
+def experiment_commands() -> tuple[str, ...]:
+    """CLI sub-commands generated from the experiment registry.
+
+    A registered experiment whose name collides with a builtin sub-command
+    is excluded (the builtin wins), so a bad registration can never break
+    argument parsing for the whole CLI.
+    """
+    return tuple(
+        experiment.name
+        for experiment in list_experiments()
+        if experiment.name not in _BUILTIN_COMMANDS
+    )
+
+
+def _resolve_soc_argument(spec: str) -> Soc | str:
+    """Resolve an SOC argument: a ``.soc`` file path, or a scenario reference.
+
+    Benchmark names and ``pnx8550`` are passed through as strings -- the
+    scenario resolves them, so unknown names fail with the registry's error.
+    """
     if spec.endswith(".soc"):
         return parse_soc_file(spec)
-    return load_benchmark(spec)
+    return spec
 
 
 def _add_design_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -75,17 +95,19 @@ def _add_design_parser(subparsers: argparse._SubParsersAction) -> None:
                         help="print the full channel-group architecture")
 
 
-def _run_design(args: argparse.Namespace) -> int:
-    soc = _load_soc(args.soc)
-    ate = AteSpec(
-        channels=args.channels,
-        depth=mega_vectors(args.depth_m),
-        frequency_hz=args.frequency_mhz * 1e6,
-    )
-    probe_station = ProbeStation(
-        index_time_s=args.index_time,
-        contact_test_time_s=args.contact_test_time,
-        contact_yield=args.contact_yield,
+def _design_scenario(args: argparse.Namespace) -> Scenario:
+    """Build the scenario the ``design`` sub-command describes."""
+    test_cell = TestCell(
+        ate=AteSpec(
+            channels=args.channels,
+            depth=mega_vectors(args.depth_m),
+            frequency_hz=args.frequency_mhz * 1e6,
+        ),
+        probe_station=ProbeStation(
+            index_time_s=args.index_time,
+            contact_test_time_s=args.contact_test_time,
+            contact_yield=args.contact_yield,
+        ),
     )
     config = OptimizationConfig(
         broadcast=args.broadcast,
@@ -94,10 +116,18 @@ def _run_design(args: argparse.Namespace) -> int:
         manufacturing_yield=args.manufacturing_yield,
         max_sites=args.max_sites,
     )
-    result = optimize_multisite(soc, ate, probe_station, config)
-    print(soc.describe())
-    print(ate.describe())
-    print(probe_station.describe())
+    return Scenario(
+        soc=_resolve_soc_argument(args.soc), test_cell=test_cell, config=config
+    )
+
+
+def _run_design(args: argparse.Namespace) -> int:
+    scenario = _design_scenario(args)
+    outcome = Engine().run(scenario)
+    result = outcome.result
+    print(scenario.resolve().describe())
+    print(scenario.test_cell.ate.describe())
+    print(scenario.test_cell.probe_station.describe())
     print()
     print(result.describe())
     print()
@@ -120,70 +150,16 @@ def _run_benchmarks(_: argparse.Namespace) -> int:
     return 0
 
 
-def _run_table1(_: argparse.Namespace) -> int:
-    result = run_table1()
-    for name in result.benchmarks:
-        print(result.to_table(name).render())
-        print()
-    print(summarize_table1(result))
-    return 0
-
-
-def _run_figure5(_: argparse.Namespace) -> int:
-    result = run_figure5()
-    print(summarize_figure5(result))
-    print()
-    print(series_table([result.throughput_broadcast]))
-    print()
-    print(series_table([result.step1_only_broadcast]))
-    return 0
-
-
-def _run_figure6(_: argparse.Namespace) -> int:
-    result = run_figure6()
-    print(summarize_figure6(result))
-    print()
-    print(result.throughput_vs_channels.render())
-    print()
-    print(result.throughput_vs_depth.render())
-    return 0
-
-
-def _run_figure7(_: argparse.Namespace) -> int:
-    figure7a = run_figure7a()
-    figure7b = run_figure7b()
-    print(summarize_figure7(figure7a, figure7b))
-    print()
-    print(series_table([figure7a.series(y) for y in figure7a.contact_yields]))
-    print()
-    print(series_table([figure7b.series(y) for y in figure7b.manufacturing_yields]))
-    return 0
-
-
-def _run_economics(_: argparse.Namespace) -> int:
-    result = run_economics()
-    print(result.to_table().render())
-    print()
-    print(summarize_economics(result))
+def _run_registered_experiment(name: str) -> int:
+    result = run_experiment(name, Engine())
+    print(render_experiment(name, result))
     return 0
 
 
 def _run_all(_: argparse.Namespace) -> int:
-    report = run_all_experiments()
+    report = run_all_experiments(Engine())
     print(report.render())
     return 0
-
-
-_COMMANDS = {
-    "design": _run_design,
-    "benchmarks": _run_benchmarks,
-    "table1": _run_table1,
-    "figure5": _run_figure5,
-    "figure6": _run_figure6,
-    "figure7": _run_figure7,
-    "economics": _run_economics,
-    "all": _run_all,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -196,12 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_design_parser(subparsers)
     subparsers.add_parser("benchmarks", help="list the registered ITC'02 benchmarks")
-    subparsers.add_parser("table1", help="regenerate Table 1")
-    subparsers.add_parser("figure5", help="regenerate Figure 5")
-    subparsers.add_parser("figure6", help="regenerate Figure 6")
-    subparsers.add_parser("figure7", help="regenerate Figure 7")
-    subparsers.add_parser("economics", help="regenerate the ATE upgrade cost comparison")
-    subparsers.add_parser("all", help="run every experiment (slow)")
+    experiments = {experiment.name: experiment for experiment in list_experiments()}
+    for name in experiment_commands():
+        subparsers.add_parser(name, help=f"regenerate: {experiments[name].title}")
+    subparsers.add_parser("all", help="regenerate the full experiment report (slow)")
     return parser
 
 
@@ -210,7 +184,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        if args.command == "design":
+            return _run_design(args)
+        if args.command == "benchmarks":
+            return _run_benchmarks(args)
+        if args.command == "all":
+            return _run_all(args)
+        return _run_registered_experiment(args.command)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -39,9 +39,28 @@ from repro.experiments.ablation import (
     run_placement_ablation,
     run_wrapper_ablation,
 )
-from repro.experiments.runner import ExperimentReport, run_all_experiments
+from repro.experiments.registry import (
+    Experiment,
+    experiment_names,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    render_experiment,
+    run_experiment,
+    run_experiments,
+)
+from repro.experiments.runner import REPORT_EXPERIMENTS, ExperimentReport, run_all_experiments
 
 __all__ = [
+    "Experiment",
+    "experiment_names",
+    "get_experiment",
+    "list_experiments",
+    "register_experiment",
+    "render_experiment",
+    "run_experiment",
+    "run_experiments",
+    "REPORT_EXPERIMENTS",
     "Figure5Result",
     "run_figure5",
     "summarize_figure5",

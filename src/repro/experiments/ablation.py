@@ -24,8 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.api.engine import Engine
 from repro.core.exceptions import ConfigurationError
 from repro.core.units import kilo_vectors
+from repro.experiments.registry import register_experiment
 from repro.itc02.registry import TABLE1_BENCHMARKS, load_benchmark
 from repro.reporting.tables import Table
 from repro.soc.soc import Soc
@@ -184,9 +186,16 @@ def run_wrapper_ablation(
     heuristics partition the internal scan chains; the study counts strict
     wins and measures the average makespan excess of each heuristic relative
     to the better one (which is what COMBINE uses).
+
+    ``widths`` is validated before the default SOC is pulled from the
+    benchmark registry, so a bad width list always surfaces as a
+    :class:`ConfigurationError` rather than as a benchmark-loading failure.
     """
     if not widths:
         raise ConfigurationError("width list must not be empty")
+    invalid = [width for width in widths if width <= 0]
+    if invalid:
+        raise ConfigurationError(f"wrapper widths must be positive, got {invalid}")
     soc = soc or load_benchmark("p93791")
 
     cases = 0
@@ -228,3 +237,30 @@ def run_wrapper_ablation(
         lpt_excess_makespan=lpt_excess / cases,
         bfd_excess_makespan=bfd_excess / cases,
     )
+
+
+def render_ablation(
+    result: "tuple[PlacementAblationResult, WrapperAblationResult]",
+) -> str:
+    """Full output of the ablation experiment (both studies)."""
+    placement, wrapper = result
+    return "\n".join(
+        [
+            placement.to_table().render(),
+            f"mean channel inflation of the free-memory rule: "
+            f"{placement.mean_inflation * 100:.0f}%",
+            "",
+            wrapper.to_table().render(),
+        ]
+    )
+
+
+@register_experiment(
+    "ablation",
+    title="Ablations -- placement criterion and wrapper partitioning",
+    render=render_ablation,
+)
+def _ablation_experiment(
+    engine: Engine,
+) -> "tuple[PlacementAblationResult, WrapperAblationResult]":
+    return run_placement_ablation(), run_wrapper_ablation()

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.engine import Engine, optimize_scenario
 from repro.ate.pricing import AtePricing
 from repro.ate.probe_station import ProbeStation, reference_probe_station
 from repro.ate.spec import AteSpec, reference_ate
 from repro.core.exceptions import ConfigurationError
+from repro.experiments.registry import register_experiment
 from repro.optimize.config import OptimizationConfig
-from repro.optimize.two_step import optimize_multisite
 from repro.reporting.tables import Table
 from repro.soc.pnx8550 import make_pnx8550
 from repro.soc.soc import Soc
@@ -89,6 +90,7 @@ def run_economics(
     pricing: AtePricing | None = None,
     depth_factor: float = 2.0,
     config: OptimizationConfig | None = None,
+    engine: Engine | None = None,
 ) -> EconomicsResult:
     """Compare deepening the memory by ``depth_factor`` against buying channels.
 
@@ -103,7 +105,7 @@ def run_economics(
     pricing = pricing or AtePricing()
     config = config or OptimizationConfig(broadcast=False)
 
-    baseline_result = optimize_multisite(soc, base_ate, probe_station, config)
+    baseline_result = optimize_scenario(engine, soc, base_ate, probe_station, config)
     baseline = UpgradeOption(
         label="baseline",
         ate=base_ate,
@@ -113,7 +115,7 @@ def run_economics(
 
     deep_ate = base_ate.with_depth(int(round(base_ate.depth * depth_factor)))
     memory_cost = pricing.memory_upgrade_cost(base_ate, deep_ate.depth)
-    memory_result = optimize_multisite(soc, deep_ate, probe_station, config)
+    memory_result = optimize_scenario(engine, soc, deep_ate, probe_station, config)
     memory_option = UpgradeOption(
         label=f"deepen memory x{depth_factor:g}",
         ate=deep_ate,
@@ -124,7 +126,7 @@ def run_economics(
     extra_channels = pricing.channels_for_budget(memory_cost)
     # Keep the channel count even so sites keep balanced stimulus/response.
     wide_ate = base_ate.with_channels(base_ate.channels + (extra_channels // 2) * 2)
-    channel_result = optimize_multisite(soc, wide_ate, probe_station, config)
+    channel_result = optimize_scenario(engine, soc, wide_ate, probe_station, config)
     channel_option = UpgradeOption(
         label=f"add {wide_ate.channels - base_ate.channels} channels",
         ate=wide_ate,
@@ -149,3 +151,23 @@ def summarize_economics(result: EconomicsResult) -> str:
         f"USD {result.channel_upgrade.cost_usd:.0f}; "
         f"memory {'wins' if result.memory_wins else 'loses'} per dollar"
     )
+
+
+def render_economics(result: EconomicsResult) -> str:
+    """Full CLI output of the economics experiment."""
+    return "\n".join(
+        [
+            result.to_table().render(),
+            "",
+            summarize_economics(result),
+        ]
+    )
+
+
+@register_experiment(
+    "economics",
+    title="Section 7 -- ATE upgrade economics (PNX8550)",
+    render=render_economics,
+)
+def _economics_experiment(engine: Engine) -> EconomicsResult:
+    return run_economics(engine=engine)

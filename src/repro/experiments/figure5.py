@@ -19,13 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.engine import Engine, optimize_scenario
 from repro.ate.probe_station import ProbeStation, reference_probe_station
 from repro.ate.spec import AteSpec, reference_ate
+from repro.experiments.registry import register_experiment
 from repro.optimize.config import OptimizationConfig
 from repro.optimize.result import TwoStepResult
 from repro.optimize.step2 import step1_only_throughput
-from repro.optimize.two_step import optimize_multisite
-from repro.reporting.series import Series
+from repro.reporting.series import Series, series_table
 from repro.soc.pnx8550 import make_pnx8550
 from repro.soc.soc import Soc
 
@@ -56,17 +57,18 @@ def run_figure5(
     soc: Soc | None = None,
     ate: AteSpec | None = None,
     probe_station: ProbeStation | None = None,
+    engine: Engine | None = None,
 ) -> Figure5Result:
     """Regenerate Figure 5 (optionally on a different SOC / test cell)."""
     soc = soc or make_pnx8550()
     ate = ate or reference_ate(channels=512, depth_m=7)
     probe_station = probe_station or reference_probe_station()
 
-    no_broadcast = optimize_multisite(
-        soc, ate, probe_station, OptimizationConfig(broadcast=False)
+    no_broadcast = optimize_scenario(
+        engine, soc, ate, probe_station, OptimizationConfig(broadcast=False)
     )
-    broadcast = optimize_multisite(
-        soc, ate, probe_station, OptimizationConfig(broadcast=True)
+    broadcast = optimize_scenario(
+        engine, soc, ate, probe_station, OptimizationConfig(broadcast=True)
     )
 
     def points_of(result: TwoStepResult) -> tuple[tuple[float, float], ...]:
@@ -116,3 +118,25 @@ def summarize_figure5(result: Figure5Result) -> str:
         f"{result.step2_gain_at_limit * 100:.0f}%",
     ]
     return "\n".join(lines)
+
+
+def render_figure5(result: Figure5Result) -> str:
+    """Full CLI output of the figure5 experiment."""
+    return "\n".join(
+        [
+            summarize_figure5(result),
+            "",
+            series_table([result.throughput_broadcast]),
+            "",
+            series_table([result.step1_only_broadcast]),
+        ]
+    )
+
+
+@register_experiment(
+    "figure5",
+    title="Figure 5 -- PNX8550 throughput vs number of sites",
+    render=render_figure5,
+)
+def _figure5_experiment(engine: Engine) -> Figure5Result:
+    return run_figure5(engine=engine)

@@ -18,12 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.api.engine import Engine, optimize_scenario
 from repro.ate.probe_station import ProbeStation, reference_probe_station
 from repro.ate.spec import AteSpec, reference_ate
 from repro.core.exceptions import ConfigurationError
 from repro.core.units import MEGA
+from repro.experiments.registry import register_experiment
 from repro.optimize.config import OptimizationConfig
-from repro.optimize.two_step import optimize_multisite
 from repro.reporting.series import Series
 from repro.soc.pnx8550 import make_pnx8550
 from repro.soc.soc import Soc
@@ -60,6 +61,7 @@ def run_channel_sweep(
     depth: int,
     frequency_hz: float,
     config: OptimizationConfig,
+    engine: Engine | None = None,
 ) -> Series:
     """Throughput of the two-step optimum for every channel count."""
     if not channels:
@@ -72,7 +74,7 @@ def run_channel_sweep(
             frequency_hz=frequency_hz,
             name=f"ate-{channel_count}",
         )
-        result = optimize_multisite(soc, ate, probe_station, config)
+        result = optimize_scenario(engine, soc, ate, probe_station, config)
         points.append((float(channel_count), result.optimal_throughput))
     return Series(
         name="throughput vs ATE channels",
@@ -89,6 +91,7 @@ def run_depth_sweep(
     channels: int,
     frequency_hz: float,
     config: OptimizationConfig,
+    engine: Engine | None = None,
 ) -> Series:
     """Throughput of the two-step optimum for every vector-memory depth."""
     if not depths:
@@ -101,7 +104,7 @@ def run_depth_sweep(
             frequency_hz=frequency_hz,
             name=f"ate-depth-{depth}",
         )
-        result = optimize_multisite(soc, ate, probe_station, config)
+        result = optimize_scenario(engine, soc, ate, probe_station, config)
         points.append((float(depth) / MEGA, result.optimal_throughput))
     return Series(
         name="throughput vs vector-memory depth",
@@ -120,6 +123,7 @@ def run_figure6(
     base_depth_m: float = 7,
     frequency_hz: float = 5e6,
     config: OptimizationConfig | None = None,
+    engine: Engine | None = None,
 ) -> Figure6Result:
     """Regenerate Figure 6 (both panels).
 
@@ -138,6 +142,7 @@ def run_figure6(
         depth=base.depth,
         frequency_hz=frequency_hz,
         config=config,
+        engine=engine,
     )
     depth_series = run_depth_sweep(
         soc,
@@ -146,6 +151,7 @@ def run_figure6(
         channels=base_channels,
         frequency_hz=frequency_hz,
         config=config,
+        engine=engine,
     )
     return Figure6Result(
         throughput_vs_channels=channels_series,
@@ -167,3 +173,25 @@ def summarize_figure6(result: Figure6Result) -> str:
         f"(+{depth.relative_gain() * 100:.0f}%, linearity {result.depth_scaling:.2f})",
     ]
     return "\n".join(lines)
+
+
+def render_figure6(result: Figure6Result) -> str:
+    """Full CLI output of the figure6 experiment."""
+    return "\n".join(
+        [
+            summarize_figure6(result),
+            "",
+            result.throughput_vs_channels.render(),
+            "",
+            result.throughput_vs_depth.render(),
+        ]
+    )
+
+
+@register_experiment(
+    "figure6",
+    title="Figure 6 -- PNX8550 throughput scaling",
+    render=render_figure6,
+)
+def _figure6_experiment(engine: Engine) -> Figure6Result:
+    return run_figure6(engine=engine)

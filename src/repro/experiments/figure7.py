@@ -17,16 +17,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.api.engine import Engine, optimize_scenario
 from repro.ate.probe_station import ProbeStation, reference_probe_station
 from repro.ate.spec import AteSpec, reference_ate
 from repro.core.exceptions import ConfigurationError
 from repro.core.units import MEGA
+from repro.experiments.registry import register_experiment
 from repro.multisite.abort_on_fail import abort_on_fail_test_time
 from repro.multisite.cost_model import TestTiming
 from repro.multisite.retest import unique_throughput
 from repro.optimize.config import OptimizationConfig
-from repro.optimize.two_step import optimize_multisite
-from repro.reporting.series import Series
+from repro.reporting.series import Series, series_table
 from repro.soc.pnx8550 import make_pnx8550
 from repro.soc.soc import Soc
 
@@ -83,6 +84,7 @@ def run_figure7a(
     depth_sweep_m: Sequence[float] = DEFAULT_DEPTH_SWEEP_M,
     channels: int = 512,
     frequency_hz: float = 5e6,
+    engine: Engine | None = None,
 ) -> Figure7aResult:
     """Regenerate Figure 7(a): unique throughput vs depth per contact yield.
 
@@ -104,7 +106,7 @@ def run_figure7a(
             frequency_hz=frequency_hz,
             name=f"ate-depth-{depth_m:g}M",
         )
-        result = optimize_multisite(soc, ate, probe_station, config)
+        result = optimize_scenario(engine, soc, ate, probe_station, config)
         operating_points.append((float(depth_m), result.best))
 
     series_by_yield: dict[float, Series] = {}
@@ -133,6 +135,7 @@ def run_figure7b(
     probe_station: ProbeStation | None = None,
     manufacturing_yields: Sequence[float] = DEFAULT_MANUFACTURING_YIELDS,
     site_sweep: Sequence[int] = DEFAULT_SITE_SWEEP,
+    engine: Engine | None = None,
 ) -> Figure7bResult:
     """Regenerate Figure 7(b): abort-on-fail test time vs sites per yield.
 
@@ -146,8 +149,8 @@ def run_figure7b(
     ate = ate or reference_ate(channels=512, depth_m=7)
     probe_station = probe_station or reference_probe_station()
 
-    design = optimize_multisite(
-        soc, ate, probe_station, OptimizationConfig(broadcast=False)
+    design = optimize_scenario(
+        engine, soc, ate, probe_station, OptimizationConfig(broadcast=False)
     )
     timing = TestTiming(
         index_time_s=probe_station.index_time_s,
@@ -201,3 +204,26 @@ def summarize_figure7(figure7a: Figure7aResult, figure7b: Figure7bResult) -> str
         f"{low_series.xs[-1]:.0f} sites",
     ]
     return "\n".join(lines)
+
+
+def render_figure7(result: "tuple[Figure7aResult, Figure7bResult]") -> str:
+    """Full CLI output of the figure7 experiment (both panels)."""
+    figure7a, figure7b = result
+    return "\n".join(
+        [
+            summarize_figure7(figure7a, figure7b),
+            "",
+            series_table([figure7a.series(y) for y in figure7a.contact_yields]),
+            "",
+            series_table([figure7b.series(y) for y in figure7b.manufacturing_yields]),
+        ]
+    )
+
+
+@register_experiment(
+    "figure7",
+    title="Figure 7 -- re-test and abort-on-fail effects (PNX8550)",
+    render=render_figure7,
+)
+def _figure7_experiment(engine: Engine) -> "tuple[Figure7aResult, Figure7bResult]":
+    return run_figure7a(engine=engine), run_figure7b(engine=engine)

@@ -1,0 +1,116 @@
+"""Registry of the paper's experiments.
+
+Before this registry existed, ``experiments/runner.py`` and the CLI
+hard-wired every experiment by name; adding a workload meant editing both.
+Now each experiment module registers itself with
+:func:`register_experiment`, and both :func:`~repro.experiments.runner.
+run_all_experiments` and the CLI iterate the registry through one shared
+:class:`~repro.api.engine.Engine` (so operating points that several
+experiments share -- e.g. the reference PNX8550 design -- are optimised
+once and served from the engine cache afterwards).
+
+An experiment is a callable ``runner(engine) -> result`` plus a ``render``
+callable that turns the result into the experiment's full CLI output text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.api.engine import Engine
+from repro.core.exceptions import ConfigurationError
+
+#: ``runner(engine) -> result``: regenerate the experiment's artefact.
+ExperimentRunner = Callable[[Engine], Any]
+
+#: ``render(result) -> str``: the experiment's full plain-text output.
+ExperimentRenderer = Callable[[Any], str]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    name: str
+    title: str
+    runner: ExperimentRunner
+    render: ExperimentRenderer
+
+    def run(self, engine: Engine | None = None) -> Any:
+        """Run the experiment through ``engine`` (a fresh one when omitted)."""
+        return self.runner(engine if engine is not None else Engine())
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register_experiment(
+    name: str,
+    title: str,
+    render: ExperimentRenderer,
+) -> Callable[[ExperimentRunner], ExperimentRunner]:
+    """Class/function decorator registering an experiment runner under ``name``.
+
+    >>> @register_experiment("demo", title="Demo", render=str)   # doctest: +SKIP
+    ... def _run_demo(engine):
+    ...     return 42
+    """
+    if not name:
+        raise ConfigurationError("experiment name must be non-empty")
+
+    def decorator(runner: ExperimentRunner) -> ExperimentRunner:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"experiment {name!r} is already registered")
+        _REGISTRY[name] = Experiment(name=name, title=title, runner=runner, render=render)
+        return runner
+
+    return decorator
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look an experiment up by name.
+
+    Raises
+    ------
+    ConfigurationError
+        When no experiment of that name is registered.
+    """
+    # Importing the package guarantees every experiment module had the
+    # chance to register itself, even when only this module was imported.
+    import repro.experiments  # noqa: F401  (self-registration side effect)
+
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown experiment {name!r}; registered: {known}")
+    return _REGISTRY[name]
+
+
+def experiment_names() -> tuple[str, ...]:
+    """Names of all registered experiments, sorted."""
+    import repro.experiments  # noqa: F401  (self-registration side effect)
+
+    return tuple(sorted(_REGISTRY))
+
+
+def list_experiments() -> tuple[Experiment, ...]:
+    """All registered experiments, sorted by name."""
+    return tuple(_REGISTRY[name] for name in experiment_names())
+
+
+def run_experiment(name: str, engine: Engine | None = None) -> Any:
+    """Run one registered experiment by name through ``engine``."""
+    return get_experiment(name).run(engine)
+
+
+def render_experiment(name: str, result: Any) -> str:
+    """Render a result produced by :func:`run_experiment` as output text."""
+    return get_experiment(name).render(result)
+
+
+def run_experiments(
+    names: Iterable[str], engine: Engine | None = None
+) -> dict[str, Any]:
+    """Run several experiments through one shared engine, in the given order."""
+    engine = engine if engine is not None else Engine()
+    return {name: run_experiment(name, engine) for name in names}

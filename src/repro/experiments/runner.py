@@ -1,28 +1,31 @@
 """Run every paper experiment and collect the results in one report.
 
-``python -m repro all`` (and EXPERIMENTS.md regeneration) uses this module:
-it runs Figure 5, Figure 6, Figure 7(a)/(b), Table 1 and the economics
-comparison with the paper's default parameters and renders one plain-text
-report.  Individual experiments can also be run through their own modules or
-CLI sub-commands when only one artefact is needed.
+``python -m repro all`` (and EXPERIMENTS.md regeneration) uses this module.
+The experiments themselves live in the :mod:`repro.experiments.registry`:
+each experiment module registers its runner, and :func:`run_all_experiments`
+iterates the registry through one shared :class:`~repro.api.engine.Engine`,
+so operating points that several experiments revisit (e.g. the reference
+PNX8550 design) are optimised once and then served from the engine cache.
+Individual experiments can also be run through their own modules, through
+:func:`repro.experiments.registry.run_experiment`, or through the CLI
+sub-commands when only one artefact is needed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.economics import EconomicsResult, run_economics, summarize_economics
-from repro.experiments.figure5 import Figure5Result, run_figure5, summarize_figure5
-from repro.experiments.figure6 import Figure6Result, run_figure6, summarize_figure6
-from repro.experiments.figure7 import (
-    Figure7aResult,
-    Figure7bResult,
-    run_figure7a,
-    run_figure7b,
-    summarize_figure7,
-)
-from repro.experiments.table1 import Table1Result, run_table1, summarize_table1
+from repro.api.engine import Engine
+from repro.experiments.economics import EconomicsResult, summarize_economics
+from repro.experiments.figure5 import Figure5Result, summarize_figure5
+from repro.experiments.figure6 import Figure6Result, summarize_figure6
+from repro.experiments.figure7 import Figure7aResult, Figure7bResult, summarize_figure7
+from repro.experiments.registry import run_experiments
+from repro.experiments.table1 import Table1Result, summarize_table1
 from repro.reporting.series import series_table
+
+#: Registered experiments that make up the full report, in report order.
+REPORT_EXPERIMENTS = ("figure5", "figure6", "figure7", "table1", "economics")
 
 
 @dataclass(frozen=True)
@@ -62,17 +65,21 @@ class ExperimentReport:
         return "\n".join(sections)
 
 
-def run_all_experiments() -> ExperimentReport:
-    """Run every experiment with the paper's default parameters.
+def run_all_experiments(engine: Engine | None = None) -> ExperimentReport:
+    """Run every report experiment from the registry through one engine.
 
     This is a long-running call (several minutes on a laptop): every figure
     point re-runs the full two-step optimisation on the synthetic PNX8550.
+    The shared engine cache removes the operating points that experiments
+    have in common, but the bulk of the sweeps remains unique.
     """
+    results = run_experiments(REPORT_EXPERIMENTS, engine if engine is not None else Engine())
+    figure7a, figure7b = results["figure7"]
     return ExperimentReport(
-        figure5=run_figure5(),
-        figure6=run_figure6(),
-        figure7a=run_figure7a(),
-        figure7b=run_figure7b(),
-        table1=run_table1(),
-        economics=run_economics(),
+        figure5=results["figure5"],
+        figure6=results["figure6"],
+        figure7a=figure7a,
+        figure7b=figure7b,
+        table1=results["table1"],
+        economics=results["economics"],
     )

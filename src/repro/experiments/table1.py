@@ -21,12 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.api.engine import Engine
 from repro.ate.probe_station import reference_probe_station
 from repro.ate.spec import AteSpec
 from repro.baselines.lower_bound import channel_lower_bound
 from repro.baselines.rectangle import pack_rectangles
 from repro.core.exceptions import ConfigurationError
 from repro.core.units import format_depth, kilo_vectors
+from repro.experiments.registry import register_experiment
 from repro.itc02.registry import TABLE1_BENCHMARKS, load_benchmark
 from repro.optimize.config import OptimizationConfig
 from repro.optimize.step1 import run_step1
@@ -175,3 +177,24 @@ def summarize_table1(result: Table1Result) -> str:
             f"{at_least}/{len(rows)} depths reach at least the baseline's multi-site"
         )
     return "\n".join(lines)
+
+
+def render_table1(result: Table1Result) -> str:
+    """Full CLI output of the table1 experiment."""
+    lines: list[str] = []
+    for name in result.benchmarks:
+        lines.append(result.to_table(name).render())
+        lines.append("")
+    lines.append(summarize_table1(result))
+    return "\n".join(lines)
+
+
+@register_experiment(
+    "table1",
+    title="Table 1 -- maximum multi-site on the ITC'02 benchmarks",
+    render=render_table1,
+)
+def _table1_experiment(engine: Engine) -> Table1Result:
+    # Table 1 compares Step-1 designs and baselines, not full two-step
+    # optimisations, so it has no per-scenario work to memoise yet.
+    return run_table1()
