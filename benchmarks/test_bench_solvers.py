@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the solver backends.
+
+Documents the cost of the solver dimension: the paper's greedy two-step
+(``"goel05"``), the randomized multi-start (``"restart"``, one greedy run
+per attempt) and the exhaustive partition oracle (``"exhaustive"``, Bell-
+number search) on the d695 benchmark and its oracle-sized sub-SOCs.  The
+restart backend should cost roughly ``restarts + 1`` goel05 runs; the
+oracle's cost grows with the module count and is only viable on the small
+instances.
+"""
+
+import pytest
+
+from repro.ate.spec import AteSpec
+from repro.core.units import kilo_vectors
+from repro.experiments.solver_comparison import (
+    SMALL_INSTANCE_CHANNELS,
+    SMALL_INSTANCE_DEPTH,
+    derived_small_socs,
+)
+from repro.itc02.registry import load_benchmark
+from repro.solvers.problem import make_problem
+from repro.solvers.registry import get_solver
+
+
+@pytest.mark.parametrize("solver_name", ["goel05", "restart"])
+def test_greedy_backends_on_d695(benchmark, solver_name):
+    """Greedy backends at d695's Table-1 operating point (256 ch x 88 K)."""
+    problem = make_problem(
+        load_benchmark("d695"),
+        AteSpec(channels=256, depth=kilo_vectors(88), name="ate-d695"),
+    )
+    solver = get_solver(solver_name)
+
+    solution = benchmark(solver.solve, problem)
+    assert solution.optimal_sites >= 1
+    benchmark.extra_info["throughput"] = round(solution.optimal_throughput, 1)
+
+
+@pytest.mark.parametrize("size", [3, 4, 5])
+def test_exhaustive_oracle_on_d695_sub_socs(benchmark, size):
+    """Exhaustive partition enumeration on the d695-derived oracle instances."""
+    (soc,) = derived_small_socs((size,))
+    problem = make_problem(
+        soc,
+        AteSpec(
+            channels=SMALL_INSTANCE_CHANNELS,
+            depth=SMALL_INSTANCE_DEPTH,
+            name="ate-oracle",
+        ),
+    )
+    solver = get_solver("exhaustive")
+
+    solution = benchmark(solver.solve, problem)
+    assert solution.optimal_sites >= 1
+    benchmark.extra_info["modules"] = size
+    benchmark.extra_info["throughput"] = round(solution.optimal_throughput, 1)

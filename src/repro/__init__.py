@@ -16,7 +16,7 @@ an :class:`Engine`::
 
 Scenarios are declarative and hashable: :meth:`Scenario.sweep
 <repro.api.scenario.Scenario.sweep>` expands cartesian parameter grids
-(benchmarks x channels x depths x broadcast x site limits), and
+(benchmarks x channels x depths x broadcast x site limits x solvers), and
 ``Engine.run_batch(scenarios, workers=4)`` runs them in parallel with an
 in-process result cache::
 
@@ -24,13 +24,25 @@ in-process result cache::
                           broadcast=[False, True])
     results = Engine().run_batch(grid, workers=4)
 
-The classic free functions remain fully supported as thin entry points::
+The optimisation strategy itself is pluggable (:mod:`repro.solvers`): the
+paper's greedy two-step is the ``"goel05"`` backend, ``"exhaustive"`` is an
+exact oracle for small SOCs, and ``"restart"`` is a deterministic
+multi-start greedy that can beat the paper's ordering.  Pick one per
+scenario or sweep the backend like any other axis::
+
+    outcome = Engine().run(Scenario(soc="d695", test_cell=cell,
+                                    solver="restart"))
+    duel = Engine().run_batch(
+        Scenario.sweep("d695", cell, solvers=["goel05", "restart"]))
+
+``python -m repro solvers`` lists the registered backends.  The classic
+free functions remain fully supported as thin entry points::
 
     from repro import load_benchmark, reference_ate, optimize_multisite
 
     soc = load_benchmark("d695")
     ate = reference_ate(channels=256, depth_m=0.0625)
-    result = optimize_multisite(soc, ate)
+    result = optimize_multisite(soc, ate)          # solver="goel05"
 
 The sub-packages are documented in DESIGN.md; the most commonly used entry
 points are re-exported here.
@@ -43,8 +55,19 @@ from repro.api import (
     ScenarioResult,
     TestCell,
     batch_throughput_series,
+    optimize_scenario,
     reference_test_cell,
     resolve_soc,
+)
+from repro.solvers import (
+    DEFAULT_SOLVER,
+    SolverSolution,
+    TestInfraProblem,
+    get_solver,
+    list_solvers,
+    make_problem,
+    register_solver,
+    solver_names,
 )
 from repro.ate import AteSpec, ProbeStation, AtePricing, reference_ate, reference_probe_station
 from repro.itc02 import load_benchmark, list_benchmarks, parse_soc_file, write_soc_file
@@ -62,7 +85,7 @@ from repro.schedule import TestSchedule, build_schedule
 from repro.tam import TestArchitecture, design_architecture
 from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CacheInfo",
@@ -71,8 +94,17 @@ __all__ = [
     "ScenarioResult",
     "TestCell",
     "batch_throughput_series",
+    "optimize_scenario",
     "reference_test_cell",
     "resolve_soc",
+    "DEFAULT_SOLVER",
+    "SolverSolution",
+    "TestInfraProblem",
+    "get_solver",
+    "list_solvers",
+    "make_problem",
+    "register_solver",
+    "solver_names",
     "AteSpec",
     "ProbeStation",
     "AtePricing",

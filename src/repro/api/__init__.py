@@ -5,18 +5,30 @@ This package is the canonical way to drive the reproduction:
 * :class:`~repro.api.testcell.TestCell` -- the fixed wafer-test cell (ATE +
   probe station + optional pricing) as one immutable value;
 * :class:`~repro.api.scenario.Scenario` -- a declarative, hashable
-  description of one optimisation run, with :meth:`Scenario.sweep
+  description of one optimisation run (including the solver backend that
+  executes it), with :meth:`Scenario.sweep
   <repro.api.scenario.Scenario.sweep>` expanding cartesian parameter grids;
 * :class:`~repro.api.engine.Engine` -- executes scenarios serially or as
   parallel batches (``run_batch(scenarios, workers=N)``) with an in-process
-  memo cache keyed on the scenario's canonical hash.
+  memo cache keyed on the scenario's canonical hash (optionally LRU-bounded
+  via ``max_entries``).
 
-The classic free functions (:func:`repro.optimize.two_step.optimize_multisite`,
-:func:`repro.optimize.two_step.design_step1_only`) remain supported; the
-engine routes through them, so both APIs return identical results.
+Scenarios route through the solver registry (:mod:`repro.solvers`):
+``Scenario(solver="restart")`` swaps the paper's greedy two-step for any
+registered backend, and ``Scenario.sweep(..., solvers=[...])`` treats the
+backend as a sweep axis.  The classic free functions
+(:func:`repro.optimize.two_step.optimize_multisite`,
+:func:`repro.optimize.two_step.design_step1_only`) remain supported and
+return identical results for the default backend.
 """
 
-from repro.api.engine import CacheInfo, Engine, ScenarioResult, batch_throughput_series
+from repro.api.engine import (
+    CacheInfo,
+    Engine,
+    ScenarioResult,
+    batch_throughput_series,
+    optimize_scenario,
+)
 from repro.api.scenario import Scenario, resolve_soc
 from repro.api.testcell import TestCell, reference_test_cell
 
@@ -27,6 +39,7 @@ __all__ = [
     "ScenarioResult",
     "TestCell",
     "batch_throughput_series",
+    "optimize_scenario",
     "reference_test_cell",
     "resolve_soc",
 ]

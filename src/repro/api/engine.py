@@ -20,6 +20,7 @@ directly into the flat structures of :mod:`repro.reporting.export` and the
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -28,9 +29,10 @@ from repro.api.scenario import Scenario
 from repro.api.testcell import TestCell
 from repro.core.exceptions import ConfigurationError
 from repro.optimize.result import Step1Result, TwoStepResult
-from repro.optimize.two_step import optimize_multisite
 from repro.reporting.export import result_to_records
 from repro.reporting.series import Series
+from repro.solvers.problem import make_problem
+from repro.solvers.registry import DEFAULT_SOLVER, solve
 
 
 @dataclass(frozen=True)
@@ -78,12 +80,13 @@ class ScenarioResult:
 
 def _execute(scenario: Scenario) -> TwoStepResult:
     """Run one scenario's optimisation (top-level so process pools can pickle it)."""
-    return optimize_multisite(
+    problem = make_problem(
         scenario.resolve(),
         scenario.test_cell.ate,
         scenario.test_cell.probe_station,
         scenario.config,
     )
+    return solve(scenario.solver, problem).result
 
 
 @dataclass(frozen=True)
@@ -93,6 +96,8 @@ class CacheInfo:
     hits: int
     misses: int
     size: int
+    evictions: int = 0
+    max_entries: int | None = None
 
 
 class Engine:
@@ -106,25 +111,45 @@ class Engine:
     workers:
         Default worker count for :meth:`run_batch`.  ``None`` or ``1`` mean
         serial execution; batches can override per call.
+    max_entries:
+        Upper bound on memoised results.  ``None`` (default) keeps every
+        result; with a bound the cache evicts least-recently-used entries,
+        so unbounded sweeps cannot grow the engine without limit.  Evictions
+        are reported in :meth:`cache_info`.
     """
 
-    def __init__(self, cache: bool = True, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        cache: bool = True,
+        workers: int | None = None,
+        max_entries: int | None = None,
+    ) -> None:
         if workers is not None and workers <= 0:
             raise ConfigurationError(f"worker count must be positive, got {workers}")
+        if max_entries is not None and max_entries <= 0:
+            raise ConfigurationError(f"max_entries must be positive, got {max_entries}")
         self._cache_enabled = cache
         self._workers = workers
-        self._cache: dict[tuple, ScenarioResult] = {}
+        self._max_entries = max_entries
+        self._cache: OrderedDict[tuple, ScenarioResult] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # Cache management
     # ------------------------------------------------------------------
     def cache_info(self) -> CacheInfo:
-        """Hit/miss statistics of the scenario cache."""
+        """Hit/miss/eviction statistics of the scenario cache."""
         with self._lock:
-            return CacheInfo(hits=self._hits, misses=self._misses, size=len(self._cache))
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._cache),
+                evictions=self._evictions,
+                max_entries=self._max_entries,
+            )
 
     def clear_cache(self) -> None:
         """Drop all memoised results (statistics are reset too)."""
@@ -132,6 +157,7 @@ class Engine:
             self._cache.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     def _lookup(self, key: tuple) -> ScenarioResult | None:
         if not self._cache_enabled:
@@ -140,13 +166,20 @@ class Engine:
             cached = self._cache.get(key)
             if cached is not None:
                 self._hits += 1
+                self._cache.move_to_end(key)
             return cached
 
     def _store(self, key: tuple, result: ScenarioResult) -> None:
         with self._lock:
             self._misses += 1
-            if self._cache_enabled:
-                self._cache[key] = result
+            if not self._cache_enabled:
+                return
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            if self._max_entries is not None:
+                while len(self._cache) > self._max_entries:
+                    self._cache.popitem(last=False)
+                    self._evictions += 1
 
     @staticmethod
     def _deliver(scenario: Scenario, cached: ScenarioResult) -> ScenarioResult:
@@ -158,8 +191,13 @@ class Engine:
         rebound to the requested scenario, so callers never see another
         run's labels on ``result.scenario``.
         """
-        ours = (scenario.soc, scenario.test_cell, scenario.config)
-        theirs = (cached.scenario.soc, cached.scenario.test_cell, cached.scenario.config)
+        ours = (scenario.soc, scenario.test_cell, scenario.config, scenario.solver)
+        theirs = (
+            cached.scenario.soc,
+            cached.scenario.test_cell,
+            cached.scenario.config,
+            cached.scenario.solver,
+        )
         if ours == theirs:
             return cached
         return ScenarioResult(scenario=scenario, result=cached.result)
@@ -258,17 +296,20 @@ def optimize_scenario(
     ate,
     probe_station,
     config,
+    solver: str = DEFAULT_SOLVER,
 ) -> TwoStepResult:
     """Run one (soc, ate, probe, config) operating point through ``engine``.
 
     This is the bridge the experiment modules use: with an engine the run is
     memoised (shared operating points across experiments are optimised
-    once); without one it degrades to a plain direct call.
+    once); without one it degrades to a plain direct call.  ``solver``
+    selects the registered backend that executes the point.
     """
     scenario = Scenario(
         soc=soc,
         test_cell=TestCell(ate=ate, probe_station=probe_station),
         config=config,
+        solver=solver,
     )
     if engine is None:
         return _execute(scenario)

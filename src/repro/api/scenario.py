@@ -10,8 +10,8 @@ object, which is what lets the :class:`~repro.api.engine.Engine` memoise
 results across call sites.
 
 :meth:`Scenario.sweep` expands cartesian parameter grids (benchmarks x
-channels x depths x sites x broadcast) into scenario lists for batch
-execution.
+channels x depths x sites x broadcast x solvers) into scenario lists for
+batch execution.
 """
 
 from __future__ import annotations
@@ -25,6 +25,7 @@ from repro.api.testcell import TestCell
 from repro.core.exceptions import ConfigurationError
 from repro.optimize.config import OptimizationConfig
 from repro.soc.soc import Soc
+from repro.solvers.registry import DEFAULT_SOLVER
 
 
 def resolve_soc(soc: Soc | str) -> Soc:
@@ -63,11 +64,17 @@ class Scenario:
     config:
         Variant switches of the optimisation (broadcast, abort-on-fail,
         objective, yields, site clamps).
+    solver:
+        Name of the registered solver backend that executes the scenario
+        (see :mod:`repro.solvers`); defaults to the paper's greedy two-step
+        heuristic (``"goel05"``).  The name is validated when the scenario
+        is run, so declaring scenarios never imports the backends.
     """
 
     soc: Soc | str
     test_cell: TestCell
     config: OptimizationConfig = OptimizationConfig()
+    solver: str = DEFAULT_SOLVER
 
     def __post_init__(self) -> None:
         if not isinstance(self.soc, (Soc, str)):
@@ -76,6 +83,8 @@ class Scenario:
             )
         if isinstance(self.soc, str) and not self.soc:
             raise ConfigurationError("scenario SOC reference must be non-empty")
+        if not isinstance(self.solver, str) or not self.solver:
+            raise ConfigurationError("scenario solver must be a non-empty backend name")
 
     # ------------------------------------------------------------------
     # Identity
@@ -99,7 +108,8 @@ class Scenario:
         of the ATE and probe station, and the cell's ``pricing`` model (it
         only feeds cost reporting) -- two experiments sweeping the same
         operating point under different labels or pricing share one cache
-        entry.
+        entry.  The solver name *is* part of the key: two backends may find
+        different designs for the same operating point.
         """
         cell = self.test_cell
         cell = replace(
@@ -108,7 +118,7 @@ class Scenario:
             probe_station=replace(cell.probe_station, name=""),
             pricing=None,
         )
-        return (self.resolve(), cell, self.config)
+        return (self.resolve(), cell, self.config, self.solver)
 
     @property
     def key(self) -> str:
@@ -138,11 +148,20 @@ class Scenario:
         """Return a copy with a different optimisation config."""
         return replace(self, config=config)
 
+    def with_solver(self, solver: str) -> "Scenario":
+        """Return a copy executed by a different solver backend."""
+        return replace(self, solver=solver)
+
     def describe(self) -> str:
-        """One-line summary used by reports and logs."""
+        """One-line summary used by reports and logs.
+
+        The solver is mentioned only when it deviates from the default, so
+        reports of default runs read exactly as before the solver layer.
+        """
+        solver = "" if self.solver == DEFAULT_SOLVER else f", solver={self.solver}"
         return (
             f"scenario[{self.soc_name} @ {self.test_cell.ate.channels}ch x "
-            f"{self.test_cell.ate.depth} vectors, {self.config.describe()}]"
+            f"{self.test_cell.ate.depth} vectors, {self.config.describe()}{solver}]"
         )
 
     # ------------------------------------------------------------------
@@ -159,18 +178,22 @@ class Scenario:
         broadcast: Sequence[bool] | bool | None = None,
         max_sites: Sequence[int | None] | None = None,
         config: OptimizationConfig | None = None,
+        solvers: Sequence[str] | str | None = None,
     ) -> list["Scenario"]:
         """Expand a cartesian parameter grid into a scenario list.
 
         Every axis is optional; an omitted axis keeps the corresponding value
-        of ``test_cell`` / ``config``.  The expansion order is deterministic:
-        SOCs vary slowest, then channels, depths, broadcast, and site limits.
+        of ``test_cell`` / ``config`` (and the default solver).  The
+        expansion order is deterministic: SOCs vary slowest, then channels,
+        depths, broadcast, site limits, and solvers.
 
         >>> from repro.api.testcell import reference_test_cell
         >>> cell = reference_test_cell(channels=256, depth_m=0.0625)
         >>> grid = Scenario.sweep("d695", cell, channels=[128, 256], broadcast=[False, True])
         >>> len(grid)
         4
+        >>> len(Scenario.sweep("d695", cell, solvers=["goel05", "restart"]))
+        2
         """
         base_config = config or OptimizationConfig()
         soc_axis: Sequence[Soc | str]
@@ -192,18 +215,25 @@ class Scenario:
         sites_axis: Sequence[int | None] = (
             list(max_sites) if max_sites is not None else [base_config.max_sites]
         )
+        if solvers is None:
+            solver_axis: Sequence[str] = [DEFAULT_SOLVER]
+        elif isinstance(solvers, str):
+            solver_axis = [solvers]
+        else:
+            solver_axis = list(solvers)
         for axis, label in (
             (channel_axis, "channels"),
             (depth_axis, "depths"),
             (broadcast_axis, "broadcast"),
             (sites_axis, "max_sites"),
+            (solver_axis, "solvers"),
         ):
             if not axis:
                 raise ConfigurationError(f"scenario sweep axis {label!r} must not be empty")
 
         scenarios: list[Scenario] = []
-        for soc, channel_count, depth, shared, site_limit in itertools.product(
-            soc_axis, channel_axis, depth_axis, broadcast_axis, sites_axis
+        for soc, channel_count, depth, shared, site_limit, solver in itertools.product(
+            soc_axis, channel_axis, depth_axis, broadcast_axis, sites_axis, solver_axis
         ):
             cell = test_cell
             if channel_count is not None:
@@ -215,5 +245,7 @@ class Scenario:
                 run_config = run_config.with_broadcast(shared)
             if site_limit != run_config.max_sites:
                 run_config = run_config.with_site_limit(site_limit)
-            scenarios.append(cls(soc=soc, test_cell=cell, config=run_config))
+            scenarios.append(
+                cls(soc=soc, test_cell=cell, config=run_config, solver=solver)
+            )
         return scenarios

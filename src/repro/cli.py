@@ -4,11 +4,13 @@ Installed as ``repro-multisite`` (see ``setup.py``) and runnable as
 ``python -m repro``.  Sub-commands:
 
 * ``design``     -- run the two-step algorithm for one SOC / ATE and print the
-  resulting infrastructure and throughput;
+  resulting infrastructure and throughput (``--solver`` picks the backend);
 * ``benchmarks`` -- list the registered ITC'02 benchmarks;
+* ``solvers``    -- list the registered solver backends;
 * ``all``        -- regenerate the full experiment report (slow);
 * one sub-command per registered experiment (``table1``, ``figure5``,
-  ``figure6``, ``figure7``, ``economics``, ``ablation``, ...).
+  ``figure6``, ``figure7``, ``economics``, ``ablation``,
+  ``solver_comparison``, ...).
 
 The experiment sub-commands are generated from the experiment registry
 (:mod:`repro.experiments.registry`), so registering a new experiment adds
@@ -35,10 +37,11 @@ from repro.itc02.parser import parse_soc_file
 from repro.itc02.registry import list_benchmarks
 from repro.optimize.config import Objective, OptimizationConfig
 from repro.soc.soc import Soc
+from repro.solvers.registry import DEFAULT_SOLVER, list_solvers
 
 #: Sub-commands with bespoke handlers; every other sub-command is generated
 #: from (and dispatched through) the experiment registry.
-_BUILTIN_COMMANDS = ("design", "benchmarks", "all")
+_BUILTIN_COMMANDS = ("design", "benchmarks", "solvers", "all")
 
 
 def experiment_commands() -> tuple[str, ...]:
@@ -91,6 +94,11 @@ def _add_design_parser(subparsers: argparse._SubParsersAction) -> None:
         "--unique", action="store_true", help="maximise unique throughput (with re-test)"
     )
     parser.add_argument("--max-sites", type=int, default=None, help="equipment limit on sites")
+    parser.add_argument(
+        "--solver",
+        default=DEFAULT_SOLVER,
+        help=f"solver backend to use (default {DEFAULT_SOLVER!r}; see 'solvers')",
+    )
     parser.add_argument("--show-architecture", action="store_true",
                         help="print the full channel-group architecture")
 
@@ -117,7 +125,10 @@ def _design_scenario(args: argparse.Namespace) -> Scenario:
         max_sites=args.max_sites,
     )
     return Scenario(
-        soc=_resolve_soc_argument(args.soc), test_cell=test_cell, config=config
+        soc=_resolve_soc_argument(args.soc),
+        test_cell=test_cell,
+        config=config,
+        solver=args.solver,
     )
 
 
@@ -150,6 +161,13 @@ def _run_benchmarks(_: argparse.Namespace) -> int:
     return 0
 
 
+def _run_solvers(_: argparse.Namespace) -> int:
+    for solver in list_solvers():
+        marker = "  [default]" if solver.name == DEFAULT_SOLVER else ""
+        print(f"{solver.name:12s} {solver.title}{marker}")
+    return 0
+
+
 def _run_registered_experiment(name: str) -> int:
     result = run_experiment(name, Engine())
     print(render_experiment(name, result))
@@ -172,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_design_parser(subparsers)
     subparsers.add_parser("benchmarks", help="list the registered ITC'02 benchmarks")
+    subparsers.add_parser("solvers", help="list the registered solver backends")
     experiments = {experiment.name: experiment for experiment in list_experiments()}
     for name in experiment_commands():
         subparsers.add_parser(name, help=f"regenerate: {experiments[name].title}")
@@ -188,6 +207,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_design(args)
         if args.command == "benchmarks":
             return _run_benchmarks(args)
+        if args.command == "solvers":
+            return _run_solvers(args)
         if args.command == "all":
             return _run_all(args)
         return _run_registered_experiment(args.command)

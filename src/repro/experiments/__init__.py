@@ -39,6 +39,13 @@ from repro.experiments.ablation import (
     run_placement_ablation,
     run_wrapper_ablation,
 )
+from repro.experiments.solver_comparison import (
+    SolverComparisonResult,
+    SolverRow,
+    derived_small_socs,
+    run_solver_comparison,
+    summarize_solver_comparison,
+)
 from repro.experiments.registry import (
     Experiment,
     experiment_names,
@@ -92,6 +99,11 @@ __all__ = [
     "WrapperAblationResult",
     "run_placement_ablation",
     "run_wrapper_ablation",
+    "SolverComparisonResult",
+    "SolverRow",
+    "derived_small_socs",
+    "run_solver_comparison",
+    "summarize_solver_comparison",
     "ExperimentReport",
     "run_all_experiments",
 ]

@@ -22,6 +22,7 @@ from repro.optimize.config import OptimizationConfig
 from repro.reporting.tables import Table
 from repro.soc.pnx8550 import make_pnx8550
 from repro.soc.soc import Soc
+from repro.solvers.registry import DEFAULT_SOLVER
 
 
 @dataclass(frozen=True)
@@ -91,11 +92,14 @@ def run_economics(
     depth_factor: float = 2.0,
     config: OptimizationConfig | None = None,
     engine: Engine | None = None,
+    solver: str = DEFAULT_SOLVER,
 ) -> EconomicsResult:
     """Compare deepening the memory by ``depth_factor`` against buying channels.
 
     The channel option spends exactly the memory upgrade's budget on extra
     channels (rounded down to the pricing block granularity of one channel).
+    Every upgrade option is sized by the same ``solver`` backend, so the
+    comparison stays apples-to-apples whichever strategy is selected.
     """
     if depth_factor <= 1.0:
         raise ConfigurationError(f"depth factor must exceed 1, got {depth_factor}")
@@ -105,7 +109,7 @@ def run_economics(
     pricing = pricing or AtePricing()
     config = config or OptimizationConfig(broadcast=False)
 
-    baseline_result = optimize_scenario(engine, soc, base_ate, probe_station, config)
+    baseline_result = optimize_scenario(engine, soc, base_ate, probe_station, config, solver)
     baseline = UpgradeOption(
         label="baseline",
         ate=base_ate,
@@ -115,7 +119,7 @@ def run_economics(
 
     deep_ate = base_ate.with_depth(int(round(base_ate.depth * depth_factor)))
     memory_cost = pricing.memory_upgrade_cost(base_ate, deep_ate.depth)
-    memory_result = optimize_scenario(engine, soc, deep_ate, probe_station, config)
+    memory_result = optimize_scenario(engine, soc, deep_ate, probe_station, config, solver)
     memory_option = UpgradeOption(
         label=f"deepen memory x{depth_factor:g}",
         ate=deep_ate,
@@ -126,7 +130,7 @@ def run_economics(
     extra_channels = pricing.channels_for_budget(memory_cost)
     # Keep the channel count even so sites keep balanced stimulus/response.
     wide_ate = base_ate.with_channels(base_ate.channels + (extra_channels // 2) * 2)
-    channel_result = optimize_scenario(engine, soc, wide_ate, probe_station, config)
+    channel_result = optimize_scenario(engine, soc, wide_ate, probe_station, config, solver)
     channel_option = UpgradeOption(
         label=f"add {wide_ate.channels - base_ate.channels} channels",
         ate=wide_ate,

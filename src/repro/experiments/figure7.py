@@ -24,8 +24,8 @@ from repro.core.exceptions import ConfigurationError
 from repro.core.units import MEGA
 from repro.experiments.registry import register_experiment
 from repro.multisite.abort_on_fail import abort_on_fail_test_time
-from repro.multisite.cost_model import TestTiming
 from repro.multisite.retest import unique_throughput
+from repro.solvers.evaluate import timing_for
 from repro.optimize.config import OptimizationConfig
 from repro.reporting.series import Series, series_table
 from repro.soc.pnx8550 import make_pnx8550
@@ -152,11 +152,7 @@ def run_figure7b(
     design = optimize_scenario(
         engine, soc, ate, probe_station, OptimizationConfig(broadcast=False)
     )
-    timing = TestTiming(
-        index_time_s=probe_station.index_time_s,
-        contact_test_time_s=probe_station.contact_test_time_s,
-        manufacturing_test_time_s=ate.cycles_to_seconds(design.step1.test_time_cycles),
-    )
+    timing = timing_for(design.step1.architecture, ate, probe_station)
     terminals = design.step1.channels_per_site
 
     series_by_yield: dict[float, Series] = {}

@@ -1,0 +1,267 @@
+"""Solver back-off: goel05 vs. restart vs. exhaustive on the ITC'02 set.
+
+The solver registry (:mod:`repro.solvers`) makes the optimisation strategy a
+scenario dimension; this experiment quantifies what that dimension buys:
+
+* on **d695-derived small instances** (the first few cores of the published
+  d695 benchmark) every backend runs, including the ``"exhaustive"``
+  partition-enumeration oracle -- validating that the paper's greedy
+  heuristic finds the true optimum there (or reporting its gap);
+* on the **full ITC'02 benchmarks** (at each benchmark's Table-1 operating
+  point) the greedy backends compete: the deterministic paper order
+  (``"goel05"``) against the randomized multi-start (``"restart"``).
+
+All runs are expanded with :meth:`Scenario.sweep`'s ``solvers`` axis and
+executed as one engine batch, so shared operating points are cached and the
+whole comparison parallelises like any other sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.api.engine import Engine
+from repro.api.scenario import Scenario
+from repro.api.testcell import TestCell
+from repro.ate.spec import AteSpec
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import kilo_vectors
+from repro.experiments.registry import register_experiment
+from repro.experiments.table1 import DEFAULT_ATE_CHANNELS, DEFAULT_DEPTH_GRIDS_K
+from repro.itc02.registry import TABLE1_BENCHMARKS, load_benchmark
+from repro.reporting.tables import Table
+from repro.soc.soc import Soc
+from repro.solvers.registry import DEFAULT_SOLVER
+
+#: Module counts of the d695-derived small instances the oracle can handle.
+SMALL_INSTANCE_SIZES = (3, 4, 5)
+
+#: Backends compared on the full benchmarks (exhaustive cannot scale there).
+GREEDY_SOLVERS = (DEFAULT_SOLVER, "restart")
+
+#: Backends compared on the small instances, oracle included.
+ORACLE_SOLVERS = (DEFAULT_SOLVER, "restart", "exhaustive")
+
+#: Test cell of the small-instance comparison: modest enough that the
+#: oracle's site sweeps stay cheap, rich enough for multi-site trade-offs.
+SMALL_INSTANCE_CHANNELS = 64
+SMALL_INSTANCE_DEPTH = 200_000
+
+
+def derived_small_socs(sizes: Sequence[int] = SMALL_INSTANCE_SIZES) -> tuple[Soc, ...]:
+    """Sub-SOCs of the published d695 benchmark (its first ``k`` cores)."""
+    d695 = load_benchmark("d695")
+    socs = []
+    for size in sizes:
+        if not 1 <= size <= len(d695.modules):
+            raise ConfigurationError(
+                f"d695 sub-SOC size must be within [1, {len(d695.modules)}], got {size}"
+            )
+        socs.append(Soc(name=f"d695-{size}", modules=d695.modules[:size]))
+    return tuple(socs)
+
+
+@dataclass(frozen=True)
+class SolverRow:
+    """One (instance, solver) outcome of the comparison."""
+
+    soc_name: str
+    solver: str
+    channels_per_site: int
+    max_sites: int
+    optimal_sites: int
+    throughput: float
+
+
+@dataclass(frozen=True)
+class SolverComparisonResult:
+    """Outcome of the solver comparison over all instances."""
+
+    rows: tuple[SolverRow, ...]
+    oracle_instances: tuple[str, ...]
+
+    @property
+    def instances(self) -> tuple[str, ...]:
+        """Instance names present, in first-appearance order."""
+        seen: list[str] = []
+        for row in self.rows:
+            if row.soc_name not in seen:
+                seen.append(row.soc_name)
+        return tuple(seen)
+
+    def rows_for(self, soc_name: str) -> tuple[SolverRow, ...]:
+        """Rows of one instance, in run order."""
+        return tuple(row for row in self.rows if row.soc_name == soc_name)
+
+    def row(self, soc_name: str, solver: str) -> SolverRow:
+        """The row of one solver on one instance."""
+        for candidate in self.rows:
+            if candidate.soc_name == soc_name and candidate.solver == solver:
+                return candidate
+        raise KeyError(f"no row for solver {solver!r} on {soc_name!r}")
+
+    def best_throughput(self, soc_name: str) -> float:
+        """Best objective value any solver reached on an instance."""
+        return max(row.throughput for row in self.rows_for(soc_name))
+
+    def gap(self, row: SolverRow) -> float:
+        """Relative shortfall of a row against the instance's best solver."""
+        best = self.best_throughput(row.soc_name)
+        if best <= 0:
+            return 0.0
+        return 1.0 - row.throughput / best
+
+    @property
+    def oracle_agreements(self) -> tuple[str, ...]:
+        """Oracle instances where ``goel05`` matches the exhaustive optimum."""
+        return tuple(
+            name
+            for name in self.oracle_instances
+            if self.row(name, DEFAULT_SOLVER).throughput
+            >= self.row(name, "exhaustive").throughput
+        )
+
+    def to_table(self) -> Table:
+        """Render the comparison as a table."""
+        table = Table(
+            title="Solver comparison (ITC'02 set + d695-derived oracle instances)",
+            columns=["SOC", "solver", "k", "n_max", "n_opt", "D_th (/h)", "gap"],
+        )
+        for name in self.instances:
+            for row in self.rows_for(name):
+                table.add_row(
+                    [
+                        row.soc_name,
+                        row.solver,
+                        row.channels_per_site,
+                        row.max_sites,
+                        row.optimal_sites,
+                        round(row.throughput, 1),
+                        f"{self.gap(row) * 100:.2f}%",
+                    ]
+                )
+        return table
+
+
+def _benchmark_cell(name: str) -> TestCell:
+    """The Table-1 operating point of a benchmark (middle of its depth grid)."""
+    grid = DEFAULT_DEPTH_GRIDS_K[name]
+    depth_k = grid[len(grid) // 2]
+    return TestCell(
+        ate=AteSpec(
+            channels=DEFAULT_ATE_CHANNELS[name],
+            depth=kilo_vectors(depth_k),
+            name=f"ate-{name}",
+        )
+    )
+
+
+def run_solver_comparison(
+    benchmarks: Sequence[str] = TABLE1_BENCHMARKS,
+    small_sizes: Sequence[int] = SMALL_INSTANCE_SIZES,
+    engine: Engine | None = None,
+    workers: int | None = None,
+) -> SolverComparisonResult:
+    """Run every solver on every instance and collect the comparison rows.
+
+    Parameters
+    ----------
+    benchmarks:
+        Registered ITC'02 benchmarks for the greedy-only comparison.
+    small_sizes:
+        d695 sub-SOC sizes for the oracle comparison (each must stay within
+        the exhaustive backend's module limit).
+    engine:
+        Shared engine; a fresh one is created when omitted.
+    workers:
+        Worker count for the batch execution (engine default when omitted).
+    """
+    if not benchmarks and not small_sizes:
+        raise ConfigurationError("solver comparison needs at least one instance")
+    engine = engine if engine is not None else Engine()
+
+    scenarios: list[Scenario] = []
+    small_socs = derived_small_socs(small_sizes) if small_sizes else ()
+    if small_socs:
+        oracle_cell = TestCell(
+            ate=AteSpec(
+                channels=SMALL_INSTANCE_CHANNELS,
+                depth=SMALL_INSTANCE_DEPTH,
+                name="ate-oracle",
+            )
+        )
+        scenarios.extend(
+            Scenario.sweep(small_socs, oracle_cell, solvers=ORACLE_SOLVERS)
+        )
+    for name in benchmarks:
+        scenarios.extend(
+            Scenario.sweep(name, _benchmark_cell(name), solvers=GREEDY_SOLVERS)
+        )
+
+    results = engine.run_batch(scenarios, workers=workers)
+    rows = tuple(
+        SolverRow(
+            soc_name=outcome.soc_name,
+            solver=outcome.scenario.solver,
+            channels_per_site=outcome.step1.channels_per_site,
+            max_sites=outcome.step1.max_sites,
+            optimal_sites=outcome.optimal_sites,
+            throughput=outcome.optimal_throughput,
+        )
+        for outcome in results
+    )
+    return SolverComparisonResult(
+        rows=rows, oracle_instances=tuple(soc.name for soc in small_socs)
+    )
+
+
+def summarize_solver_comparison(result: SolverComparisonResult) -> str:
+    """Human-readable summary used by the CLI and EXPERIMENTS.md."""
+    lines = ["Solver comparison -- goel05 vs. restart vs. exhaustive"]
+    if result.oracle_instances:
+        agreed = result.oracle_agreements
+        worst_gap = max(
+            (result.gap(result.row(name, DEFAULT_SOLVER)) for name in result.oracle_instances),
+            default=0.0,
+        )
+        lines.append(
+            f"  goel05 matches the exhaustive optimum on {len(agreed)}/"
+            f"{len(result.oracle_instances)} d695-derived instances "
+            f"(worst gap {worst_gap * 100:.2f}%)"
+        )
+    greedy_instances = [
+        name for name in result.instances if name not in result.oracle_instances
+    ]
+    if greedy_instances:
+        wins = sum(
+            1
+            for name in greedy_instances
+            if result.row(name, "restart").throughput
+            > result.row(name, DEFAULT_SOLVER).throughput
+        )
+        lines.append(
+            f"  restart strictly beats goel05 on {wins}/{len(greedy_instances)} "
+            "full ITC'02 benchmarks (never worse by construction)"
+        )
+    return "\n".join(lines)
+
+
+def render_solver_comparison(result: SolverComparisonResult) -> str:
+    """Full CLI output of the solver-comparison experiment."""
+    return "\n".join(
+        [
+            result.to_table().render(),
+            "",
+            summarize_solver_comparison(result),
+        ]
+    )
+
+
+@register_experiment(
+    "solver_comparison",
+    title="Solver backends -- goel05 vs. restart vs. exhaustive (ITC'02 set)",
+    render=render_solver_comparison,
+)
+def _solver_comparison_experiment(engine: Engine) -> SolverComparisonResult:
+    return run_solver_comparison(engine=engine)

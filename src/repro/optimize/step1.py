@@ -20,36 +20,29 @@ from repro.optimize.config import OptimizationConfig
 from repro.optimize.result import Step1Result
 from repro.rpct.wrapper import design_erpct_wrapper
 from repro.soc.soc import Soc
+from repro.tam.architecture import TestArchitecture
 from repro.tam.assignment import design_architecture
 
 
-def run_step1(
+def step1_result_from_architecture(
     soc: Soc,
+    architecture: TestArchitecture,
     ate: AteSpec,
     probe_station: ProbeStation,
-    config: OptimizationConfig | None = None,
+    config: OptimizationConfig,
 ) -> Step1Result:
-    """Design the Step-1 infrastructure and compute the maximum multi-site.
+    """Package a designed architecture as a :class:`Step1Result`.
 
-    Parameters
-    ----------
-    soc:
-        The SOC to design the on-chip test infrastructure for.
-    ate:
-        The fixed target ATE.
-    probe_station:
-        The fixed target probe station.
-    config:
-        Optimisation switches; only the broadcast flag matters for Step 1.
+    Performs the paper's Step-1 feasibility checks, computes the maximum
+    multi-site for the configured broadcast mode and sizes the chip-level
+    E-RPCT wrapper.  Solver backends that produce architectures through
+    other search strategies share this packaging with :func:`run_step1`.
 
     Raises
     ------
     InfeasibleDesignError
-        When the SOC's test data cannot be made to fit the ATE at all.
+        When the architecture does not fit the target ATE.
     """
-    config = config or OptimizationConfig()
-
-    architecture = design_architecture(soc, ate.channels, ate.depth)
     channels_per_site = architecture.ate_channels
 
     if channels_per_site > ate.channels:
@@ -84,3 +77,32 @@ def run_step1(
         probe_station=probe_station,
         config=config,
     )
+
+
+def run_step1(
+    soc: Soc,
+    ate: AteSpec,
+    probe_station: ProbeStation,
+    config: OptimizationConfig | None = None,
+) -> Step1Result:
+    """Design the Step-1 infrastructure and compute the maximum multi-site.
+
+    Parameters
+    ----------
+    soc:
+        The SOC to design the on-chip test infrastructure for.
+    ate:
+        The fixed target ATE.
+    probe_station:
+        The fixed target probe station.
+    config:
+        Optimisation switches; only the broadcast flag matters for Step 1.
+
+    Raises
+    ------
+    InfeasibleDesignError
+        When the SOC's test data cannot be made to fit the ATE at all.
+    """
+    config = config or OptimizationConfig()
+    architecture = design_architecture(soc, ate.channels, ate.depth)
+    return step1_result_from_architecture(soc, architecture, ate, probe_station, config)

@@ -7,47 +7,20 @@ bottleneck channel groups -- shortens the test time per SOC and can raise the
 overall throughput.  Step 2 therefore linearly searches the site count from
 ``n_max`` down to 1, widens the Step-1 architecture to each site count's
 channel budget, evaluates the throughput model, and returns the best point.
+
+Per-point evaluation goes through the shared memoized kernel in
+:mod:`repro.solvers.evaluate`, so repeated ``(design, sites)`` points --
+within one sweep or across experiments and solver backends -- are computed
+once per process.
 """
 
 from __future__ import annotations
 
 from repro.core.exceptions import ConfigurationError
-from repro.multisite.cost_model import TestTiming
-from repro.multisite.throughput import MultiSiteScenario
 from repro.optimize.channels import max_channels_per_site
-from repro.optimize.config import Objective, OptimizationConfig
 from repro.optimize.result import SitePoint, Step1Result, TwoStepResult
-from repro.tam.architecture import TestArchitecture
+from repro.solvers.evaluate import evaluate_point
 from repro.tam.redistribution import widen_to_channel_budget
-
-
-def _scenario_for(
-    step1: Step1Result,
-    architecture: TestArchitecture,
-    sites: int,
-) -> MultiSiteScenario:
-    """Build the throughput scenario for an architecture at a site count."""
-    timing = TestTiming(
-        index_time_s=step1.probe_station.index_time_s,
-        contact_test_time_s=step1.probe_station.contact_test_time_s,
-        manufacturing_test_time_s=step1.ate.cycles_to_seconds(
-            architecture.test_time_cycles
-        ),
-    )
-    return MultiSiteScenario(
-        sites=sites,
-        timing=timing,
-        channels_per_site=architecture.ate_channels,
-        contact_yield=step1.probe_station.contact_yield,
-        manufacturing_yield=step1.config.manufacturing_yield,
-    )
-
-
-def _objective_value(scenario: MultiSiteScenario, config: OptimizationConfig) -> float:
-    """Evaluate the configured objective for a scenario."""
-    if config.objective is Objective.UNIQUE_THROUGHPUT:
-        return scenario.unique_throughput(abort_on_fail=config.abort_on_fail)
-    return scenario.throughput(abort_on_fail=config.abort_on_fail)
 
 
 def evaluate_site_count(step1: Step1Result, sites: int) -> SitePoint:
@@ -66,13 +39,13 @@ def evaluate_site_count(step1: Step1Result, sites: int) -> SitePoint:
         )
     budget = max_channels_per_site(step1.ate.channels, sites, step1.config.broadcast)
     architecture = widen_to_channel_budget(step1.architecture, budget)
-    scenario = _scenario_for(step1, architecture, sites)
+    point = evaluate_point(architecture, sites, step1.ate, step1.probe_station, step1.config)
     return SitePoint(
         sites=sites,
         channels_per_site=architecture.ate_channels,
         architecture=architecture,
-        scenario=scenario,
-        throughput=_objective_value(scenario, step1.config),
+        scenario=point.scenario,
+        throughput=point.objective,
     )
 
 
@@ -84,8 +57,9 @@ def step1_only_throughput(step1: Step1Result, sites: int) -> float:
     """
     if sites <= 0:
         raise ConfigurationError(f"site count must be positive, got {sites}")
-    scenario = _scenario_for(step1, step1.architecture, sites)
-    return _objective_value(scenario, step1.config)
+    return evaluate_point(
+        step1.architecture, sites, step1.ate, step1.probe_station, step1.config
+    ).objective
 
 
 def run_step2(step1: Step1Result) -> TwoStepResult:

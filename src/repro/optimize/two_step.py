@@ -1,10 +1,15 @@
 """The complete two-step algorithm (Section 6) as a single entry point.
 
-:func:`optimize_multisite` is the library's headline API: given an SOC, a
-fixed target ATE and probe station, and the variant switches of Section 5,
-it designs the on-chip test infrastructure (module wrappers, TAMs/channel
-groups, chip-level E-RPCT wrapper) and returns the throughput-optimal
-multi-site configuration.
+:func:`optimize_multisite` is the library's classic headline API: given an
+SOC, a fixed target ATE and probe station, and the variant switches of
+Section 5, it designs the on-chip test infrastructure (module wrappers,
+TAMs/channel groups, chip-level E-RPCT wrapper) and returns the
+throughput-optimal multi-site configuration.
+
+Since the solver layering this module is a thin compatibility shim over
+:mod:`repro.solvers`: the paper's heuristic itself lives in
+:mod:`repro.solvers.goel05`, and the ``solver`` parameter selects any other
+registered backend (``"exhaustive"``, ``"restart"``, ...).
 """
 
 from __future__ import annotations
@@ -14,8 +19,9 @@ from repro.ate.spec import AteSpec
 from repro.optimize.config import OptimizationConfig
 from repro.optimize.result import Step1Result, TwoStepResult
 from repro.optimize.step1 import run_step1
-from repro.optimize.step2 import run_step2
 from repro.soc.soc import Soc
+from repro.solvers.problem import make_problem
+from repro.solvers.registry import DEFAULT_SOLVER, solve
 
 
 def optimize_multisite(
@@ -23,8 +29,9 @@ def optimize_multisite(
     ate: AteSpec,
     probe_station: ProbeStation | None = None,
     config: OptimizationConfig | None = None,
+    solver: str = DEFAULT_SOLVER,
 ) -> TwoStepResult:
-    """Run the full two-step algorithm for ``soc`` on the given test cell.
+    """Run the two-step optimisation for ``soc`` on the given test cell.
 
     Parameters
     ----------
@@ -41,6 +48,9 @@ def optimize_multisite(
         Variant switches (broadcast, abort-on-fail, objective, yields).
         Defaults to the paper's base case: no broadcast, no abort-on-fail,
         maximise raw throughput.
+    solver:
+        Registered solver backend to use; defaults to the paper's greedy
+        two-step heuristic (``"goel05"``).
 
     Returns
     -------
@@ -62,10 +72,8 @@ def optimize_multisite(
     >>> result.optimal_sites >= 1
     True
     """
-    config = config or OptimizationConfig()
-    probe_station = probe_station or reference_probe_station()
-    step1 = run_step1(soc, ate, probe_station, config)
-    return run_step2(step1)
+    problem = make_problem(soc, ate, probe_station, config)
+    return solve(solver, problem).result
 
 
 def design_step1_only(

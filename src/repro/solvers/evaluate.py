@@ -1,0 +1,107 @@
+"""Shared memoized evaluation kernel for ``(design, sites)`` points.
+
+Before this module existed, :mod:`repro.optimize.step2`,
+:mod:`repro.experiments.figure7` and the throughput call sites each
+re-derived the same evaluation -- build the :class:`~repro.multisite.
+cost_model.TestTiming` from an architecture and a test cell, bundle it into
+a :class:`~repro.multisite.throughput.MultiSiteScenario`, and evaluate the
+configured objective.  The kernel centralises that derivation and memoises
+it on the ``(architecture, sites, ate, probe station, config)`` tuple, so a
+Step-2 sweep (and every solver backend that sweeps candidate architectures,
+like the multi-start solver) computes each point exactly once per process.
+
+All inputs are frozen dataclasses, so the memoisation is a plain
+:func:`functools.lru_cache`; :func:`cache_info` / :func:`clear_cache`
+expose it for tests and diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.ate.probe_station import ProbeStation
+from repro.ate.spec import AteSpec
+from repro.multisite.cost_model import TestTiming
+from repro.multisite.throughput import MultiSiteScenario
+from repro.optimize.config import Objective, OptimizationConfig
+from repro.tam.architecture import TestArchitecture
+
+#: Upper bound on memoised points; generous for every sweep in the repo
+#: while keeping a runaway synthetic sweep from exhausting memory.
+EVALUATE_CACHE_SIZE = 65_536
+
+
+def timing_for(architecture: TestArchitecture, ate: AteSpec, probe_station: ProbeStation) -> TestTiming:
+    """Touchdown timing of ``architecture`` on the given test cell."""
+    return TestTiming(
+        index_time_s=probe_station.index_time_s,
+        contact_test_time_s=probe_station.contact_test_time_s,
+        manufacturing_test_time_s=ate.cycles_to_seconds(architecture.test_time_cycles),
+    )
+
+
+def scenario_for(
+    architecture: TestArchitecture,
+    sites: int,
+    ate: AteSpec,
+    probe_station: ProbeStation,
+    config: OptimizationConfig,
+) -> MultiSiteScenario:
+    """Build the multi-site throughput scenario for a design at a site count."""
+    return MultiSiteScenario(
+        sites=sites,
+        timing=timing_for(architecture, ate, probe_station),
+        channels_per_site=architecture.ate_channels,
+        contact_yield=probe_station.contact_yield,
+        manufacturing_yield=config.manufacturing_yield,
+    )
+
+
+def objective_value(scenario: MultiSiteScenario, config: OptimizationConfig) -> float:
+    """Evaluate the configured objective (``D_th`` or ``D^u_th``) for a scenario."""
+    if config.objective is Objective.UNIQUE_THROUGHPUT:
+        return scenario.unique_throughput(abort_on_fail=config.abort_on_fail)
+    return scenario.throughput(abort_on_fail=config.abort_on_fail)
+
+
+@dataclass(frozen=True)
+class EvaluatedPoint:
+    """One memoised evaluation of a design at a site count."""
+
+    architecture: TestArchitecture
+    sites: int
+    scenario: MultiSiteScenario
+    objective: float
+
+
+@lru_cache(maxsize=EVALUATE_CACHE_SIZE)
+def evaluate_point(
+    architecture: TestArchitecture,
+    sites: int,
+    ate: AteSpec,
+    probe_station: ProbeStation,
+    config: OptimizationConfig,
+) -> EvaluatedPoint:
+    """Evaluate one ``(design, sites)`` point, memoised per process.
+
+    The returned :class:`EvaluatedPoint` carries both the scenario (timing,
+    yields) and the objective value, so callers never rebuild either.
+    """
+    scenario = scenario_for(architecture, sites, ate, probe_station, config)
+    return EvaluatedPoint(
+        architecture=architecture,
+        sites=sites,
+        scenario=scenario,
+        objective=objective_value(scenario, config),
+    )
+
+
+def cache_info():
+    """Hit/miss statistics of the evaluation kernel's memo cache."""
+    return evaluate_point.cache_info()
+
+
+def clear_cache() -> None:
+    """Drop every memoised evaluation (used by tests)."""
+    evaluate_point.cache_clear()

@@ -1,0 +1,131 @@
+"""Exact enumeration solver backend (``"exhaustive"``), the correctness oracle.
+
+Enumerates every partition of the SOC's modules into channel groups, gives
+each group the minimum TAM width at which its fill fits the vector-memory
+depth (the paper's criterion 1 -- any extra budget is spent by Step 2's
+bottleneck widening), runs the Step-2 site search on every feasible
+candidate, and returns the candidate with the best objective value.
+
+The search space is the Bell number of the module count, so the backend
+refuses SOCs with more than :data:`MAX_EXHAUSTIVE_MODULES` modules; its
+purpose is validating the greedy ``"goel05"`` heuristic on small instances
+(e.g. sub-SOCs derived from the d695 benchmark), not production sizing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.optimize.result import TwoStepResult
+from repro.optimize.step1 import step1_result_from_architecture
+from repro.optimize.step2 import run_step2
+from repro.solvers.problem import TestInfraProblem
+from repro.solvers.registry import register_solver
+from repro.soc.module import Module
+from repro.tam.architecture import TestArchitecture
+from repro.tam.assignment import minimum_widths
+from repro.tam.channel_group import ChannelGroup
+from repro.wrapper.combine import module_test_time
+
+#: Largest module count the exhaustive search accepts (Bell(8) = 4140
+#: partitions); beyond that the enumeration is hopeless and the greedy
+#: backends are the only option.
+MAX_EXHAUSTIVE_MODULES = 8
+
+
+def _partitions(items: Sequence[Module]) -> Iterator[list[list[Module]]]:
+    """Yield every partition of ``items`` into non-empty blocks, deterministically."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions(rest):
+        for position in range(len(partition)):
+            yield (
+                partition[:position]
+                + [[first] + partition[position]]
+                + partition[position + 1 :]
+            )
+        yield [[first]] + partition
+
+
+def _minimal_group(
+    block: Sequence[Module],
+    index: int,
+    widths: dict[str, int],
+    depth: int,
+    max_width: int,
+) -> ChannelGroup | None:
+    """The narrowest channel group that tests ``block`` within ``depth``.
+
+    Below any member's individual minimum width the sum certainly exceeds
+    the depth, so the search starts at the largest member minimum.
+    """
+    width = max(widths[module.name] for module in block)
+    while width <= max_width:
+        fill = sum(module_test_time(module, width) for module in block)
+        if fill <= depth:
+            return ChannelGroup(index=index, width=width, modules=tuple(block))
+        width += 1
+    return None
+
+
+@register_solver("exhaustive", title="Exact partition enumeration (small SOCs only)")
+def solve_exhaustive(problem: TestInfraProblem) -> TwoStepResult:
+    """Exhaustively search channel-group partitions for the best design.
+
+    Raises
+    ------
+    ConfigurationError
+        When the SOC has more than :data:`MAX_EXHAUSTIVE_MODULES` modules.
+    InfeasibleDesignError
+        When no partition fits the target ATE.
+    """
+    soc, ate, config = problem.soc, problem.ate, problem.config
+    if len(soc.modules) > MAX_EXHAUSTIVE_MODULES:
+        raise ConfigurationError(
+            f"exhaustive solver handles at most {MAX_EXHAUSTIVE_MODULES} modules, "
+            f"got {len(soc.modules)} in SOC {soc.name!r}; use 'goel05' or 'restart'"
+        )
+    width_budget = problem.width_budget
+    if width_budget <= 0:
+        raise ConfigurationError(f"ATE must provide at least 2 channels, got {ate.channels}")
+    widths = minimum_widths(soc, ate.depth, width_budget)
+
+    best: TwoStepResult | None = None
+    best_rank: tuple[float, int, int] | None = None
+    for partition in _partitions(soc.modules):
+        groups: list[ChannelGroup] = []
+        remaining = width_budget
+        for index, block in enumerate(partition):
+            group = _minimal_group(block, index, widths, ate.depth, remaining)
+            if group is None:
+                groups = []
+                break
+            groups.append(group)
+            remaining -= group.width
+        if not groups:
+            continue
+        architecture = TestArchitecture(soc=soc, groups=tuple(groups), depth=ate.depth)
+        try:
+            step1 = step1_result_from_architecture(
+                soc, architecture, ate, problem.probe_station, config
+            )
+            candidate = run_step2(step1)
+        except InfeasibleDesignError:
+            continue
+        rank = (
+            candidate.optimal_throughput,
+            -step1.channels_per_site,
+            -step1.test_time_cycles,
+        )
+        if best_rank is None or rank > best_rank:
+            best, best_rank = candidate, rank
+
+    if best is None:
+        raise InfeasibleDesignError(
+            f"SOC {soc.name!r} cannot be tested on {ate.channels} channels at "
+            f"depth {ate.depth} under any channel-group partition"
+        )
+    return best

@@ -1,0 +1,30 @@
+"""The paper's greedy two-step algorithm as a solver backend (``"goel05"``).
+
+This is the headline heuristic of Goel & Marinissen (DATE 2005), moved here
+from :mod:`repro.optimize.two_step` (which remains as a thin compatibility
+shim): Step 1 designs the minimum-channel infrastructure with the greedy
+channel-group assignment, Step 2 linearly searches the site count from the
+maximum multi-site down and widens the design to each candidate's channel
+budget.
+"""
+
+from __future__ import annotations
+
+from repro.optimize.result import TwoStepResult
+from repro.optimize.step1 import run_step1
+from repro.optimize.step2 import run_step2
+from repro.solvers.problem import TestInfraProblem
+from repro.solvers.registry import register_solver
+
+
+@register_solver("goel05", title="Greedy two-step heuristic of the paper (default)")
+def solve_goel05(problem: TestInfraProblem) -> TwoStepResult:
+    """Run the paper's two-step algorithm on ``problem``.
+
+    Raises
+    ------
+    InfeasibleDesignError
+        When the SOC cannot be tested on the target ATE at all.
+    """
+    step1 = run_step1(problem.soc, problem.ate, problem.probe_station, problem.config)
+    return run_step2(step1)

@@ -1,0 +1,139 @@
+"""Declarative problem model consumed by the solver backends.
+
+A solver backend does not reach into ``run_step1`` / ``run_step2``
+internals; it consumes one frozen :class:`TestInfraProblem` -- the SOC, the
+fixed wafer-test cell (ATE + probe station) and the variant switches -- and
+returns one :class:`SolverSolution` wrapping the
+:class:`~repro.optimize.result.TwoStepResult` it found.  Both values are
+immutable and hashable, so solutions can be cached, compared and shipped
+across process boundaries exactly like the problems that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.ate.probe_station import ProbeStation, reference_probe_station
+from repro.ate.spec import AteSpec
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.config import OptimizationConfig
+from repro.soc.soc import Soc
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.optimize.result import SitePoint, TwoStepResult
+
+
+@dataclass(frozen=True)
+class TestInfraProblem:
+    """One test-infrastructure design problem: SOC + test cell + config.
+
+    Attributes
+    ----------
+    soc:
+        The SOC to design the on-chip test infrastructure for.
+    ate:
+        The fixed target ATE (channel count, vector-memory depth, clock).
+    probe_station:
+        The fixed target probe station.  Defaults to the paper's reference
+        prober.
+    config:
+        Variant switches of Section 5 (broadcast, abort-on-fail, objective,
+        yields, site clamps).  Defaults to the paper's base case.
+    """
+
+    soc: Soc
+    ate: AteSpec
+    probe_station: ProbeStation = ProbeStation(name="prober-ref")
+    config: OptimizationConfig = OptimizationConfig()
+
+    #: Despite the Test* name this is not a test case; keep pytest away.
+    __test__ = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.soc, Soc):
+            raise ConfigurationError(
+                f"problem SOC must be a Soc, got {type(self.soc).__name__}"
+            )
+        if not isinstance(self.ate, AteSpec):
+            raise ConfigurationError(
+                f"problem ATE must be an AteSpec, got {type(self.ate).__name__}"
+            )
+
+    @property
+    def width_budget(self) -> int:
+        """Maximum total TAM width for a single site (``N // 2`` wires)."""
+        return self.ate.channels // 2
+
+    def with_config(self, config: OptimizationConfig) -> "TestInfraProblem":
+        """Return a copy of this problem with different variant switches."""
+        return replace(self, config=config)
+
+    def describe(self) -> str:
+        """One-line summary used by reports and logs."""
+        return (
+            f"problem[{self.soc.name} @ {self.ate.channels}ch x "
+            f"{self.ate.depth} vectors, {self.config.describe()}]"
+        )
+
+
+def make_problem(
+    soc: Soc,
+    ate: AteSpec,
+    probe_station: ProbeStation | None = None,
+    config: OptimizationConfig | None = None,
+) -> TestInfraProblem:
+    """Build a :class:`TestInfraProblem`, filling in the paper's defaults."""
+    return TestInfraProblem(
+        soc=soc,
+        ate=ate,
+        probe_station=probe_station or reference_probe_station(),
+        config=config or OptimizationConfig(),
+    )
+
+
+@dataclass(frozen=True)
+class SolverSolution:
+    """Outcome of one solver run on one problem.
+
+    Attributes
+    ----------
+    problem:
+        The problem the solver was asked to solve.
+    solver:
+        Registry name of the backend that produced the solution.
+    result:
+        The full two-step result (Step-1 design, Step-2 sweep, best point).
+    """
+
+    problem: TestInfraProblem
+    solver: str
+    result: "TwoStepResult"
+
+    @property
+    def best(self) -> "SitePoint":
+        """The throughput-optimal site point of the solution."""
+        return self.result.best
+
+    @property
+    def optimal_sites(self) -> int:
+        """The throughput-optimal number of sites."""
+        return self.result.optimal_sites
+
+    @property
+    def optimal_throughput(self) -> float:
+        """The objective value at the optimal site count."""
+        return self.result.optimal_throughput
+
+    @property
+    def channels_per_site(self) -> int:
+        """ATE channels per site of the Step-1 design."""
+        return self.result.step1.channels_per_site
+
+    def describe(self) -> str:
+        """One-line summary used by reports and logs."""
+        return (
+            f"{self.solver}[{self.problem.soc.name}]: "
+            f"n_opt={self.optimal_sites}, k={self.best.channels_per_site}, "
+            f"objective={self.optimal_throughput:.1f}/h"
+        )

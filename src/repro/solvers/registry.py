@@ -1,0 +1,109 @@
+"""Registry of solver backends for the test-infrastructure problem.
+
+Mirrors the experiment registry (:mod:`repro.experiments.registry`): each
+backend module registers a ``solve(problem) -> TwoStepResult`` callable with
+:func:`register_solver`, and every layer above -- the compatibility shim in
+:mod:`repro.optimize.two_step`, the scenario :class:`~repro.api.engine.
+Engine` and the CLI -- looks backends up by name instead of hard-wiring the
+paper's heuristic.  The built-in backends:
+
+* ``"goel05"`` -- the paper's greedy two-step algorithm (the default);
+* ``"exhaustive"`` -- exact enumeration over channel-group partitions for
+  small module counts, the correctness oracle;
+* ``"restart"`` -- randomized multi-start greedy, deterministically seeded
+  through :mod:`repro.core.rng`.
+
+Backend modules are imported lazily on first lookup (they depend on the
+optimisation stack, which itself depends on this registry through the
+compatibility shim), so importing this module never creates a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.exceptions import ConfigurationError
+from repro.solvers.problem import SolverSolution, TestInfraProblem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimize.result import TwoStepResult
+
+#: ``backend(problem) -> TwoStepResult``: solve one problem.
+SolverBackend = Callable[[TestInfraProblem], Any]
+
+#: Name of the backend used when no solver is specified anywhere.
+DEFAULT_SOLVER = "goel05"
+
+
+@dataclass(frozen=True)
+class Solver:
+    """One registered solver backend."""
+
+    name: str
+    title: str
+    backend: SolverBackend
+
+    def solve(self, problem: TestInfraProblem) -> SolverSolution:
+        """Solve ``problem`` and wrap the outcome as a :class:`SolverSolution`."""
+        return SolverSolution(problem=problem, solver=self.name, result=self.backend(problem))
+
+
+_REGISTRY: dict[str, Solver] = {}
+
+
+def register_solver(name: str, title: str) -> Callable[[SolverBackend], SolverBackend]:
+    """Function decorator registering a solver backend under ``name``.
+
+    >>> @register_solver("demo", title="Demo backend")   # doctest: +SKIP
+    ... def _solve_demo(problem):
+    ...     ...
+    """
+    if not name:
+        raise ConfigurationError("solver name must be non-empty")
+
+    def decorator(backend: SolverBackend) -> SolverBackend:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"solver {name!r} is already registered")
+        _REGISTRY[name] = Solver(name=name, title=title, backend=backend)
+        return backend
+
+    return decorator
+
+
+def _ensure_backends() -> None:
+    """Import the built-in backend modules (self-registration side effect)."""
+    import repro.solvers.exhaustive  # noqa: F401
+    import repro.solvers.goel05  # noqa: F401
+    import repro.solvers.restart  # noqa: F401
+
+
+def get_solver(name: str) -> Solver:
+    """Look a solver backend up by name.
+
+    Raises
+    ------
+    ConfigurationError
+        When no backend of that name is registered.
+    """
+    _ensure_backends()
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown solver {name!r}; registered: {known}")
+    return _REGISTRY[name]
+
+
+def solver_names() -> tuple[str, ...]:
+    """Names of all registered solver backends, sorted."""
+    _ensure_backends()
+    return tuple(sorted(_REGISTRY))
+
+
+def list_solvers() -> tuple[Solver, ...]:
+    """All registered solver backends, sorted by name."""
+    return tuple(_REGISTRY[name] for name in solver_names())
+
+
+def solve(name: str, problem: TestInfraProblem) -> SolverSolution:
+    """Solve ``problem`` with the named backend."""
+    return get_solver(name).solve(problem)

@@ -23,6 +23,7 @@ channels is kept.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
 from repro.soc.module import Module
@@ -146,35 +147,43 @@ def minimum_widths(soc: Soc, depth: int, width_budget: int) -> dict[str, int]:
 PLACEMENT_CRITERIA = ("fewest-channels", "most-free-memory")
 
 
-def design_architecture(
+def paper_module_order(soc: Soc, widths: dict[str, int]) -> tuple[Module, ...]:
+    """The paper's module processing order for the greedy assignment.
+
+    Modules are sorted in decreasing order of their minimum width ``k_min``;
+    ties are broken by decreasing test time at that width so big modules are
+    seated first, then by name for determinism.
+    """
+    return tuple(
+        sorted(
+            soc.modules,
+            key=lambda module: (
+                -widths[module.name],
+                -module_test_time(module, widths[module.name]),
+                module.name,
+            ),
+        )
+    )
+
+
+def assign_modules(
     soc: Soc,
+    ordered: Sequence[Module],
+    widths: dict[str, int],
     channels: int,
     depth: int,
     placement_criterion: str = "fewest-channels",
 ) -> TestArchitecture:
-    """Design the Step-1 channel-group architecture for ``soc``.
+    """Greedily assign ``ordered`` modules to channel groups.
 
-    Parameters
-    ----------
-    soc:
-        The SOC to design for.
-    channels:
-        Available ATE channels ``N``.  One SOC may use at most ``N``
-        channels, i.e. a total TAM width of at most ``N // 2``.
-    depth:
-        Vector-memory depth per channel in vectors.
-    placement_criterion:
-        How to choose between opening a new channel group and widening an
-        existing one; one of :data:`PLACEMENT_CRITERIA`.  The default is the
-        paper's rule (criterion 1 -- fewest additional channels -- first);
-        ``"most-free-memory"`` is provided for the ablation experiment.
+    This is the placement core of :func:`design_architecture`, exposed
+    separately so alternative solver backends (e.g. the randomized
+    multi-start solver) can drive it with their own module orders.
 
     Raises
     ------
     InfeasibleDesignError
-        When the SOC cannot be tested on the target ATE at all (a module
-        needs more wires than available, or the channel budget is exhausted
-        during assignment).
+        When a module cannot be placed within the channel budget.
     """
     if channels <= 1:
         raise ConfigurationError(f"ATE must provide at least 2 channels, got {channels}")
@@ -184,20 +193,6 @@ def design_architecture(
             f"expected one of {PLACEMENT_CRITERIA}"
         )
     width_budget = channels // 2
-
-    widths = minimum_widths(soc, depth, width_budget)
-
-    # Paper: "modules are sorted in decreasing order of their k_min".  Ties
-    # are broken by decreasing test time at that width so big modules are
-    # seated first, then by name for determinism.
-    ordered = sorted(
-        soc.modules,
-        key=lambda module: (
-            -widths[module.name],
-            -module_test_time(module, widths[module.name]),
-            module.name,
-        ),
-    )
 
     groups: tuple[ChannelGroup, ...] = ()
     for module in ordered:
@@ -250,3 +245,41 @@ def design_architecture(
         groups = best.groups
 
     return TestArchitecture(soc=soc, groups=groups, depth=depth)
+
+
+def design_architecture(
+    soc: Soc,
+    channels: int,
+    depth: int,
+    placement_criterion: str = "fewest-channels",
+) -> TestArchitecture:
+    """Design the Step-1 channel-group architecture for ``soc``.
+
+    Parameters
+    ----------
+    soc:
+        The SOC to design for.
+    channels:
+        Available ATE channels ``N``.  One SOC may use at most ``N``
+        channels, i.e. a total TAM width of at most ``N // 2``.
+    depth:
+        Vector-memory depth per channel in vectors.
+    placement_criterion:
+        How to choose between opening a new channel group and widening an
+        existing one; one of :data:`PLACEMENT_CRITERIA`.  The default is the
+        paper's rule (criterion 1 -- fewest additional channels -- first);
+        ``"most-free-memory"`` is provided for the ablation experiment.
+
+    Raises
+    ------
+    InfeasibleDesignError
+        When the SOC cannot be tested on the target ATE at all (a module
+        needs more wires than available, or the channel budget is exhausted
+        during assignment).
+    """
+    if channels <= 1:
+        raise ConfigurationError(f"ATE must provide at least 2 channels, got {channels}")
+    width_budget = channels // 2
+    widths = minimum_widths(soc, depth, width_budget)
+    ordered = paper_module_order(soc, widths)
+    return assign_modules(soc, ordered, widths, channels, depth, placement_criterion)

@@ -15,6 +15,7 @@ from repro.core.units import kilo_vectors
 from repro.itc02.registry import load_benchmark
 from repro.soc.builder import SocBuilder
 from repro.soc.soc import Soc
+from repro.solvers.problem import TestInfraProblem
 
 
 @pytest.fixture
@@ -78,6 +79,12 @@ def small_ate() -> AteSpec:
 def medium_ate() -> AteSpec:
     """A medium ATE: 256 channels, 128 K vectors, 5 MHz."""
     return AteSpec(channels=256, depth=kilo_vectors(128), frequency_hz=5e6, name="ate-medium")
+
+
+@pytest.fixture
+def tiny_problem(tiny_soc, small_ate) -> TestInfraProblem:
+    """A solver problem small enough for the exhaustive oracle."""
+    return TestInfraProblem(soc=tiny_soc, ate=small_ate)
 
 
 @pytest.fixture

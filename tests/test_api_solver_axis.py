@@ -1,0 +1,132 @@
+"""Tests of the solver dimension of the scenario API and the engine LRU cache."""
+
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.scenario import Scenario
+from repro.api.testcell import reference_test_cell
+from repro.core.exceptions import ConfigurationError
+from repro.solvers.registry import DEFAULT_SOLVER
+
+
+@pytest.fixture
+def cell():
+    return reference_test_cell(channels=64, depth_m=0.2)
+
+
+class TestScenarioSolver:
+    def test_default_solver_is_goel05(self, cell):
+        assert Scenario(soc="d695", test_cell=cell).solver == DEFAULT_SOLVER
+
+    def test_solver_is_part_of_the_canonical_key(self, cell):
+        base = Scenario(soc="d695", test_cell=cell)
+        other = base.with_solver("restart")
+        assert base != other
+        assert base.key != other.key
+
+    def test_with_solver_keeps_everything_else(self, cell):
+        scenario = Scenario(soc="d695", test_cell=cell).with_solver("exhaustive")
+        assert scenario.solver == "exhaustive"
+        assert scenario.test_cell == cell
+
+    def test_empty_solver_rejected(self, cell):
+        with pytest.raises(ConfigurationError, match="solver"):
+            Scenario(soc="d695", test_cell=cell, solver="")
+
+    def test_describe_mentions_only_non_default_solver(self, cell):
+        assert "solver" not in Scenario(soc="d695", test_cell=cell).describe()
+        text = Scenario(soc="d695", test_cell=cell, solver="restart").describe()
+        assert "solver=restart" in text
+
+    def test_sweep_expands_the_solver_axis(self, cell):
+        grid = Scenario.sweep(
+            "d695", cell, channels=[32, 64], solvers=["goel05", "restart"]
+        )
+        assert len(grid) == 4
+        assert [s.solver for s in grid] == ["goel05", "restart"] * 2
+
+    def test_sweep_accepts_a_single_solver_string(self, cell):
+        grid = Scenario.sweep("d695", cell, solvers="restart")
+        assert [s.solver for s in grid] == ["restart"]
+
+    def test_sweep_rejects_empty_solver_axis(self, cell):
+        with pytest.raises(ConfigurationError, match="solvers"):
+            Scenario.sweep("d695", cell, solvers=[])
+
+
+class TestEngineSolverRouting:
+    def test_unknown_solver_fails_at_run_time(self, cell):
+        scenario = Scenario(soc="d695", test_cell=cell, solver="annealing")
+        with pytest.raises(ConfigurationError, match="unknown solver"):
+            Engine().run(scenario)
+
+    def test_solvers_get_distinct_cache_entries(self, cell):
+        engine = Engine()
+        first = engine.run(Scenario(soc="d695", test_cell=cell))
+        second = engine.run(Scenario(soc="d695", test_cell=cell, solver="restart"))
+        info = engine.cache_info()
+        assert info.misses == 2
+        assert info.hits == 0
+        # Same operating point, default solver again: now a hit.
+        engine.run(Scenario(soc="d695", test_cell=cell))
+        assert engine.cache_info().hits == 1
+        assert second.optimal_throughput >= first.optimal_throughput
+
+    def test_batch_solver_duel_is_deterministic(self, cell):
+        grid = Scenario.sweep("d695", cell, solvers=["goel05", "restart"])
+        serial = Engine().run_batch(grid)
+        parallel = Engine().run_batch(grid, workers=2)
+        assert [r.result for r in serial] == [r.result for r in parallel]
+
+
+class TestEngineLru:
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="max_entries"):
+            Engine(max_entries=0)
+
+    def test_cache_info_reports_bound_and_evictions(self, cell):
+        engine = Engine(max_entries=2)
+        info = engine.cache_info()
+        assert info.max_entries == 2
+        assert info.evictions == 0
+        for channels in (16, 32, 64):
+            engine.run(Scenario(soc="d695", test_cell=cell.with_channels(channels)))
+        info = engine.cache_info()
+        assert info.size == 2
+        assert info.evictions == 1
+        assert info.misses == 3
+
+    def test_least_recently_used_entry_is_evicted(self, cell):
+        engine = Engine(max_entries=2)
+        a = Scenario(soc="d695", test_cell=cell.with_channels(16))
+        b = Scenario(soc="d695", test_cell=cell.with_channels(32))
+        c = Scenario(soc="d695", test_cell=cell.with_channels(64))
+        engine.run(a)
+        engine.run(b)
+        engine.run(a)  # refresh a: b is now the LRU entry
+        engine.run(c)  # evicts b
+        hits_before = engine.cache_info().hits
+        engine.run(a)
+        assert engine.cache_info().hits == hits_before + 1
+        misses_before = engine.cache_info().misses
+        engine.run(b)
+        assert engine.cache_info().misses == misses_before + 1
+
+    def test_clear_cache_resets_eviction_count(self, cell):
+        engine = Engine(max_entries=1)
+        engine.run(Scenario(soc="d695", test_cell=cell.with_channels(16)))
+        engine.run(Scenario(soc="d695", test_cell=cell.with_channels(32)))
+        assert engine.cache_info().evictions == 1
+        engine.clear_cache()
+        info = engine.cache_info()
+        assert (info.hits, info.misses, info.size, info.evictions) == (0, 0, 0, 0)
+        assert info.max_entries == 1
+
+    def test_unbounded_engine_never_evicts(self, cell):
+        engine = Engine()
+        for channels in (16, 32, 64):
+            engine.run(Scenario(soc="d695", test_cell=cell.with_channels(channels)))
+        info = engine.cache_info()
+        assert info.size == 3
+        assert info.evictions == 0
+        assert info.max_entries is None

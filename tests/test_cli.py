@@ -10,8 +10,9 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("design", "benchmarks", "table1", "figure5", "figure6",
-                        "figure7", "economics", "all"):
+        for command in ("design", "benchmarks", "solvers", "table1", "figure5",
+                        "figure6", "figure7", "economics", "solver_comparison",
+                        "all"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -23,6 +24,7 @@ class TestParser:
         assert args.channels == 512
         assert args.depth_m == 7.0
         assert not args.broadcast
+        assert args.solver == "goel05"
 
 
 class TestCommands:
@@ -68,3 +70,27 @@ class TestCommands:
         exit_code = main(["design", "not_a_chip", "--channels", "64"])
         assert exit_code == 1
         assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_solvers_command_lists_backends(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("goel05", "exhaustive", "restart"):
+            assert name in out
+        assert "[default]" in out
+        assert len(out.strip().splitlines()) >= 3
+
+    def test_design_command_with_solver(self, capsys):
+        exit_code = main([
+            "design", "d695", "--channels", "128", "--depth-m", "0.125",
+            "--solver", "restart",
+        ])
+        assert exit_code == 0
+        assert "two-step result" in capsys.readouterr().out
+
+    def test_design_command_with_unknown_solver_errors(self, capsys):
+        exit_code = main([
+            "design", "d695", "--channels", "128", "--depth-m", "0.125",
+            "--solver", "annealing",
+        ])
+        assert exit_code == 1
+        assert "unknown solver" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""Tests of the solver-comparison experiment."""
+
+import pytest
+
+from repro.api.engine import Engine
+from repro.core.exceptions import ConfigurationError
+from repro.experiments.registry import experiment_names, get_experiment
+from repro.experiments.solver_comparison import (
+    ORACLE_SOLVERS,
+    derived_small_socs,
+    render_solver_comparison,
+    run_solver_comparison,
+    summarize_solver_comparison,
+)
+from repro.solvers.registry import DEFAULT_SOLVER
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """A trimmed comparison: d695 only, two oracle instance sizes."""
+    return run_solver_comparison(benchmarks=("d695",), small_sizes=(3, 4))
+
+
+class TestDerivedSocs:
+    def test_sub_socs_take_the_first_cores(self):
+        socs = derived_small_socs((3, 5))
+        assert [soc.name for soc in socs] == ["d695-3", "d695-5"]
+        assert [len(soc.modules) for soc in socs] == [3, 5]
+
+    def test_out_of_range_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="sub-SOC size"):
+            derived_small_socs((0,))
+        with pytest.raises(ConfigurationError, match="sub-SOC size"):
+            derived_small_socs((11,))
+
+
+class TestComparison:
+    def test_every_solver_ran_on_every_oracle_instance(self, comparison):
+        assert comparison.oracle_instances == ("d695-3", "d695-4")
+        for name in comparison.oracle_instances:
+            solvers = {row.solver for row in comparison.rows_for(name)}
+            assert solvers == set(ORACLE_SOLVERS)
+
+    def test_exhaustive_agrees_with_goel05_on_small_instances(self, comparison):
+        # Acceptance criterion: the oracle confirms the paper's heuristic on
+        # the d695-derived small instances of the comparison.
+        assert set(comparison.oracle_agreements) == set(comparison.oracle_instances)
+        for name in comparison.oracle_instances:
+            greedy = comparison.row(name, DEFAULT_SOLVER)
+            exact = comparison.row(name, "exhaustive")
+            assert greedy.throughput == pytest.approx(exact.throughput)
+
+    def test_exhaustive_is_never_beaten_on_its_instances(self, comparison):
+        for name in comparison.oracle_instances:
+            exact = comparison.row(name, "exhaustive")
+            assert comparison.gap(exact) == pytest.approx(0.0)
+
+    def test_gaps_are_relative_to_the_instance_best(self, comparison):
+        for row in comparison.rows:
+            gap = comparison.gap(row)
+            assert 0.0 <= gap < 1.0
+            best = comparison.best_throughput(row.soc_name)
+            assert row.throughput == pytest.approx(best * (1.0 - gap))
+
+    def test_full_benchmark_rows_use_greedy_solvers_only(self, comparison):
+        solvers = {row.solver for row in comparison.rows_for("d695")}
+        assert solvers == {DEFAULT_SOLVER, "restart"}
+
+    def test_missing_row_lookup_raises(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.row("d695", "exhaustive")
+
+    def test_requires_at_least_one_instance(self):
+        with pytest.raises(ConfigurationError, match="at least one instance"):
+            run_solver_comparison(benchmarks=(), small_sizes=())
+
+
+class TestRendering:
+    def test_table_lists_every_row(self, comparison):
+        text = comparison.to_table().render()
+        for row in comparison.rows:
+            assert row.solver in text
+        assert "d695-3" in text
+
+    def test_summary_reports_agreement_and_wins(self, comparison):
+        text = summarize_solver_comparison(comparison)
+        assert "matches the exhaustive optimum on 2/2" in text
+        assert "full ITC'02 benchmarks" in text
+
+    def test_render_combines_table_and_summary(self, comparison):
+        text = render_solver_comparison(comparison)
+        assert "Solver comparison" in text
+        assert "goel05" in text
+
+
+class TestRegistration:
+    def test_experiment_is_registered(self):
+        assert "solver_comparison" in experiment_names()
+        experiment = get_experiment("solver_comparison")
+        assert "solver" in experiment.title.lower() or "Solver" in experiment.title
+
+    def test_engine_cache_is_shared_across_solver_rows(self):
+        engine = Engine()
+        run_solver_comparison(benchmarks=(), small_sizes=(3,), engine=engine)
+        # Re-running through the same engine is pure cache hits.
+        before = engine.cache_info()
+        run_solver_comparison(benchmarks=(), small_sizes=(3,), engine=engine)
+        after = engine.cache_info()
+        assert after.misses == before.misses
+        assert after.hits > before.hits

@@ -9,7 +9,7 @@ import repro
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -42,6 +42,7 @@ class TestPublicApi:
             "repro.ate",
             "repro.multisite",
             "repro.optimize",
+            "repro.solvers",
             "repro.baselines",
             "repro.sim",
             "repro.schedule",
@@ -62,6 +63,7 @@ class TestPublicApi:
             "repro.tam",
             "repro.multisite",
             "repro.optimize",
+            "repro.solvers",
             "repro.baselines",
             "repro.sim",
             "repro.itc02",

@@ -1,0 +1,68 @@
+"""Tests of the solver registry (``repro.solvers.registry``)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.solvers.registry import (
+    DEFAULT_SOLVER,
+    _REGISTRY,
+    Solver,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solve,
+    solver_names,
+)
+
+
+class TestRegistration:
+    def test_builtin_backends_registered(self):
+        names = solver_names()
+        assert "goel05" in names
+        assert "exhaustive" in names
+        assert "restart" in names
+        assert len(names) >= 3
+
+    def test_default_solver_is_registered(self):
+        assert DEFAULT_SOLVER in solver_names()
+
+    def test_listing_is_sorted(self):
+        names = solver_names()
+        assert list(names) == sorted(names)
+        assert tuple(solver.name for solver in list_solvers()) == names
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_solver("goel05", title="imposter")(lambda problem: None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            register_solver("", title="anonymous")
+
+    def test_custom_registration_roundtrip(self):
+        @register_solver("registry-test-backend", title="Test backend")
+        def _solve(problem):  # pragma: no cover - never called
+            raise AssertionError
+
+        try:
+            solver = get_solver("registry-test-backend")
+            assert isinstance(solver, Solver)
+            assert solver.title == "Test backend"
+            assert "registry-test-backend" in solver_names()
+        finally:
+            _REGISTRY.pop("registry-test-backend")
+
+
+class TestLookup:
+    def test_unknown_solver_error_lists_known_names(self):
+        with pytest.raises(ConfigurationError, match="goel05"):
+            get_solver("annealing")
+
+    def test_get_solver_returns_named_backend(self):
+        assert get_solver("restart").name == "restart"
+
+    def test_solve_wraps_outcome_as_solution(self, tiny_problem):
+        solution = solve("goel05", tiny_problem)
+        assert solution.solver == "goel05"
+        assert solution.problem == tiny_problem
+        assert solution.optimal_sites >= 1

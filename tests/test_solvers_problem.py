@@ -1,0 +1,74 @@
+"""Tests of the solver problem model (``repro.solvers.problem``)."""
+
+import pytest
+
+from repro.ate.probe_station import reference_probe_station
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.config import OptimizationConfig
+from repro.optimize.two_step import optimize_multisite
+from repro.solvers.problem import TestInfraProblem, make_problem
+from repro.solvers.registry import solve
+
+
+class TestTestInfraProblem:
+    def test_defaults_match_paper_reference(self, tiny_soc, small_ate):
+        problem = TestInfraProblem(soc=tiny_soc, ate=small_ate)
+        assert problem.probe_station.index_time_s == 0.5
+        assert problem.config == OptimizationConfig()
+
+    def test_is_hashable_and_comparable(self, tiny_soc, small_ate):
+        first = make_problem(tiny_soc, small_ate)
+        second = make_problem(tiny_soc, small_ate)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_width_budget_is_half_the_channels(self, tiny_soc, small_ate):
+        problem = TestInfraProblem(soc=tiny_soc, ate=small_ate)
+        assert problem.width_budget == small_ate.channels // 2
+
+    def test_with_config_replaces_switches(self, tiny_problem):
+        broadcast = tiny_problem.with_config(OptimizationConfig(broadcast=True))
+        assert broadcast.config.broadcast
+        assert broadcast.soc is tiny_problem.soc
+
+    def test_rejects_non_soc(self, small_ate):
+        with pytest.raises(ConfigurationError, match="must be a Soc"):
+            TestInfraProblem(soc="d695", ate=small_ate)
+
+    def test_rejects_non_ate(self, tiny_soc):
+        with pytest.raises(ConfigurationError, match="must be an AteSpec"):
+            TestInfraProblem(soc=tiny_soc, ate=512)
+
+    def test_describe_names_the_operating_point(self, tiny_problem):
+        text = tiny_problem.describe()
+        assert "tiny" in text
+        assert "64ch" in text
+
+    def test_make_problem_fills_defaults(self, tiny_soc, small_ate):
+        problem = make_problem(tiny_soc, small_ate)
+        assert problem.probe_station == reference_probe_station()
+        assert problem.config == OptimizationConfig()
+
+
+class TestSolverSolution:
+    def test_goel05_solution_matches_legacy_entry_point(self, tiny_problem):
+        solution = solve("goel05", tiny_problem)
+        legacy = optimize_multisite(
+            tiny_problem.soc,
+            tiny_problem.ate,
+            tiny_problem.probe_station,
+            tiny_problem.config,
+        )
+        assert solution.result == legacy
+
+    def test_solution_delegates_to_result(self, tiny_problem):
+        solution = solve("goel05", tiny_problem)
+        assert solution.optimal_sites == solution.result.optimal_sites
+        assert solution.optimal_throughput == solution.result.optimal_throughput
+        assert solution.channels_per_site == solution.result.step1.channels_per_site
+        assert solution.best == solution.result.best
+
+    def test_describe_names_solver_and_soc(self, tiny_problem):
+        text = solve("goel05", tiny_problem).describe()
+        assert text.startswith("goel05[tiny]")
+        assert "n_opt=" in text

@@ -1,0 +1,92 @@
+"""Property-based tests of the solver backends (hypothesis).
+
+Every registered backend must return *feasible* designs -- channel budget
+and vector-memory limits respected at every evaluated site count -- for
+arbitrary small SOCs, and the greedy default must match the exhaustive
+oracle's optimum on tiny instances or trail it by a bounded, reported gap
+(never beat it: the oracle covers the greedy's search space).
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.soc.builder import SocBuilder
+from repro.solvers.problem import TestInfraProblem
+from repro.solvers.registry import solver_names, solve
+from repro.ate.spec import AteSpec
+
+
+@st.composite
+def small_socs(draw):
+    """Random SOCs with 1..5 modest modules (exhaustive-friendly sizes)."""
+    num_modules = draw(st.integers(min_value=1, max_value=5))
+    builder = SocBuilder("prop_soc")
+    for index in range(num_modules):
+        chains = draw(
+            st.lists(st.integers(min_value=1, max_value=200), min_size=0, max_size=5)
+        )
+        inputs = draw(st.integers(min_value=0, max_value=30))
+        outputs = draw(st.integers(min_value=0, max_value=30))
+        bidirs = draw(st.integers(min_value=0, max_value=6))
+        patterns = draw(st.integers(min_value=1, max_value=150))
+        assume(inputs + outputs + bidirs + len(chains) > 0)
+        builder.add_module(f"m{index}", inputs, outputs, bidirs, chains, patterns)
+    return builder.build()
+
+
+ate_channels = st.sampled_from([16, 32, 64])
+ate_depths = st.sampled_from([20_000, 60_000, 200_000])
+
+
+def _assert_feasible(result, ate):
+    assert result.step1.channels_per_site <= ate.channels
+    for point in result.points:
+        assert point.channels_per_site <= ate.channels
+        assert all(group.fill <= ate.depth for group in point.architecture.groups)
+        assigned = sorted(
+            name for group in point.architecture.groups for name in group.module_names
+        )
+        assert assigned == sorted(point.architecture.soc.module_names)
+
+
+class TestSolverProperties:
+    @given(soc=small_socs(), channels=ate_channels, depth=ate_depths)
+    @settings(max_examples=25, deadline=None)
+    def test_every_registered_solver_returns_feasible_designs(self, soc, channels, depth):
+        ate = AteSpec(channels=channels, depth=depth)
+        problem = TestInfraProblem(soc=soc, ate=ate)
+        for name in solver_names():
+            try:
+                solution = solve(name, problem)
+            except (InfeasibleDesignError, ConfigurationError):
+                continue  # infeasible instances are legitimate outcomes
+            assert solution.solver == name
+            _assert_feasible(solution.result, ate)
+
+    @given(soc=small_socs(), channels=ate_channels, depth=ate_depths)
+    @settings(max_examples=15, deadline=None)
+    def test_goel05_matches_or_trails_the_exhaustive_optimum(self, soc, channels, depth):
+        ate = AteSpec(channels=channels, depth=depth)
+        problem = TestInfraProblem(soc=soc, ate=ate)
+        try:
+            greedy = solve("goel05", problem).result
+            exact = solve("exhaustive", problem).result
+        except (InfeasibleDesignError, ConfigurationError):
+            return
+        # The oracle enumerates every partition, including the greedy's
+        # choice, so it can never do worse; the greedy's gap is bounded.
+        assert exact.optimal_throughput >= greedy.optimal_throughput * (1 - 1e-12)
+        gap = 1.0 - greedy.optimal_throughput / exact.optimal_throughput
+        assert 0.0 <= gap + 1e-12 < 1.0
+
+    @given(soc=small_socs(), channels=ate_channels, depth=ate_depths)
+    @settings(max_examples=15, deadline=None)
+    def test_restart_never_trails_goel05(self, soc, channels, depth):
+        ate = AteSpec(channels=channels, depth=depth)
+        problem = TestInfraProblem(soc=soc, ate=ate)
+        try:
+            greedy = solve("goel05", problem).result
+            multi = solve("restart", problem).result
+        except (InfeasibleDesignError, ConfigurationError):
+            return
+        assert multi.optimal_throughput >= greedy.optimal_throughput * (1 - 1e-12)
