@@ -1,0 +1,55 @@
+"""Benchmark: the persistent store's warm path on the d695 sweep.
+
+This is the acceptance benchmark of the store subsystem: a cold engine
+computes the full d695 design-space sweep and fills the store; a warm
+engine pointed at the same directory must reproduce the sweep
+**bit-identically** from disk at least twice as fast (in practice the
+warm path is one to two orders of magnitude faster -- it replaces
+optimisation with JSON decoding).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api.engine import Engine
+from repro.bench.runner import bench_sweep_grid, results_digest
+from repro.store.result_store import ResultStore
+
+from conftest import run_once
+
+
+def _timed_sweep(store: ResultStore):
+    grid = bench_sweep_grid()
+    engine = Engine(store=store)
+    started = time.perf_counter()
+    results = engine.run_batch(grid)
+    return time.perf_counter() - started, results, engine.cache_info()
+
+
+def test_warm_store_sweep_at_least_2x_faster(benchmark, tmp_path):
+    store_dir = tmp_path / "store"
+    cold_seconds, cold_results, cold_info = _timed_sweep(ResultStore(store_dir))
+    assert cold_info.store_hits == 0
+
+    warm_seconds, warm_results, warm_info = run_once(
+        benchmark, _timed_sweep, ResultStore(store_dir)
+    )
+
+    assert warm_info.store_hits == len(cold_results)
+    assert warm_info.misses == 0
+    # Bit-identical replay: same digest over the exact result values.
+    assert results_digest(warm_results) == results_digest(cold_results)
+    assert [r.result for r in warm_results] == [r.result for r in cold_results]
+    # The acceptance threshold; the observed ratio is far larger.
+    assert warm_seconds * 2 <= cold_seconds, (
+        f"warm store sweep not >=2x faster: cold {cold_seconds:.3f}s, "
+        f"warm {warm_seconds:.3f}s"
+    )
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["speedup"] = round(cold_seconds / max(warm_seconds, 1e-9), 1)
+    print(
+        f"\n d695 sweep ({len(cold_results)} scenarios): cold {cold_seconds:.3f}s, "
+        f"warm {warm_seconds:.3f}s ({cold_seconds / max(warm_seconds, 1e-9):.1f}x)"
+    )

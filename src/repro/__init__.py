@@ -35,8 +35,20 @@ scenario or sweep the backend like any other axis::
     duel = Engine().run_batch(
         Scenario.sweep("d695", cell, solvers=["goel05", "restart"]))
 
-``python -m repro solvers`` lists the registered backends.  The classic
-free functions remain fully supported as thin entry points::
+``python -m repro solvers`` lists the registered backends.  Results can be
+persisted across processes with the content-addressed on-disk store
+(:mod:`repro.store`): attach one to an engine and equal scenarios are
+solved once per *store directory* instead of once per process::
+
+    from repro import Engine, ResultStore
+
+    engine = Engine(store=ResultStore("~/.cache/repro-store"))
+
+(or pass ``--store DIR`` to the CLI).  ``python -m repro bench`` times the
+registered experiments, solver backends and the d695 sweep, and writes the
+machine-readable ``BENCH_<tag>.json`` telemetry record.
+
+The classic free functions remain fully supported as thin entry points::
 
     from repro import load_benchmark, reference_ate, optimize_multisite
 
@@ -44,8 +56,10 @@ free functions remain fully supported as thin entry points::
     ate = reference_ate(channels=256, depth_m=0.0625)
     result = optimize_multisite(soc, ate)          # solver="goel05"
 
-The sub-packages are documented in DESIGN.md; the most commonly used entry
-points are re-exported here.
+The layering of the sub-packages (and where to add a new solver,
+experiment or store backend) is documented in ARCHITECTURE.md; the CLI
+reference lives in docs/cli.md.  The most commonly used entry points are
+re-exported here.
 """
 
 from repro.api import (
@@ -82,10 +96,11 @@ from repro.optimize import (
 )
 from repro.soc import Module, ScanChain, Soc, SocBuilder, make_module, make_pnx8550, make_synthetic_soc
 from repro.schedule import TestSchedule, build_schedule
+from repro.store import ResultStore, StoreEntry, StoreInfo
 from repro.tam import TestArchitecture, design_architecture
 from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CacheInfo",
@@ -132,6 +147,9 @@ __all__ = [
     "make_synthetic_soc",
     "TestSchedule",
     "build_schedule",
+    "ResultStore",
+    "StoreEntry",
+    "StoreInfo",
     "TestArchitecture",
     "design_architecture",
     "WrapperDesign",

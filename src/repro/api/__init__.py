@@ -11,7 +11,9 @@ This package is the canonical way to drive the reproduction:
 * :class:`~repro.api.engine.Engine` -- executes scenarios serially or as
   parallel batches (``run_batch(scenarios, workers=N)``) with an in-process
   memo cache keyed on the scenario's canonical hash (optionally LRU-bounded
-  via ``max_entries``).
+  via ``max_entries``), and optionally backed by a persistent
+  :class:`~repro.store.ResultStore` (``Engine(store=...)``) that shares
+  solved scenarios across processes and sessions.
 
 Scenarios route through the solver registry (:mod:`repro.solvers`):
 ``Scenario(solver="restart")`` swaps the paper's greedy two-step for any

@@ -12,6 +12,13 @@
   algorithm is deterministic, so batch results are bit-identical to serial
   ones regardless of worker count or completion order.
 
+An engine can additionally be backed by a persistent
+:class:`~repro.store.ResultStore` (``Engine(store=...)``): scenarios not in
+the in-memory cache are looked up on disk before being computed, and every
+computed result is written back, so equal scenarios are solved once *across
+processes* -- repeated CLI invocations, CI runs and benchmark sessions.
+Store hits are reported separately in :class:`CacheInfo`.
+
 Results are returned as :class:`ScenarioResult` records that convert
 directly into the flat structures of :mod:`repro.reporting.export` and the
 :class:`~repro.reporting.series.Series` curves of the figure experiments.
@@ -23,6 +30,7 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.api.scenario import Scenario
@@ -33,6 +41,7 @@ from repro.reporting.export import result_to_records
 from repro.reporting.series import Series
 from repro.solvers.problem import make_problem
 from repro.solvers.registry import DEFAULT_SOLVER, solve
+from repro.store.result_store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -91,13 +100,19 @@ def _execute(scenario: Scenario) -> TwoStepResult:
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Hit/miss statistics of an engine's scenario cache."""
+    """Hit/miss statistics of an engine's scenario cache.
+
+    ``hits`` counts in-memory cache hits, ``store_hits`` counts scenarios
+    served from the engine's persistent :class:`~repro.store.ResultStore`
+    tier, and ``misses`` counts scenarios that had to be computed.
+    """
 
     hits: int
     misses: int
     size: int
     evictions: int = 0
     max_entries: int | None = None
+    store_hits: int = 0
 
 
 class Engine:
@@ -116,6 +131,13 @@ class Engine:
         result; with a bound the cache evicts least-recently-used entries,
         so unbounded sweeps cannot grow the engine without limit.  Evictions
         are reported in :meth:`cache_info`.
+    store:
+        Optional persistent tier: a :class:`~repro.store.ResultStore`, or a
+        directory path one is created at.  Scenarios missing from the
+        in-memory cache are looked up here before being computed, and
+        computed results are written back, so results are shared across
+        processes and sessions.  ``None`` (default) keeps the engine fully
+        in-process.
     """
 
     def __init__(
@@ -123,23 +145,33 @@ class Engine:
         cache: bool = True,
         workers: int | None = None,
         max_entries: int | None = None,
+        store: "ResultStore | str | Path | None" = None,
     ) -> None:
         if workers is not None and workers <= 0:
             raise ConfigurationError(f"worker count must be positive, got {workers}")
         if max_entries is not None and max_entries <= 0:
             raise ConfigurationError(f"max_entries must be positive, got {max_entries}")
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
         self._cache_enabled = cache
         self._workers = workers
         self._max_entries = max_entries
+        self._result_store = store
         self._cache: OrderedDict[tuple, ScenarioResult] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._store_hits = 0
 
     # ------------------------------------------------------------------
     # Cache management
     # ------------------------------------------------------------------
+    @property
+    def store(self) -> ResultStore | None:
+        """The persistent store tier, or ``None`` for a memory-only engine."""
+        return self._result_store
+
     def cache_info(self) -> CacheInfo:
         """Hit/miss/eviction statistics of the scenario cache."""
         with self._lock:
@@ -149,15 +181,22 @@ class Engine:
                 size=len(self._cache),
                 evictions=self._evictions,
                 max_entries=self._max_entries,
+                store_hits=self._store_hits,
             )
 
     def clear_cache(self) -> None:
-        """Drop all memoised results (statistics are reset too)."""
+        """Drop all in-memory memoised results (statistics are reset too).
+
+        The persistent store tier is *not* touched; evict through
+        :meth:`ResultStore.evict <repro.store.ResultStore.evict>` when the
+        on-disk records should go too.
+        """
         with self._lock:
             self._cache.clear()
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._store_hits = 0
 
     def _lookup(self, key: tuple) -> ScenarioResult | None:
         if not self._cache_enabled:
@@ -169,17 +208,47 @@ class Engine:
                 self._cache.move_to_end(key)
             return cached
 
+    def _lookup_store(self, key: tuple, scenario: Scenario) -> ScenarioResult | None:
+        """Second-tier lookup: rebuild a result from the persistent store."""
+        if self._result_store is None:
+            return None
+        result = self._result_store.get(scenario)
+        if result is None:
+            return None
+        record = ScenarioResult(scenario=scenario, result=result)
+        with self._lock:
+            self._store_hits += 1
+            self._remember(key, record)
+        return record
+
+    def _remember(self, key: tuple, result: ScenarioResult) -> None:
+        """Insert into the in-memory tier (caller holds the lock)."""
+        if not self._cache_enabled:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        if self._max_entries is not None:
+            while len(self._cache) > self._max_entries:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+
     def _store(self, key: tuple, result: ScenarioResult) -> None:
+        """Record a computed result in both tiers, counting the miss.
+
+        The persistent write is best-effort: the store is a cache, so a
+        failing disk (full, permissions revoked mid-run) must not destroy a
+        computed result -- the batch completes on the in-memory tier alone.
+        Misconfigured store *paths* still fail fast, at
+        :class:`~repro.store.ResultStore` construction.
+        """
         with self._lock:
             self._misses += 1
-            if not self._cache_enabled:
-                return
-            self._cache[key] = result
-            self._cache.move_to_end(key)
-            if self._max_entries is not None:
-                while len(self._cache) > self._max_entries:
-                    self._cache.popitem(last=False)
-                    self._evictions += 1
+            self._remember(key, result)
+        if self._result_store is not None:
+            try:
+                self._result_store.put(result.scenario, result.result)
+            except OSError:
+                pass
 
     @staticmethod
     def _deliver(scenario: Scenario, cached: ScenarioResult) -> ScenarioResult:
@@ -206,11 +275,18 @@ class Engine:
     # Execution
     # ------------------------------------------------------------------
     def run(self, scenario: Scenario) -> ScenarioResult:
-        """Execute one scenario (a repeated run of an equal scenario is a cache hit)."""
+        """Execute one scenario (a repeated run of an equal scenario is a cache hit).
+
+        Lookup order: in-memory cache, then the persistent store tier (when
+        configured), then compute -- recording the result in both tiers.
+        """
         key = scenario.canonical_key()
         cached = self._lookup(key)
         if cached is not None:
             return self._deliver(scenario, cached)
+        stored = self._lookup_store(key, scenario)
+        if stored is not None:
+            return stored
         result = ScenarioResult(scenario=scenario, result=_execute(scenario))
         self._store(key, result)
         return result
@@ -222,17 +298,21 @@ class Engine:
     ) -> tuple[ScenarioResult, ...]:
         """Execute many scenarios, in the input order.
 
-        Cache misses are deduplicated (equal scenarios run once) and fanned
-        out over a process pool of ``workers`` processes; ``workers=None``
-        falls back to the engine default, and ``1`` runs serially in
-        process.  Results are bit-identical to serial :meth:`run` calls.
+        Cache misses (checked against the in-memory tier, then the
+        persistent store when configured) are deduplicated (equal scenarios
+        run once) and fanned out over a process pool of ``workers``
+        processes; ``workers=None`` falls back to the engine default, and
+        ``1`` runs serially in process.  Computed results are written back
+        to the store from the driving process only, so pool workers never
+        contend for record files.  Results are bit-identical to serial
+        :meth:`run` calls, with or without a store.
         """
         if workers is not None and workers <= 0:
             raise ConfigurationError(f"worker count must be positive, got {workers}")
         scenarios = list(scenarios)
         effective_workers = workers if workers is not None else (self._workers or 1)
 
-        # Resolve cache hits and deduplicate the remaining work.
+        # Resolve cache and store hits, deduplicating the remaining work.
         keys = [scenario.canonical_key() for scenario in scenarios]
         pending: dict[tuple, Scenario] = {}
         resolved: dict[tuple, ScenarioResult] = {}
@@ -240,6 +320,8 @@ class Engine:
             if key in resolved or key in pending:
                 continue
             cached = self._lookup(key)
+            if cached is None:
+                cached = self._lookup_store(key, scenario)
             if cached is not None:
                 resolved[key] = cached
             else:

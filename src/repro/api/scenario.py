@@ -121,9 +121,21 @@ class Scenario:
         return (self.resolve(), cell, self.config, self.solver)
 
     @property
+    def digest(self) -> str:
+        """Full SHA-256 hex digest of the canonical key.
+
+        This is the scenario's content address: the persistent
+        :class:`~repro.store.ResultStore` names its record files after it,
+        so any process that builds an equal scenario -- by benchmark name
+        or by loaded object, under any cosmetic labels -- reads and writes
+        the same record.
+        """
+        return hashlib.sha256(repr(self.canonical_key()).encode("utf-8")).hexdigest()
+
+    @property
     def key(self) -> str:
-        """Stable hex digest of the canonical key, used in exported records."""
-        return hashlib.sha256(repr(self.canonical_key()).encode("utf-8")).hexdigest()[:16]
+        """Short (16 hex chars) form of :attr:`digest`, used in exported records."""
+        return self.digest[:16]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Scenario):

@@ -1,0 +1,297 @@
+"""Benchmark runner: machine-readable timings for the perf trajectory.
+
+:func:`run_bench` times the three workloads that matter for the project's
+performance story and returns one JSON-ready report:
+
+* **experiments** -- every registered experiment
+  (:mod:`repro.experiments.registry`), each through its own
+  :class:`~repro.api.engine.Engine`;
+* **solvers** -- every registered solver backend
+  (:mod:`repro.solvers.registry`) on the reference d695 operating point
+  (256 channels x 64 K vectors); backends that cannot handle the workload
+  (e.g. the exhaustive oracle on a 10-module SOC) are recorded as skipped,
+  not as failures;
+* **sweep** -- the d695 design-space sweep (channels x depths x broadcast),
+  the workload the persistent store amortises across runs.
+
+Every section records wall-clock seconds plus the engine's
+:class:`~repro.api.engine.CacheInfo`, and the sweep section additionally
+records the delta of the process-wide evaluation-kernel memo
+(:func:`repro.solvers.evaluate.cache_info`) and a SHA-256 digest over the
+exact result values -- two runs that report the same digest produced
+bit-identical results, which is how a warm-store rerun proves it traded
+no correctness for its speedup.
+
+:func:`write_report` emits the report as ``BENCH_<tag>.json``; CI uploads
+these files as artifacts, so every PR leaves a perf data point behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.api.engine import Engine, ScenarioResult
+from repro.api.scenario import Scenario
+from repro.api.testcell import reference_test_cell
+from repro.core.exceptions import ConfigurationError, ReproError
+from repro.core.units import kilo_vectors
+from repro.experiments.registry import get_experiment, experiment_names
+from repro.solvers import evaluate as evaluate_kernel
+from repro.solvers.registry import solver_names
+from repro.store.result_store import ResultStore
+
+#: Version of the report payload layout.
+BENCH_FORMAT = 1
+
+#: Registered experiments timed in ``--smoke`` mode (the fastest one).
+SMOKE_EXPERIMENTS = ("economics",)
+
+#: d695 sweep axes (depths in binary K vectors, the repo's convention):
+#: full bench and smoke subset.
+SWEEP_CHANNELS = (64, 128, 256, 512)
+SWEEP_DEPTHS_K = (48, 64, 96, 128)
+SMOKE_SWEEP_CHANNELS = (128, 256)
+SMOKE_SWEEP_DEPTHS_K = (48, 64)
+
+
+def default_tag() -> str:
+    """Default report tag: the package version (``v<x.y.z>``)."""
+    from repro import __version__
+
+    return f"v{__version__}"
+
+
+def bench_sweep_grid(smoke: bool = False) -> list[Scenario]:
+    """The d695 sweep scenarios the bench times (32 full, 4 in smoke mode)."""
+    cell = reference_test_cell(channels=256, depth_m=0.0625)
+    if smoke:
+        return Scenario.sweep(
+            "d695",
+            cell,
+            channels=SMOKE_SWEEP_CHANNELS,
+            depths=[kilo_vectors(depth) for depth in SMOKE_SWEEP_DEPTHS_K],
+        )
+    return Scenario.sweep(
+        "d695",
+        cell,
+        channels=SWEEP_CHANNELS,
+        depths=[kilo_vectors(depth) for depth in SWEEP_DEPTHS_K],
+        broadcast=[False, True],
+    )
+
+
+def results_digest(results: Sequence[ScenarioResult]) -> str:
+    """SHA-256 digest over the exact values of a batch of results.
+
+    Covers every evaluated site point (``repr`` of the float objective, so
+    the digest only matches on bit-identical numbers) plus the optimum, in
+    scenario order.  Used to prove warm (store-served) runs reproduce cold
+    runs exactly.
+    """
+    digest = hashlib.sha256()
+    for outcome in results:
+        digest.update(outcome.scenario.key.encode("utf-8"))
+        for point in outcome.result.points:
+            digest.update(
+                f"{point.sites},{point.channels_per_site},{point.throughput!r};".encode("utf-8")
+            )
+        digest.update(
+            f"opt={outcome.optimal_sites},{outcome.optimal_throughput!r}\n".encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+def _cache_record(engine: Engine) -> dict[str, Any]:
+    return asdict(engine.cache_info())
+
+
+def _bench_experiments(
+    names: Sequence[str], store: ResultStore | None
+) -> list[dict[str, Any]]:
+    """Time each registered experiment through its own (store-backed) engine."""
+    rows: list[dict[str, Any]] = []
+    for name in names:
+        experiment = get_experiment(name)
+        engine = Engine(store=store)
+        started = time.perf_counter()
+        experiment.run(engine)
+        rows.append(
+            {
+                "name": name,
+                "title": experiment.title,
+                "seconds": time.perf_counter() - started,
+                "cache": _cache_record(engine),
+            }
+        )
+    return rows
+
+
+def _bench_solvers(store: ResultStore | None) -> list[dict[str, Any]]:
+    """Time each registered solver backend on the reference d695 point."""
+    cell = reference_test_cell(channels=256, depth_m=0.0625)
+    rows: list[dict[str, Any]] = []
+    for name in solver_names():
+        scenario = Scenario(soc="d695", test_cell=cell, solver=name)
+        engine = Engine(store=store)
+        started = time.perf_counter()
+        try:
+            outcome = engine.run(scenario)
+        except ReproError as error:
+            rows.append({"name": name, "skipped": str(error)})
+            continue
+        rows.append(
+            {
+                "name": name,
+                "seconds": time.perf_counter() - started,
+                "optimal_sites": outcome.optimal_sites,
+                "optimal_throughput": outcome.optimal_throughput,
+                "cache": _cache_record(engine),
+            }
+        )
+    return rows
+
+
+def _bench_sweep(
+    store: ResultStore | None, smoke: bool, workers: int | None
+) -> dict[str, Any]:
+    """Time the d695 design-space sweep (the store's showcase workload)."""
+    grid = bench_sweep_grid(smoke)
+    kernel_before = evaluate_kernel.cache_info()
+    engine = Engine(store=store, workers=workers)
+    started = time.perf_counter()
+    results = engine.run_batch(grid, workers=workers)
+    seconds = time.perf_counter() - started
+    kernel_after = evaluate_kernel.cache_info()
+    return {
+        "scenarios": len(grid),
+        "seconds": seconds,
+        "cache": _cache_record(engine),
+        "evaluate_kernel": {
+            "hits": kernel_after.hits - kernel_before.hits,
+            "misses": kernel_after.misses - kernel_before.misses,
+        },
+        "digest": results_digest(results),
+    }
+
+
+def run_bench(
+    tag: str | None = None,
+    store: ResultStore | str | Path | None = None,
+    smoke: bool = False,
+    workers: int | None = None,
+) -> dict[str, Any]:
+    """Run the full benchmark suite and return the JSON-ready report.
+
+    Parameters
+    ----------
+    tag:
+        Label baked into the report (and its file name); defaults to
+        :func:`default_tag`.
+    store:
+        Optional persistent result store shared by every timed engine.  On
+        a cold (empty) store the bench seeds it; rerunning against the same
+        directory times the warm path and must reproduce the same sweep
+        ``digest``.
+    smoke:
+        Restrict to the fast subset (one experiment, a 4-point sweep) --
+        the mode CI runs on every push.
+    workers:
+        Worker processes for the sweep's ``run_batch`` (default serial).
+    """
+    from repro import __version__
+
+    if tag is None:
+        tag = default_tag()
+    if not tag or any(sep in tag for sep in "/\\"):
+        raise ConfigurationError(f"bench tag must be a plain label, got {tag!r}")
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    experiments = SMOKE_EXPERIMENTS if smoke else experiment_names()
+    started = time.perf_counter()
+    report: dict[str, Any] = {
+        "format": BENCH_FORMAT,
+        "tag": tag,
+        "package_version": __version__,
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "created_at": time.time(),
+        "smoke": smoke,
+        "workers": workers,
+        "store": {
+            "enabled": store is not None,
+            "root": str(store.root) if store is not None else None,
+        },
+        "experiments": _bench_experiments(experiments, store),
+        "solvers": _bench_solvers(store),
+        "sweep": _bench_sweep(store, smoke, workers),
+    }
+    report["store_info"] = asdict(store.info()) if store is not None else None
+    report["wall_seconds"] = time.perf_counter() - started
+    return report
+
+
+def report_filename(report: dict[str, Any]) -> str:
+    """File name a report is written under: ``BENCH_<tag>.json``."""
+    return f"BENCH_{report['tag']}.json"
+
+
+def write_report(report: dict[str, Any], output_dir: str | Path = ".") -> Path:
+    """Write ``report`` as ``BENCH_<tag>.json`` under ``output_dir``.
+
+    The directory defaults to the current working directory -- the repo
+    root when run as ``python -m repro bench`` from a checkout, which is
+    where the perf-trajectory files are expected.
+    """
+    directory = Path(output_dir).expanduser()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / report_filename(report)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def summarize_report(report: dict[str, Any]) -> str:
+    """Human-readable summary of a report (printed by ``repro bench``)."""
+    lines = [
+        f"bench {report['tag']} (package {report['package_version']}, "
+        f"python {report['python_version']}"
+        + (", smoke" if report["smoke"] else "")
+        + ")",
+    ]
+    store = report["store"]
+    lines.append(
+        f"  store: {store['root']}" if store["enabled"] else "  store: disabled"
+    )
+    lines.append("  experiments:")
+    for row in report["experiments"]:
+        cache = row["cache"]
+        lines.append(
+            f"    {row['name']:18s} {row['seconds']:8.3f}s  "
+            f"(hits {cache['hits']}, store hits {cache['store_hits']}, "
+            f"misses {cache['misses']})"
+        )
+    lines.append("  solvers (d695 @ 256ch x 64K):")
+    for row in report["solvers"]:
+        if "skipped" in row:
+            lines.append(f"    {row['name']:18s}  skipped: {row['skipped']}")
+        else:
+            cache = row["cache"]
+            lines.append(
+                f"    {row['name']:18s} {row['seconds']:8.3f}s  "
+                f"(n_opt={row['optimal_sites']}, store hits {cache['store_hits']})"
+            )
+    sweep = report["sweep"]
+    cache = sweep["cache"]
+    lines.append(
+        f"  d695 sweep: {sweep['scenarios']} scenarios in {sweep['seconds']:.3f}s  "
+        f"(store hits {cache['store_hits']}, misses {cache['misses']})"
+    )
+    lines.append(f"  sweep digest: {sweep['digest']}")
+    lines.append(f"  total wall time: {report['wall_seconds']:.3f}s")
+    return "\n".join(lines)

@@ -7,15 +7,24 @@ Installed as ``repro-multisite`` (see ``setup.py``) and runnable as
   resulting infrastructure and throughput (``--solver`` picks the backend);
 * ``benchmarks`` -- list the registered ITC'02 benchmarks;
 * ``solvers``    -- list the registered solver backends;
+* ``bench``      -- time experiments/solvers/sweeps and write ``BENCH_<tag>.json``;
 * ``all``        -- regenerate the full experiment report (slow);
 * one sub-command per registered experiment (``table1``, ``figure5``,
   ``figure6``, ``figure7``, ``economics``, ``ablation``,
   ``solver_comparison``, ...).
 
+Result-producing sub-commands accept ``--store DIR``: scenario results are
+then read from and written to a persistent
+:class:`~repro.store.ResultStore` in that directory, so repeated
+invocations skip already-solved operating points.  Without the flag every
+run is computed from scratch (and ``python -m repro all`` output stays
+byte-identical to earlier releases).
+
 The experiment sub-commands are generated from the experiment registry
 (:mod:`repro.experiments.registry`), so registering a new experiment adds
-its CLI command automatically; ``design`` and ``all`` drive the scenario
-:class:`~repro.api.engine.Engine` directly.
+its CLI command automatically; ``design``, ``bench`` and ``all`` drive the
+scenario :class:`~repro.api.engine.Engine` directly.  The full reference
+with examples lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from repro.api.scenario import Scenario
 from repro.api.testcell import TestCell
 from repro.ate.probe_station import ProbeStation
 from repro.ate.spec import AteSpec
+from repro.bench.runner import run_bench, summarize_report, write_report
 from repro.core.exceptions import ReproError
 from repro.core.units import mega_vectors
 from repro.experiments.registry import list_experiments, render_experiment, run_experiment
@@ -38,10 +48,11 @@ from repro.itc02.registry import list_benchmarks
 from repro.optimize.config import Objective, OptimizationConfig
 from repro.soc.soc import Soc
 from repro.solvers.registry import DEFAULT_SOLVER, list_solvers
+from repro.store.result_store import ResultStore
 
 #: Sub-commands with bespoke handlers; every other sub-command is generated
 #: from (and dispatched through) the experiment registry.
-_BUILTIN_COMMANDS = ("design", "benchmarks", "solvers", "all")
+_BUILTIN_COMMANDS = ("design", "benchmarks", "solvers", "bench", "all")
 
 
 def experiment_commands() -> tuple[str, ...]:
@@ -58,6 +69,25 @@ def experiment_commands() -> tuple[str, ...]:
     )
 
 
+def _store_options() -> argparse.ArgumentParser:
+    """Shared ``--store`` option, attached to result-producing sub-commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent result-store directory (created when missing); "
+        "already-solved scenarios are read from it instead of recomputed",
+    )
+    return parent
+
+
+def _engine_from_args(args: argparse.Namespace) -> Engine:
+    """Build the engine a sub-command runs through (store-backed with --store)."""
+    store = getattr(args, "store", None)
+    return Engine(store=ResultStore(store) if store else None)
+
+
 def _resolve_soc_argument(spec: str) -> Soc | str:
     """Resolve an SOC argument: a ``.soc`` file path, or a scenario reference.
 
@@ -69,9 +99,13 @@ def _resolve_soc_argument(spec: str) -> Soc | str:
     return spec
 
 
-def _add_design_parser(subparsers: argparse._SubParsersAction) -> None:
+def _add_design_parser(
+    subparsers: argparse._SubParsersAction, store_options: argparse.ArgumentParser
+) -> None:
     parser = subparsers.add_parser(
-        "design", help="design the test infrastructure and optimal multi-site for one SOC"
+        "design",
+        parents=[store_options],
+        help="design the test infrastructure and optimal multi-site for one SOC",
     )
     parser.add_argument("soc", help="benchmark name, 'pnx8550', or path to a .soc file")
     parser.add_argument("--channels", type=int, default=512, help="ATE channels (default 512)")
@@ -132,9 +166,52 @@ def _design_scenario(args: argparse.Namespace) -> Scenario:
     )
 
 
+def _add_bench_parser(
+    subparsers: argparse._SubParsersAction, store_options: argparse.ArgumentParser
+) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        parents=[store_options],
+        help="time experiments, solver backends and the d695 sweep; "
+        "write BENCH_<tag>.json",
+    )
+    parser.add_argument(
+        "--tag",
+        default=None,
+        help="label for the report file BENCH_<tag>.json (default: the package version)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast subset (one experiment, 4-point sweep); what CI runs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sweep batch (default: serial)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=".",
+        help="directory the report is written to (default: current directory)",
+    )
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    report = run_bench(
+        tag=args.tag, store=args.store, smoke=args.smoke, workers=args.workers
+    )
+    path = write_report(report, args.output)
+    print(summarize_report(report))
+    print(f"report written to {path}")
+    return 0
+
+
 def _run_design(args: argparse.Namespace) -> int:
     scenario = _design_scenario(args)
-    outcome = Engine().run(scenario)
+    outcome = _engine_from_args(args).run(scenario)
     result = outcome.result
     print(scenario.resolve().describe())
     print(scenario.test_cell.ate.describe())
@@ -168,14 +245,14 @@ def _run_solvers(_: argparse.Namespace) -> int:
     return 0
 
 
-def _run_registered_experiment(name: str) -> int:
-    result = run_experiment(name, Engine())
-    print(render_experiment(name, result))
+def _run_registered_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.command, _engine_from_args(args))
+    print(render_experiment(args.command, result))
     return 0
 
 
-def _run_all(_: argparse.Namespace) -> int:
-    report = run_all_experiments(Engine())
+def _run_all(args: argparse.Namespace) -> int:
+    report = run_all_experiments(_engine_from_args(args))
     print(report.render())
     return 0
 
@@ -187,14 +264,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="On-chip test infrastructure design for optimal multi-site testing "
         "(reproduction of Goel & Marinissen, DATE 2005)",
     )
+    store_options = _store_options()
     subparsers = parser.add_subparsers(dest="command", required=True)
-    _add_design_parser(subparsers)
+    _add_design_parser(subparsers, store_options)
     subparsers.add_parser("benchmarks", help="list the registered ITC'02 benchmarks")
     subparsers.add_parser("solvers", help="list the registered solver backends")
+    _add_bench_parser(subparsers, store_options)
     experiments = {experiment.name: experiment for experiment in list_experiments()}
     for name in experiment_commands():
-        subparsers.add_parser(name, help=f"regenerate: {experiments[name].title}")
-    subparsers.add_parser("all", help="regenerate the full experiment report (slow)")
+        subparsers.add_parser(
+            name,
+            parents=[store_options],
+            help=f"regenerate: {experiments[name].title}",
+        )
+    subparsers.add_parser(
+        "all", parents=[store_options], help="regenerate the full experiment report (slow)"
+    )
     return parser
 
 
@@ -209,10 +294,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_benchmarks(args)
         if args.command == "solvers":
             return _run_solvers(args)
+        if args.command == "bench":
+            return _run_bench(args)
         if args.command == "all":
             return _run_all(args)
-        return _run_registered_experiment(args.command)
-    except ReproError as error:
+        return _run_registered_experiment(args)
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -14,6 +14,10 @@ programmatically:
 * :class:`ConfigurationError` -- an optimisation or experiment was configured
   with inconsistent parameters (e.g. a negative index time or a yield
   outside ``[0, 1]``).
+* :class:`StoreError` -- a persistent result-store record cannot be encoded
+  or decoded (unregistered type, malformed payload).  Reads through
+  :class:`repro.store.ResultStore` treat it as a cache miss; it only
+  surfaces to callers that use the serialisation layer directly.
 """
 
 from __future__ import annotations
@@ -63,3 +67,7 @@ class ParseError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when user-supplied parameters are inconsistent or out of range."""
+
+
+class StoreError(ReproError):
+    """Raised when a result-store payload cannot be encoded or decoded."""

@@ -8,10 +8,14 @@ overall throughput.  Step 2 therefore linearly searches the site count from
 ``n_max`` down to 1, widens the Step-1 architecture to each site count's
 channel budget, evaluates the throughput model, and returns the best point.
 
-Per-point evaluation goes through the shared memoized kernel in
-:mod:`repro.solvers.evaluate`, so repeated ``(design, sites)`` points --
-within one sweep or across experiments and solver backends -- are computed
-once per process.
+In the registry layering this module is shared infrastructure, not an entry
+point: solver backends (:mod:`repro.solvers.goel05`,
+:mod:`repro.solvers.restart`) call :func:`run_step2` on their Step-1
+candidates, and the figure experiments call :func:`step1_only_throughput`
+for the paper's reference curves.  Per-point evaluation goes through the
+shared memoized kernel in :mod:`repro.solvers.evaluate`, so repeated
+``(design, sites)`` points -- within one sweep or across experiments and
+solver backends -- are computed once per process.
 """
 
 from __future__ import annotations

@@ -6,10 +6,16 @@ Section 5, it designs the on-chip test infrastructure (module wrappers,
 TAMs/channel groups, chip-level E-RPCT wrapper) and returns the
 throughput-optimal multi-site configuration.
 
-Since the solver layering this module is a thin compatibility shim over
-:mod:`repro.solvers`: the paper's heuristic itself lives in
-:mod:`repro.solvers.goel05`, and the ``solver`` parameter selects any other
-registered backend (``"exhaustive"``, ``"restart"``, ...).
+This module is a thin compatibility shim kept for that classic signature.
+It no longer contains any algorithm: it builds a
+:class:`~repro.solvers.problem.TestInfraProblem` and dispatches it through
+the solver registry (:mod:`repro.solvers.registry`).  The paper's heuristic
+itself lives in :mod:`repro.solvers.goel05` (the default backend), and the
+``solver`` parameter selects any other registered backend
+(``"exhaustive"``, ``"restart"``, ...).  New code should prefer the
+scenario API -- ``Engine().run(Scenario(...))`` -- which adds memoisation,
+parallel batches and the persistent result store on top of the same
+backends.
 """
 
 from __future__ import annotations

@@ -1,0 +1,44 @@
+"""Persistent result store: the on-disk caching tier.
+
+The scenario :class:`~repro.api.engine.Engine` memoises results in memory,
+but every new process starts cold.  This package adds the tier below it:
+
+* :class:`~repro.store.result_store.ResultStore` -- a content-addressed
+  on-disk store (one JSON record per solved scenario, keyed by the
+  scenario's solver-aware canonical digest) with atomic writes and
+  corruption-tolerant reads;
+* :mod:`~repro.store.serialize` -- the exact JSON codec for the result
+  graph (registered frozen dataclasses only, with sub-object interning).
+
+Attach a store to an engine with ``Engine(store=...)`` (or ``--store DIR``
+on the CLI): scenario results computed in any process using the same
+directory are reused everywhere, which is what makes repeated design-space
+sweeps (Table 1, Figures 5-7) cheap across runs.  See ARCHITECTURE.md for
+the full three-tier caching story.
+"""
+
+from repro.store.result_store import (
+    RECORD_SUFFIX,
+    STORE_FORMAT,
+    ResultStore,
+    StoreEntry,
+    StoreInfo,
+)
+from repro.store.serialize import (
+    decode_result,
+    encode_result,
+    register_storable,
+    storable_names,
+)
+
+__all__ = [
+    "RECORD_SUFFIX",
+    "STORE_FORMAT",
+    "ResultStore",
+    "StoreEntry",
+    "StoreInfo",
+    "decode_result",
+    "encode_result",
+    "register_storable",
+    "storable_names",
+]

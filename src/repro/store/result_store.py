@@ -1,0 +1,320 @@
+"""Content-addressed on-disk store for solved scenarios.
+
+:class:`ResultStore` persists one JSON record per solved ``(scenario,
+solver)`` point, keyed by the scenario's solver-aware canonical digest
+(:attr:`repro.api.scenario.Scenario.digest` -- the SHA-256 of the resolved
+canonical key, so the same operating point hits the same record no matter
+how the SOC was referenced or which process computed it).  It is the third
+caching tier of the system, and the only one that survives the process:
+
+1. the per-process evaluation kernel (:mod:`repro.solvers.evaluate`)
+   memoises ``(design, sites)`` points;
+2. the :class:`~repro.api.engine.Engine` memoises whole scenario results
+   in memory;
+3. this store memoises scenario results **on disk**, amortising repeated
+   CLI invocations, CI runs and benchmark sessions.
+
+Records are written atomically (temp file + ``os.replace`` in the store
+directory), so concurrent writers -- parallel ``run_batch`` drivers or
+several engines sharing one directory -- can never expose a half-written
+record to a reader; the worst case is that the same record is computed and
+written twice.  Reads are corruption-tolerant: a truncated file, a
+hash/format mismatch or a payload that fails validation counts as a miss
+(and is reported in :meth:`ResultStore.info`), never as an error or a wrong
+result.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.exceptions import ConfigurationError, ReproError, StoreError
+from repro.store.serialize import decode_result, encode_result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scenario import Scenario
+    from repro.optimize.result import TwoStepResult
+
+#: Version of the on-disk record layout.  Bump on incompatible changes;
+#: records written under another format version are treated as misses.
+STORE_FORMAT = 1
+
+#: File-name suffix of store records.
+RECORD_SUFFIX = ".json"
+
+#: Per-process counter making staging file names unique, so concurrent
+#: writers (threads of one process as well as separate processes, which
+#: differ by pid) never share a temp file.
+_STAGING_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One record found by :meth:`ResultStore.scan`.
+
+    Attributes
+    ----------
+    key:
+        The scenario's full canonical digest (also the file stem).
+    path:
+        Location of the record file.
+    soc_name, solver:
+        Scenario metadata recorded at :meth:`ResultStore.put` time.
+    package_version:
+        ``repro.__version__`` of the writer.
+    size_bytes:
+        Size of the record file.
+    created_at:
+        POSIX timestamp recorded at write time.
+    """
+
+    key: str
+    path: Path
+    soc_name: str
+    solver: str
+    package_version: str
+    size_bytes: int
+    created_at: float
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """Session statistics of one :class:`ResultStore` instance.
+
+    ``hits``/``misses`` count :meth:`ResultStore.get` outcomes; ``corrupt``
+    counts reads that found a record file but could not use it (bad JSON,
+    format or key mismatch, failed validation) -- each such read is also a
+    miss.  ``puts`` counts written records, ``size`` is the current number
+    of record files on disk.
+    """
+
+    hits: int
+    misses: int
+    puts: int
+    corrupt: int
+    size: int
+
+
+class ResultStore:
+    """Content-addressed persistent cache of scenario results.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the record files (created when missing).  One
+        store directory can be shared by any number of engines and
+        processes; the atomic-write discipline keeps readers safe.
+
+    Examples
+    --------
+    >>> from repro import Engine, Scenario, reference_test_cell   # doctest: +SKIP
+    >>> store = ResultStore("~/.cache/repro-store")               # doctest: +SKIP
+    >>> engine = Engine(store=store)                              # doctest: +SKIP
+
+    The second process running the same scenario gets a store hit instead
+    of re-solving it.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root).expanduser()
+        if self._root.exists() and not self._root.is_dir():
+            raise ConfigurationError(f"store path {self._root} exists and is not a directory")
+        try:
+            self._root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ConfigurationError(f"cannot create store directory {self._root}: {error}") from error
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._corrupt = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        """The store directory."""
+        return self._root
+
+    def path_for(self, scenario: "Scenario") -> Path:
+        """Record file a scenario's result is (or would be) stored at."""
+        return self._root / f"{scenario.digest}{RECORD_SUFFIX}"
+
+    def info(self) -> StoreInfo:
+        """Hit/miss/put/corruption statistics of this store instance."""
+        size = len(self)
+        with self._lock:
+            return StoreInfo(
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                corrupt=self._corrupt,
+                size=size,
+            )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._record_paths())
+
+    def __contains__(self, scenario: "Scenario") -> bool:
+        return self.path_for(scenario).is_file()
+
+    def _record_paths(self) -> Iterator[Path]:
+        try:
+            yield from sorted(self._root.glob(f"*{RECORD_SUFFIX}"))
+        except OSError:
+            return
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, scenario: "Scenario") -> "TwoStepResult | None":
+        """Return the stored result for ``scenario``, or ``None`` on a miss.
+
+        A record only counts as a hit when it parses, carries the current
+        :data:`STORE_FORMAT`, its recorded key matches the scenario's
+        digest, and its payload rebuilds into a valid result.  Everything
+        else -- including a record written under a different store format
+        or moved to the wrong file name -- is a miss.
+        """
+        path = self.path_for(scenario)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self._count(misses=1)
+            return None
+        except OSError:
+            self._count(misses=1, corrupt=1)
+            return None
+        try:
+            record = json.loads(raw)
+            if not isinstance(record, dict):
+                raise StoreError("record is not a JSON object")
+            if record.get("format") != STORE_FORMAT:
+                raise StoreError(f"unsupported store format {record.get('format')!r}")
+            if record.get("key") != scenario.digest:
+                raise StoreError("record key does not match the scenario digest")
+            result = decode_result(record["result"])
+            from repro.optimize.result import TwoStepResult
+
+            if not isinstance(result, TwoStepResult):
+                raise StoreError(
+                    f"record payload is a {type(result).__name__}, not a TwoStepResult"
+                )
+        except (json.JSONDecodeError, KeyError, ReproError, TypeError, ValueError):
+            self._count(misses=1, corrupt=1)
+            return None
+        self._count(hits=1)
+        return result
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, scenario: "Scenario", result: "TwoStepResult") -> Path:
+        """Persist ``result`` under ``scenario``'s digest; returns the path.
+
+        The record is staged in a sibling temp file and moved into place
+        with :func:`os.replace`, which is atomic on POSIX and Windows:
+        readers (including engine process-pool drivers sharing the
+        directory) either see the previous record or the complete new one.
+        """
+        from repro import __version__
+
+        record = {
+            "format": STORE_FORMAT,
+            "package_version": __version__,
+            "key": scenario.digest,
+            "created_at": time.time(),
+            "scenario": {
+                "soc": scenario.soc_name,
+                "solver": scenario.solver,
+                "description": scenario.describe(),
+            },
+            "result": encode_result(result),
+        }
+        path = self.path_for(scenario)
+        staging = path.with_name(f".{path.stem}.{os.getpid()}.{next(_STAGING_IDS)}.tmp")
+        try:
+            staging.write_text(
+                json.dumps(record, separators=(",", ":")) + "\n", encoding="utf-8"
+            )
+            os.replace(staging, path)
+        except BaseException:
+            staging.unlink(missing_ok=True)
+            raise
+        self._count(puts=1)
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def scan(self) -> tuple[StoreEntry, ...]:
+        """List every readable record, sorted by key.
+
+        Unreadable or malformed record files are skipped (and counted as
+        ``corrupt`` in :meth:`info`); scanning never raises on a dirty
+        directory.
+        """
+        entries: list[StoreEntry] = []
+        for path in self._record_paths():
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                if not isinstance(record, dict) or record.get("format") != STORE_FORMAT:
+                    raise StoreError("not a current-format record")
+                scenario = record.get("scenario") or {}
+                entries.append(
+                    StoreEntry(
+                        key=str(record["key"]),
+                        path=path,
+                        soc_name=str(scenario.get("soc", "")),
+                        solver=str(scenario.get("solver", "")),
+                        package_version=str(record.get("package_version", "")),
+                        size_bytes=path.stat().st_size,
+                        created_at=float(record.get("created_at", 0.0)),
+                    )
+                )
+            except (OSError, json.JSONDecodeError, KeyError, ValueError, ReproError):
+                self._count(corrupt=1)
+        return tuple(sorted(entries, key=lambda entry: entry.key))
+
+    def evict(self, keys: "Iterator[str] | list[str] | tuple[str, ...] | None" = None) -> int:
+        """Delete records; returns how many files were removed.
+
+        ``keys=None`` empties the store; otherwise only the named digests
+        are removed.  Missing keys are ignored (another process may have
+        evicted them first), and so are keys that do not name a plain
+        record file inside the store directory (path separators, ``..``) --
+        evict can only ever delete the store's own records.
+        """
+        if keys is None:
+            targets = list(self._record_paths())
+        else:
+            targets = []
+            for key in keys:
+                candidate = self._root / f"{key}{RECORD_SUFFIX}"
+                if candidate.parent == self._root:
+                    targets.append(candidate)
+        removed = 0
+        for path in targets:
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                continue
+            except OSError:
+                continue
+        return removed
+
+    def _count(self, hits: int = 0, misses: int = 0, puts: int = 0, corrupt: int = 0) -> None:
+        with self._lock:
+            self._hits += hits
+            self._misses += misses
+            self._puts += puts
+            self._corrupt += corrupt

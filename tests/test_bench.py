@@ -1,0 +1,159 @@
+"""Tests for the benchmark telemetry runner (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_FORMAT,
+    bench_sweep_grid,
+    default_tag,
+    report_filename,
+    results_digest,
+    run_bench,
+    summarize_report,
+    write_report,
+)
+from repro.cli import main
+from repro.core.exceptions import ConfigurationError
+from repro.solvers.registry import solver_names
+from repro.store import ResultStore
+
+
+@pytest.fixture(scope="module")
+def smoke_reports(tmp_path_factory):
+    """One cold and one warm smoke bench against a shared store."""
+    store_dir = tmp_path_factory.mktemp("bench-store")
+    cold = run_bench(tag="cold", store=ResultStore(store_dir), smoke=True)
+    warm = run_bench(tag="warm", store=ResultStore(store_dir), smoke=True)
+    return cold, warm
+
+
+class TestReportShape:
+    def test_top_level_schema(self, smoke_reports):
+        cold, _ = smoke_reports
+        from repro import __version__
+
+        assert cold["format"] == BENCH_FORMAT
+        assert cold["tag"] == "cold"
+        assert cold["package_version"] == __version__
+        assert cold["smoke"] is True
+        assert cold["store"]["enabled"] is True
+        assert cold["wall_seconds"] > 0
+        assert cold["store_info"]["puts"] > 0
+
+    def test_experiment_rows(self, smoke_reports):
+        cold, _ = smoke_reports
+        rows = {row["name"]: row for row in cold["experiments"]}
+        assert "economics" in rows
+        assert rows["economics"]["seconds"] > 0
+        assert rows["economics"]["cache"]["misses"] > 0
+
+    def test_solver_rows_cover_registry(self, smoke_reports):
+        cold, _ = smoke_reports
+        rows = {row["name"]: row for row in cold["solvers"]}
+        assert set(rows) == set(solver_names())
+        # The exhaustive oracle cannot handle the 10-module d695: it must be
+        # recorded as skipped (with the reason), not dropped or crashed.
+        assert "skipped" in rows["exhaustive"]
+        assert "8 modules" in rows["exhaustive"]["skipped"]
+        assert rows["goel05"]["optimal_sites"] >= 1
+        assert rows["goel05"]["seconds"] > 0
+
+    def test_sweep_row(self, smoke_reports):
+        cold, _ = smoke_reports
+        sweep = cold["sweep"]
+        assert sweep["scenarios"] == len(bench_sweep_grid(smoke=True)) == 4
+        assert len(sweep["digest"]) == 64
+        assert sweep["evaluate_kernel"]["misses"] >= 0
+
+    def test_report_is_json_serializable(self, smoke_reports):
+        cold, warm = smoke_reports
+        for report in (cold, warm):
+            json.loads(json.dumps(report))
+
+
+class TestWarmStore:
+    def test_warm_run_reports_store_hits(self, smoke_reports):
+        _, warm = smoke_reports
+        assert warm["sweep"]["cache"]["store_hits"] == warm["sweep"]["scenarios"]
+        assert warm["sweep"]["cache"]["misses"] == 0
+        experiment_hits = sum(
+            row["cache"]["store_hits"] for row in warm["experiments"]
+        )
+        assert experiment_hits > 0
+
+    def test_warm_run_is_bit_identical(self, smoke_reports):
+        cold, warm = smoke_reports
+        assert cold["sweep"]["digest"] == warm["sweep"]["digest"]
+
+    def test_warm_run_is_not_slower(self, smoke_reports):
+        cold, warm = smoke_reports
+        # The acceptance threshold (>= 2x) is asserted under the benchmark
+        # harness; here we only require the warm path not to regress, which
+        # keeps the unit test robust on loaded CI machines.
+        assert warm["sweep"]["seconds"] <= cold["sweep"]["seconds"]
+
+
+class TestReportFile:
+    def test_write_report_names_file_after_tag(self, tmp_path):
+        report = run_bench(tag="unit", store=ResultStore(tmp_path / "s"), smoke=True)
+        path = write_report(report, tmp_path)
+        assert path.name == report_filename(report) == "BENCH_unit.json"
+        assert json.loads(path.read_text())["tag"] == "unit"
+
+    def test_default_tag_is_package_version(self):
+        from repro import __version__
+
+        assert default_tag() == f"v{__version__}"
+
+    def test_tag_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_bench(tag="bad/tag", smoke=True)
+        with pytest.raises(ConfigurationError):
+            run_bench(tag="", smoke=True)
+
+    def test_summary_mentions_all_sections(self, smoke_reports):
+        cold, _ = smoke_reports
+        text = summarize_report(cold)
+        assert "economics" in text
+        assert "goel05" in text
+        assert "d695 sweep" in text
+        assert "digest" in text
+
+
+class TestBenchCli:
+    def test_bench_subcommand_writes_report(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--tag",
+                "cli",
+                "--store",
+                str(tmp_path / "store"),
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BENCH_cli.json" in out
+        report = json.loads((tmp_path / "BENCH_cli.json").read_text())
+        assert report["tag"] == "cli"
+        assert report["store"]["enabled"] is True
+
+    def test_bench_rejects_bad_tag(self, tmp_path, capsys):
+        code = main(["bench", "--smoke", "--tag", "a/b", "--output", str(tmp_path)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestResultsDigest:
+    def test_digest_depends_on_values(self, tmp_path):
+        from repro.api import Engine
+
+        grid = bench_sweep_grid(smoke=True)
+        results = Engine().run_batch(grid[:2])
+        assert results_digest(results) != results_digest(results[:1])
+        assert results_digest(results) == results_digest(tuple(results))

@@ -1,0 +1,108 @@
+"""Docs-sync checks: ARCHITECTURE.md and docs/cli.md track the code.
+
+CI runs these as its docs check.  They keep the two hand-written documents
+honest: every CLI sub-command (including the ones generated from the
+experiment registry) must be documented, and the architecture overview
+must keep describing the layers and extension points that actually exist.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _BUILTIN_COMMANDS, build_parser, experiment_commands
+from repro.solvers.registry import solver_names
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def architecture_text() -> str:
+    path = REPO_ROOT / "ARCHITECTURE.md"
+    assert path.is_file(), "ARCHITECTURE.md is missing from the repo root"
+    return path.read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def cli_doc_text() -> str:
+    path = REPO_ROOT / "docs" / "cli.md"
+    assert path.is_file(), "docs/cli.md is missing"
+    return path.read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def readme_text() -> str:
+    path = REPO_ROOT / "README.md"
+    assert path.is_file(), "README.md is missing from the repo root"
+    return path.read_text(encoding="utf-8")
+
+
+class TestCliDoc:
+    def test_every_subcommand_documented(self, cli_doc_text):
+        for name in _BUILTIN_COMMANDS + experiment_commands():
+            assert f"`{name}`" in cli_doc_text, (
+                f"CLI sub-command {name!r} is registered but not documented in "
+                "docs/cli.md -- document it (experiment sub-commands are "
+                "generated from the experiment registry)"
+            )
+
+    def test_no_phantom_builtins_documented(self, cli_doc_text):
+        # The doc's sub-command table links each builtin as [`name`](#name);
+        # every such anchor must correspond to a registered sub-command.
+        import re
+
+        documented = set(re.findall(r"\[`([a-z_0-9]+)`\]\(#", cli_doc_text))
+        registered = set(_BUILTIN_COMMANDS) | set(experiment_commands()) | {"experiment"}
+        unknown = documented - registered
+        assert not unknown, f"docs/cli.md documents unregistered sub-commands: {unknown}"
+
+    def test_flags_documented(self, cli_doc_text):
+        for flag in ("--solver", "--store", "--workers", "--smoke", "--tag",
+                     "--broadcast", "--max-sites"):
+            assert flag in cli_doc_text
+
+    def test_parser_and_doc_agree(self, cli_doc_text):
+        parser = build_parser()
+        actions = [
+            action for action in parser._subparsers._group_actions
+            if hasattr(action, "choices")
+        ]
+        assert actions, "CLI parser has no sub-commands?"
+        for name in actions[0].choices:
+            assert f"`{name}`" in cli_doc_text
+
+
+class TestArchitectureDoc:
+    def test_mentions_every_layer_package(self, architecture_text):
+        for package in ("core", "soc", "ate", "itc02", "wrapper", "tam", "rpct",
+                        "multisite", "optimize", "solvers", "store", "api",
+                        "bench", "experiments", "reporting"):
+            assert package in architecture_text, (
+                f"ARCHITECTURE.md no longer mentions the {package!r} package"
+            )
+
+    def test_mentions_builtin_subcommands(self, architecture_text):
+        for name in _BUILTIN_COMMANDS:
+            assert name in architecture_text, (
+                f"ARCHITECTURE.md no longer mentions the {name!r} sub-command"
+            )
+
+    def test_mentions_registered_solvers(self, architecture_text):
+        for name in solver_names():
+            assert name in architecture_text
+
+    def test_describes_cache_tiers(self, architecture_text):
+        for anchor in ("canonical_key", "digest", "ResultStore", "evaluate",
+                       "STORE_FORMAT", "register_solver", "register_experiment",
+                       "register_storable"):
+            assert anchor in architecture_text
+
+
+class TestReadme:
+    def test_links_architecture_and_cli_docs(self, readme_text):
+        assert "ARCHITECTURE.md" in readme_text
+        assert "docs/cli.md" in readme_text
+
+    def test_mentions_bench_and_store(self, readme_text):
+        assert "bench" in readme_text
+        assert "ResultStore" in readme_text
