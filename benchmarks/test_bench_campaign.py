@@ -1,0 +1,50 @@
+"""Benchmark: streaming campaign resume (the grid/run_iter/store showcase).
+
+The acceptance benchmark of the campaign layer: a cold multi-SOC sweep
+is compared against the same sweep interrupted partway and resumed from
+its store.  The resumed run must recompute only the abandoned scenarios,
+reproduce the cold run's results **bit-identically** (order-insensitive
+digest over the exact values) and come in at least twice as fast -- in
+practice far faster, since it swaps most optimisations for JSON decoding.
+"""
+
+from __future__ import annotations
+
+from repro.bench.campaign import campaign_grid, run_campaign
+
+from conftest import run_once
+
+
+def test_resumed_campaign_at_least_2x_faster(benchmark, tmp_path):
+    record = run_once(benchmark, run_campaign, tmp_path)
+    benchmark.extra_info.update(record)
+
+    grid = campaign_grid()
+    assert record["scenarios"] == len(grid)
+    # The interruption left exactly the consumed prefix in the store ...
+    assert 0 < record["interrupted_after"] < record["scenarios"]
+    assert record["resume_store_hits"] == record["interrupted_after"]
+    # ... so the resume recomputed only the abandoned remainder ...
+    assert record["resume_recomputed"] == (
+        record["scenarios"] - record["interrupted_after"]
+    )
+    # ... reproduced the cold results bit-identically ...
+    assert record["digests_match"], (
+        f"cold digest {record['cold_digest']} != resumed {record['resumed_digest']}"
+    )
+    # ... and at least halved the wall clock.
+    assert record["speedup"] >= 2.0, (
+        f"resume speedup {record['speedup']:.2f}x below the 2x floor "
+        f"(cold {record['cold_seconds']:.3f}s, resume {record['resume_seconds']:.3f}s)"
+    )
+    print(
+        f"\ncampaign: {record['scenarios']} scenarios, interrupted after "
+        f"{record['interrupted_after']}; cold {record['cold_seconds']:.3f}s, "
+        f"resume {record['resume_seconds']:.3f}s ({record['speedup']:.1f}x)"
+    )
+
+
+def test_smoke_campaign_grid_collects():
+    """The smoke variant stays small (CI budget) but still interruptible."""
+    assert 4 <= len(campaign_grid(smoke=True)) <= 8
+    assert len(campaign_grid()) > len(campaign_grid(smoke=True))

@@ -29,7 +29,7 @@ from repro import (
     Scenario,
     TestCell,
 )
-from repro.core.units import kilo_vectors
+from repro.core.units import kilo_vectors, mega_vectors
 from repro.wrapper import design_wrapper
 
 
@@ -136,6 +136,27 @@ def main() -> None:
         print(
             f"  {ate.channels:4d} channels, {item.scenario.solver:8s}: "
             f"{item.optimal_sites:3d} sites, {item.optimal_throughput:8.0f} devices/hour"
+        )
+    print()
+
+    # 7. Campaign scale: a lazy SweepGrid over name-addressable catalog
+    #    SOCs (here a deterministic synthetic family), sharded and
+    #    streamed -- results arrive in completion order, and with a
+    #    store-backed engine each one would persist immediately.
+    from repro import SweepGrid, synthetic_family
+
+    campaign = SweepGrid(
+        synthetic_family(42, count=4, modules=5),
+        cell.with_depth(mega_vectors(1.0)),
+        channels=[64, 128],
+    )
+    shard = campaign.shard(0, 2)  # this machine's half of the grid
+    print(f"campaign {campaign.describe()}, running shard 0/2:")
+    for item in engine.run_iter(shard):
+        print(
+            f"  {item.soc_name:15s} @ {item.scenario.test_cell.ate.channels:3d} "
+            f"channels: {item.optimal_sites:3d} sites, "
+            f"{item.optimal_throughput:8.0f} devices/hour"
         )
 
 

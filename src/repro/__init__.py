@@ -24,6 +24,29 @@ in-process result cache::
                           broadcast=[False, True])
     results = Engine().run_batch(grid, workers=4)
 
+For campaign-scale sweeps the same grids exist in lazy form
+(:class:`SweepGrid <repro.api.grid.SweepGrid>`): they iterate scenarios on
+demand, shard into disjoint slices for distributed runs, and stream
+through ``Engine.run_iter``, which yields results as they complete and
+persists each one immediately -- so an interrupted sweep resumes from its
+store, recomputing only what never finished::
+
+    from repro import SweepGrid, synthetic_family
+
+    grid = SweepGrid(["d695", "pnx8550", *synthetic_family(42, 10, 8)],
+                     cell, channels=[128, 256])
+    for outcome in Engine(store="~/.cache/repro-store").run_iter(
+            grid.shard(0, 4), workers=4):
+        print(outcome.describe())
+
+The SOC axis is name-addressable through the catalog
+(:mod:`repro.soc.catalog`): ITC'02 benchmarks, ``pnx8550``, parametric
+synthetic families (``"synthetic:<seed>:<modules>"``) and anything
+registered via :func:`register_catalog_soc
+<repro.soc.catalog.register_catalog_soc>`.  The CLI form is ``python -m
+repro sweep``, which streams JSONL records with ``--shard I/N`` and
+store-backed ``--resume``.
+
 The optimisation strategy itself is pluggable (:mod:`repro.solvers`): the
 paper's greedy two-step is the ``"goel05"`` backend, ``"exhaustive"`` is an
 exact oracle for small SOCs, and ``"restart"`` is a deterministic
@@ -65,8 +88,13 @@ re-exported here.
 from repro.api import (
     CacheInfo,
     Engine,
+    FilteredGrid,
+    Grid,
+    GridShard,
+    GridUnion,
     Scenario,
     ScenarioResult,
+    SweepGrid,
     TestCell,
     batch_throughput_series,
     optimize_scenario,
@@ -94,19 +122,38 @@ from repro.optimize import (
     design_step1_only,
     optimize_multisite,
 )
-from repro.soc import Module, ScanChain, Soc, SocBuilder, make_module, make_pnx8550, make_synthetic_soc
+from repro.soc import (
+    CatalogEntry,
+    Module,
+    ScanChain,
+    Soc,
+    SocBuilder,
+    catalog_names,
+    list_catalog,
+    make_module,
+    make_pnx8550,
+    make_synthetic_soc,
+    register_catalog_soc,
+    synthetic_family,
+    synthetic_soc_name,
+)
 from repro.schedule import TestSchedule, build_schedule
 from repro.store import ResultStore, StoreEntry, StoreInfo
 from repro.tam import TestArchitecture, design_architecture
 from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CacheInfo",
     "Engine",
+    "FilteredGrid",
+    "Grid",
+    "GridShard",
+    "GridUnion",
     "Scenario",
     "ScenarioResult",
+    "SweepGrid",
     "TestCell",
     "batch_throughput_series",
     "optimize_scenario",
@@ -138,13 +185,19 @@ __all__ = [
     "TwoStepResult",
     "design_step1_only",
     "optimize_multisite",
+    "CatalogEntry",
     "Module",
     "ScanChain",
     "Soc",
     "SocBuilder",
+    "catalog_names",
+    "list_catalog",
     "make_module",
     "make_pnx8550",
     "make_synthetic_soc",
+    "register_catalog_soc",
+    "synthetic_family",
+    "synthetic_soc_name",
     "TestSchedule",
     "build_schedule",
     "ResultStore",

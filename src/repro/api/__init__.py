@@ -8,12 +8,17 @@ This package is the canonical way to drive the reproduction:
   description of one optimisation run (including the solver backend that
   executes it), with :meth:`Scenario.sweep
   <repro.api.scenario.Scenario.sweep>` expanding cartesian parameter grids;
-* :class:`~repro.api.engine.Engine` -- executes scenarios serially or as
-  parallel batches (``run_batch(scenarios, workers=N)``) with an in-process
-  memo cache keyed on the scenario's canonical hash (optionally LRU-bounded
-  via ``max_entries``), and optionally backed by a persistent
-  :class:`~repro.store.ResultStore` (``Engine(store=...)``) that shares
-  solved scenarios across processes and sessions.
+* :class:`~repro.api.grid.SweepGrid` -- the lazy, composable form of the
+  same grids (sharding via :meth:`~repro.api.grid.Grid.shard`, union via
+  ``|``, filtering), sized for streaming campaigns over many SOCs;
+* :class:`~repro.api.engine.Engine` -- executes scenarios serially, as
+  parallel batches (``run_batch(scenarios, workers=N)``) or as a stream
+  (``run_iter(grid, workers=N)`` yields results in completion order and
+  persists each one immediately, making interrupted campaigns resumable),
+  with an in-process memo cache keyed on the scenario's canonical hash
+  (optionally LRU-bounded via ``max_entries``), and optionally backed by a
+  persistent :class:`~repro.store.ResultStore` (``Engine(store=...)``)
+  that shares solved scenarios across processes and sessions.
 
 Scenarios route through the solver registry (:mod:`repro.solvers`):
 ``Scenario(solver="restart")`` swaps the paper's greedy two-step for any
@@ -31,14 +36,20 @@ from repro.api.engine import (
     batch_throughput_series,
     optimize_scenario,
 )
+from repro.api.grid import FilteredGrid, Grid, GridShard, GridUnion, SweepGrid
 from repro.api.scenario import Scenario, resolve_soc
 from repro.api.testcell import TestCell, reference_test_cell
 
 __all__ = [
     "CacheInfo",
     "Engine",
+    "FilteredGrid",
+    "Grid",
+    "GridShard",
+    "GridUnion",
     "Scenario",
     "ScenarioResult",
+    "SweepGrid",
     "TestCell",
     "batch_throughput_series",
     "optimize_scenario",

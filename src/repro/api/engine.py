@@ -7,10 +7,15 @@
   in-process cache keyed on the scenario's canonical hash, so repeated runs
   of the same scenario (also via different call sites, e.g. two experiments
   sweeping over the same operating point) cost one optimisation;
-* :meth:`Engine.run_batch` executes many scenarios, fanning the cache
-  misses out over a ``concurrent.futures`` process pool.  The two-step
-  algorithm is deterministic, so batch results are bit-identical to serial
-  ones regardless of worker count or completion order.
+* :meth:`Engine.run_iter` is the streaming form: it accepts any scenario
+  iterable (typically a lazy :class:`~repro.api.grid.SweepGrid`), fans the
+  cache misses out over a ``concurrent.futures`` process pool and *yields*
+  results as they complete, writing each one to the persistent store the
+  moment it exists -- so a killed campaign is resumable from the store;
+* :meth:`Engine.run_batch` is the ordered wrapper over :meth:`run_iter`:
+  it collects the stream and returns results in input order.  The
+  two-step algorithm is deterministic, so batch results are bit-identical
+  to serial ones regardless of worker count or completion order.
 
 An engine can additionally be backed by a persistent
 :class:`~repro.store.ResultStore` (``Engine(store=...)``): scenarios not in
@@ -28,10 +33,10 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.api.scenario import Scenario
 from repro.api.testcell import TestCell
@@ -291,53 +296,133 @@ class Engine:
         self._store(key, result)
         return result
 
-    def run_batch(
+    def run_iter(
         self,
-        scenarios: Sequence[Scenario],
+        scenarios: "Iterable[Scenario]",
         workers: int | None = None,
-    ) -> tuple[ScenarioResult, ...]:
-        """Execute many scenarios, in the input order.
+    ) -> Iterator[ScenarioResult]:
+        """Execute a scenario stream, yielding results as they complete.
 
-        Cache misses (checked against the in-memory tier, then the
-        persistent store when configured) are deduplicated (equal scenarios
-        run once) and fanned out over a process pool of ``workers``
-        processes; ``workers=None`` falls back to the engine default, and
-        ``1`` runs serially in process.  Computed results are written back
-        to the store from the driving process only, so pool workers never
-        contend for record files.  Results are bit-identical to serial
-        :meth:`run` calls, with or without a store.
+        The input may be any scenario iterable -- a list, a lazy
+        :class:`~repro.api.grid.SweepGrid` or one of its shards.  The
+        stream is processed in two phases:
+
+        1. **Dedup / warm tier scan** -- every scenario is checked against
+           the in-memory cache and then the persistent store; hits are
+           yielded immediately (in input order), equal scenarios are
+           collapsed onto one computation.
+        2. **Fan-out** -- the remaining misses run on a process pool of
+           ``workers`` processes (``None`` = engine default, ``1`` =
+           serial in-process) and are yielded *in completion order*, not
+           submission order.
+
+        Each computed result is written to both cache tiers the moment it
+        completes, so an interrupted campaign loses only in-flight work: a
+        rerun against the same store serves every finished scenario from
+        phase 1 and recomputes nothing twice.  Exceptions raised by the
+        optimisation tasks propagate unchanged, whatever their type.
+        """
+        pairs = ((scenario.canonical_key(), scenario) for scenario in scenarios)
+        for _key, record in self._stream(pairs, workers):
+            yield record
+
+    def _stream(
+        self,
+        pairs: "Iterable[tuple[tuple, Scenario]]",
+        workers: int | None,
+    ) -> Iterator[tuple[tuple, ScenarioResult]]:
+        """Shared streaming core: ``(key, scenario)`` in, ``(key, result)`` out.
+
+        Both :meth:`run_iter` and :meth:`run_batch` run through here with
+        their canonical keys computed exactly once per scenario.
         """
         if workers is not None and workers <= 0:
             raise ConfigurationError(f"worker count must be positive, got {workers}")
-        scenarios = list(scenarios)
         effective_workers = workers if workers is not None else (self._workers or 1)
 
-        # Resolve cache and store hits, deduplicating the remaining work.
-        keys = [scenario.canonical_key() for scenario in scenarios]
+        # Phase 1: resolve warm tiers up front, deduplicating the misses.
+        # Duplicates of pending keys are tracked aside, and duplicates of
+        # already-yielded keys are re-fetched through `_recall`, so neither
+        # counts extra cache hits or extra computations.  Only keys are
+        # retained for the yielded set -- not results -- so a bounded
+        # engine stays bounded through arbitrarily long streams.
         pending: dict[tuple, Scenario] = {}
-        resolved: dict[tuple, ScenarioResult] = {}
-        for scenario, key in zip(scenarios, keys):
-            if key in resolved or key in pending:
+        duplicates: dict[tuple, list[Scenario]] = {}
+        yielded: set[tuple] = set()
+        for key, scenario in pairs:
+            if key in pending:
+                duplicates.setdefault(key, []).append(scenario)
+                continue
+            if key in yielded:
+                yield key, self._deliver(scenario, self._recall(key, scenario))
                 continue
             cached = self._lookup(key)
             if cached is None:
                 cached = self._lookup_store(key, scenario)
             if cached is not None:
-                resolved[key] = cached
+                yielded.add(key)
+                yield key, self._deliver(scenario, cached)
             else:
                 pending[key] = scenario
 
+        # Phase 2: compute the misses, persisting and yielding each result
+        # as soon as it exists.
         todo = list(pending.items())
         worker_count = min(effective_workers, len(todo))
         if worker_count > 1:
             outcomes = self._map_parallel(_execute, [s for _, s in todo], worker_count)
         else:
-            outcomes = [_execute(scenario) for _, scenario in todo]
-        for (key, scenario), outcome in zip(todo, outcomes):
+            outcomes = ((i, _execute(s)) for i, (_, s) in enumerate(todo))
+        for index, outcome in outcomes:
+            key, scenario = todo[index]
             record = ScenarioResult(scenario=scenario, result=outcome)
             self._store(key, record)
-            resolved[key] = record
+            yield key, record
+            for duplicate in duplicates.get(key, ()):
+                yield key, self._deliver(duplicate, record)
 
+    def _recall(self, key: tuple, scenario: Scenario) -> ScenarioResult:
+        """Re-fetch a result already served earlier in the same stream.
+
+        Used for duplicate inputs whose first occurrence was a warm hit.
+        Statistics are deliberately not re-counted (batch semantics: equal
+        scenarios in one call are one lookup).  The compute fallback only
+        triggers when a bounded cache evicted the record mid-stream and no
+        store holds it; determinism makes the recomputed result identical.
+        """
+        if self._cache_enabled:
+            with self._lock:
+                cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        if self._result_store is not None:
+            result = self._result_store.get(scenario)
+            if result is not None:
+                return ScenarioResult(scenario=scenario, result=result)
+        return ScenarioResult(scenario=scenario, result=_execute(scenario))
+
+    def run_batch(
+        self,
+        scenarios: Sequence[Scenario],
+        workers: int | None = None,
+    ) -> tuple[ScenarioResult, ...]:
+        """Execute many scenarios, returning results in the input order.
+
+        A re-ordering wrapper over the :meth:`run_iter` stream: it drains
+        completely, then delivers results in input order.  Cache misses
+        are deduplicated (equal scenarios run once) and fanned out over a
+        process pool of ``workers`` processes; ``workers=None`` falls back
+        to the engine default, and ``1`` runs serially in process.
+        Computed results are written back to the store from the driving
+        process only, so pool workers never contend for record files.
+        Results are bit-identical to serial :meth:`run` calls, with or
+        without a store.
+        """
+        scenarios = list(scenarios)
+        keys = [scenario.canonical_key() for scenario in scenarios]
+        resolved: dict[tuple, ScenarioResult] = {}
+        for key, record in self._stream(zip(keys, scenarios), workers):
+            resolved[key] = record
         return tuple(
             self._deliver(scenario, resolved[key])
             for scenario, key in zip(scenarios, keys)
@@ -348,28 +433,53 @@ class Engine:
         function: Callable[[Scenario], TwoStepResult],
         scenarios: Sequence[Scenario],
         workers: int,
-    ) -> list[TwoStepResult]:
-        """Map over scenarios with a process pool, falling back to serial.
+    ) -> Iterator[tuple[int, TwoStepResult]]:
+        """Map over scenarios with a process pool, yielding in completion order.
 
-        The fallback covers sandboxed platforms where multiprocessing
-        primitives are unavailable (pool construction fails) or the pool
-        dies at bootstrap (workers killed by resource limits --
+        A generator of ``(index, result)`` pairs -- indices into
+        ``scenarios``, emitted as the pool finishes them, which is what
+        lets :meth:`run_iter` stream.  Falls back to serial execution on
+        sandboxed platforms where multiprocessing primitives are
+        unavailable (pool construction fails) or where the pool dies
+        mid-batch (workers killed by resource limits --
         ``BrokenExecutor``); the batch then still completes, just without
-        the speed-up.  Exceptions raised by the optimisation *tasks*
+        the speed-up, recomputing only the scenarios the pool had not
+        finished.  Exceptions raised by the optimisation *tasks*
         themselves -- whatever their type -- propagate unchanged, exactly
         as in serial execution: they surface from ``future.result()`` with
-        their original class, which the fallback deliberately not catches.
+        their original class, which the fallbacks deliberately do not
+        catch.
         """
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
         except (OSError, PermissionError, ImportError):
-            return [function(scenario) for scenario in scenarios]
+            for index, scenario in enumerate(scenarios):
+                yield index, function(scenario)
+            return
+        completed: set[int] = set()
+        broken = False
         try:
-            with pool:
-                futures = [pool.submit(function, scenario) for scenario in scenarios]
-                return [future.result() for future in futures]
-        except BrokenExecutor:
-            return [function(scenario) for scenario in scenarios]
+            try:
+                futures = {
+                    pool.submit(function, scenario): index
+                    for index, scenario in enumerate(scenarios)
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    result = future.result()
+                    completed.add(index)
+                    yield index, result
+            except BrokenExecutor:
+                broken = True
+        finally:
+            # On normal exhaustion nothing is pending and this returns
+            # immediately; on abandonment (consumer stopped early) or a
+            # broken pool it prevents queued tasks from being started.
+            pool.shutdown(wait=False, cancel_futures=True)
+        if broken:
+            for index, scenario in enumerate(scenarios):
+                if index not in completed:
+                    yield index, function(scenario)
 
 
 def optimize_scenario(

@@ -1,0 +1,299 @@
+"""Lazy sweep grids: declarative scenario spaces for streaming campaigns.
+
+:class:`SweepGrid` is the value form of :meth:`Scenario.sweep
+<repro.api.scenario.Scenario.sweep>`: a frozen description of a cartesian
+parameter grid (SOCs x channels x depths x broadcast x site limits x
+solvers) that expands into :class:`~repro.api.scenario.Scenario` objects
+*lazily*.  Where ``Scenario.sweep`` materialises the whole list up front,
+a grid only builds the scenario the consumer is currently looking at, so
+campaign-scale spaces (dozens of SOCs x dozens of operating points) cost
+O(1) memory to describe, shard and stream through
+:meth:`Engine.run_iter <repro.api.engine.Engine.run_iter>`.
+
+Grids compose:
+
+* :meth:`Grid.shard` splits any grid into ``count`` disjoint, jointly
+  complete slices for distributed execution (shard ``i`` takes every
+  ``count``-th scenario starting at offset ``i``, so the slices stay
+  balanced even when the grid orders cheap and expensive scenarios
+  together);
+* ``grid_a | grid_b`` concatenates grids (duplicate scenarios are fine:
+  the engine deduplicates at execution time);
+* :meth:`Grid.filter` keeps only the scenarios a predicate accepts.
+
+Iteration order is deterministic for every grid type, which is what makes
+sharding well-defined: two processes that build the same grid value see
+the same scenario at the same index.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.api.scenario import Scenario
+from repro.api.testcell import TestCell
+from repro.core.exceptions import ConfigurationError
+from repro.optimize.config import OptimizationConfig
+from repro.soc.soc import Soc
+from repro.solvers.registry import DEFAULT_SOLVER
+
+
+class Grid:
+    """Base of all grid types: a deterministic, lazily-iterated scenario space.
+
+    Subclasses implement ``__iter__`` (and ``__len__`` where the size is
+    known without expanding scenarios); everything else -- sharding, union,
+    filtering, materialisation -- is shared here.
+    """
+
+    def __iter__(self) -> Iterator[Scenario]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def __or__(self, other: "Grid") -> "GridUnion":
+        """Concatenate two grids (``self`` first, then ``other``).
+
+        Duplicates are *not* removed -- detecting them would force scenario
+        expansion, and the engine already deduplicates equal scenarios at
+        execution time.
+        """
+        if not isinstance(other, Grid):
+            return NotImplemented
+        parts: list[Grid] = []
+        for grid in (self, other):
+            parts.extend(grid.parts if isinstance(grid, GridUnion) else (grid,))
+        return GridUnion(parts=tuple(parts))
+
+    def filter(self, predicate: Callable[[Scenario], bool]) -> "FilteredGrid":
+        """Lazy sub-grid of the scenarios ``predicate`` accepts."""
+        return FilteredGrid(source=self, predicate=predicate)
+
+    def shard(self, index: int, count: int) -> "GridShard":
+        """Slice ``index`` (0-based) of a disjoint ``count``-way partition.
+
+        Shard ``index`` contains every scenario whose position in the
+        grid's deterministic iteration order is congruent to ``index``
+        modulo ``count``; the ``count`` shards are pairwise disjoint and
+        jointly cover the grid exactly.
+        """
+        if count <= 0:
+            raise ConfigurationError(f"shard count must be positive, got {count}")
+        if not 0 <= index < count:
+            raise ConfigurationError(
+                f"shard index must be in [0, {count}), got {index}"
+            )
+        return GridShard(source=self, index=index, count=count)
+
+    def scenarios(self) -> list[Scenario]:
+        """Materialise the grid as a scenario list (the eager escape hatch)."""
+        return list(self)
+
+
+@dataclass(frozen=True, init=False)
+class SweepGrid(Grid):
+    """A frozen cartesian scenario grid with named axes.
+
+    The constructor accepts exactly the arguments of :meth:`Scenario.sweep
+    <repro.api.scenario.Scenario.sweep>` (scalars are promoted to
+    single-value axes, omitted axes keep the base ``test_cell`` /
+    ``config`` values) and normalises them into tuples, so two grids built
+    from equal arguments compare equal.  Expansion order matches
+    ``Scenario.sweep`` exactly: SOCs vary slowest, then channels, depths,
+    broadcast, site limits, and solvers.
+
+    >>> from repro.api.testcell import reference_test_cell
+    >>> grid = SweepGrid("d695", reference_test_cell(), channels=[128, 256])
+    >>> len(grid)
+    2
+    >>> [s.test_cell.ate.channels for s in grid]
+    [128, 256]
+    """
+
+    socs: tuple  # tuple[Soc | str, ...]
+    test_cell: TestCell
+    channels: tuple = (None,)
+    depths: tuple = (None,)
+    broadcast: tuple = (None,)
+    max_sites: tuple = (None,)
+    config: OptimizationConfig = field(default_factory=OptimizationConfig)
+    solvers: tuple = (DEFAULT_SOLVER,)
+
+    def __init__(
+        self,
+        socs: Soc | str | Sequence[Soc | str],
+        test_cell: TestCell,
+        *,
+        channels: Sequence[int] | None = None,
+        depths: Sequence[int] | None = None,
+        broadcast: Sequence[bool] | bool | None = None,
+        max_sites: Sequence[int | None] | None = None,
+        config: OptimizationConfig | None = None,
+        solvers: Sequence[str] | str | None = None,
+    ) -> None:
+        base_config = config or OptimizationConfig()
+        if isinstance(socs, (Soc, str)):
+            soc_axis: tuple = (socs,)
+        else:
+            soc_axis = tuple(socs)
+        if not soc_axis:
+            raise ConfigurationError("scenario sweep needs at least one SOC")
+
+        channel_axis = tuple(channels) if channels is not None else (None,)
+        depth_axis = tuple(depths) if depths is not None else (None,)
+        if broadcast is None:
+            broadcast_axis: tuple = (None,)
+        elif isinstance(broadcast, bool):
+            broadcast_axis = (broadcast,)
+        else:
+            broadcast_axis = tuple(broadcast)
+        sites_axis = (
+            tuple(max_sites) if max_sites is not None else (base_config.max_sites,)
+        )
+        if solvers is None:
+            solver_axis: tuple = (DEFAULT_SOLVER,)
+        elif isinstance(solvers, str):
+            solver_axis = (solvers,)
+        else:
+            solver_axis = tuple(solvers)
+        for axis, label in (
+            (channel_axis, "channels"),
+            (depth_axis, "depths"),
+            (broadcast_axis, "broadcast"),
+            (sites_axis, "max_sites"),
+            (solver_axis, "solvers"),
+        ):
+            if not axis:
+                raise ConfigurationError(f"scenario sweep axis {label!r} must not be empty")
+
+        object.__setattr__(self, "socs", soc_axis)
+        object.__setattr__(self, "test_cell", test_cell)
+        object.__setattr__(self, "channels", channel_axis)
+        object.__setattr__(self, "depths", depth_axis)
+        object.__setattr__(self, "broadcast", broadcast_axis)
+        object.__setattr__(self, "max_sites", sites_axis)
+        object.__setattr__(self, "config", base_config)
+        object.__setattr__(self, "solvers", solver_axis)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def axes(self) -> dict[str, tuple]:
+        """The grid's axes by name, slowest-varying first."""
+        return {
+            "socs": self.socs,
+            "channels": self.channels,
+            "depths": self.depths,
+            "broadcast": self.broadcast,
+            "max_sites": self.max_sites,
+            "solvers": self.solvers,
+        }
+
+    def __len__(self) -> int:
+        total = 1
+        for axis in self.axes.values():
+            total *= len(axis)
+        return total
+
+    def describe(self) -> str:
+        """One-line summary used by progress output and logs."""
+        shape = " x ".join(str(len(axis)) for axis in self.axes.values())
+        names = ",".join(
+            soc if isinstance(soc, str) else soc.name for soc in self.socs[:4]
+        )
+        if len(self.socs) > 4:
+            names += f",... ({len(self.socs)} SOCs)"
+        return f"grid[{names}; shape {shape} = {len(self)} scenarios]"
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def _build(self, soc, channel_count, depth, shared, site_limit, solver) -> Scenario:
+        cell = self.test_cell
+        if channel_count is not None:
+            cell = cell.with_channels(channel_count)
+        if depth is not None:
+            cell = cell.with_depth(depth)
+        run_config = self.config
+        if shared is not None and shared != run_config.broadcast:
+            run_config = run_config.with_broadcast(shared)
+        if site_limit != run_config.max_sites:
+            run_config = run_config.with_site_limit(site_limit)
+        return Scenario(soc=soc, test_cell=cell, config=run_config, solver=solver)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        for point in itertools.product(*self.axes.values()):
+            yield self._build(*point)
+
+    def scenario_at(self, index: int) -> Scenario:
+        """Random access: the scenario at ``index`` in iteration order."""
+        size = len(self)
+        if not 0 <= index < size:
+            raise ConfigurationError(f"grid index must be in [0, {size}), got {index}")
+        point = []
+        for axis in reversed(list(self.axes.values())):
+            index, offset = divmod(index, len(axis))
+            point.append(axis[offset])
+        return self._build(*reversed(point))
+
+    def __getitem__(self, index: int) -> Scenario:
+        return self.scenario_at(index)
+
+
+@dataclass(frozen=True)
+class GridUnion(Grid):
+    """Concatenation of grids, in order (built by ``grid_a | grid_b``)."""
+
+    parts: tuple  # tuple[Grid, ...]
+
+    def __iter__(self) -> Iterator[Scenario]:
+        for part in self.parts:
+            yield from part
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class GridShard(Grid):
+    """One slice of a ``count``-way strided partition of ``source``.
+
+    Works on any grid type (including unions and filtered grids) because
+    it needs nothing but the source's deterministic iteration order.
+    """
+
+    source: Grid
+    index: int
+    count: int
+
+    def __iter__(self) -> Iterator[Scenario]:
+        for position, scenario in enumerate(self.source):
+            if position % self.count == self.index:
+                yield scenario
+
+    def __len__(self) -> int:
+        size = len(self.source)  # raises TypeError for unsized sources
+        full, rest = divmod(size, self.count)
+        return full + (1 if self.index < rest else 0)
+
+
+@dataclass(frozen=True)
+class FilteredGrid(Grid):
+    """Lazy sub-grid of the scenarios a predicate accepts.
+
+    The size of a filtered grid is unknowable without expanding it, so it
+    deliberately has no ``__len__``; ``len(grid.filter(p).scenarios())``
+    is the explicit way to count.
+    """
+
+    source: Grid
+    predicate: Callable[[Scenario], bool]
+
+    def __iter__(self) -> Iterator[Scenario]:
+        for scenario in self.source:
+            if self.predicate(scenario):
+                yield scenario

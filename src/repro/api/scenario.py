@@ -11,13 +11,14 @@ results across call sites.
 
 :meth:`Scenario.sweep` expands cartesian parameter grids (benchmarks x
 channels x depths x sites x broadcast x solvers) into scenario lists for
-batch execution.
+batch execution; it is a thin materialising shim over the lazy
+:class:`~repro.api.grid.SweepGrid`, which is the streaming-campaign form
+of the same grid.
 """
 
 from __future__ import annotations
 
 import hashlib
-import itertools
 from dataclasses import dataclass, replace
 from typing import Sequence
 
@@ -29,25 +30,25 @@ from repro.solvers.registry import DEFAULT_SOLVER
 
 
 def resolve_soc(soc: Soc | str) -> Soc:
-    """Resolve a SOC reference: a :class:`Soc`, a benchmark name or ``"pnx8550"``.
+    """Resolve a SOC reference: a :class:`Soc` object or a catalog name.
+
+    String references are resolved through the SOC catalog
+    (:mod:`repro.soc.catalog`): registered ITC'02 benchmarks, ``pnx8550``,
+    parametric synthetic specs (``synthetic:<seed>:<modules>``) and any
+    SOC registered via :func:`~repro.soc.catalog.register_catalog_soc`.
 
     Raises
     ------
     ConfigurationError
-        When a string reference names neither ``"pnx8550"`` nor a registered
-        ITC'02 benchmark.
+        When a string reference names nothing the catalog can resolve.
     """
     if isinstance(soc, Soc):
         return soc
     # Imported lazily so that building scenario lists does not parse any
     # benchmark file until the SOC is actually needed.
-    if soc.lower() == "pnx8550":
-        from repro.soc.pnx8550 import make_pnx8550
+    from repro.soc.catalog import resolve_catalog_soc
 
-        return make_pnx8550()
-    from repro.itc02.registry import load_benchmark
-
-    return load_benchmark(soc)
+    return resolve_catalog_soc(soc)
 
 
 @dataclass(frozen=True, eq=False)
@@ -148,6 +149,10 @@ class Scenario:
     # ------------------------------------------------------------------
     # Derived scenarios
     # ------------------------------------------------------------------
+    def with_soc(self, soc: Soc | str) -> "Scenario":
+        """Return a copy targeting a different SOC (object or catalog name)."""
+        return replace(self, soc=soc)
+
     def with_channels(self, channels: int) -> "Scenario":
         """Return a copy whose ATE has ``channels`` channels."""
         return replace(self, test_cell=self.test_cell.with_channels(channels))
@@ -163,6 +168,10 @@ class Scenario:
     def with_solver(self, solver: str) -> "Scenario":
         """Return a copy executed by a different solver backend."""
         return replace(self, solver=solver)
+
+    def with_sites(self, max_sites: int | None) -> "Scenario":
+        """Return a copy with a different equipment limit on the site count."""
+        return replace(self, config=self.config.with_site_limit(max_sites))
 
     def describe(self) -> str:
         """One-line summary used by reports and logs.
@@ -207,57 +216,19 @@ class Scenario:
         >>> len(Scenario.sweep("d695", cell, solvers=["goel05", "restart"]))
         2
         """
-        base_config = config or OptimizationConfig()
-        soc_axis: Sequence[Soc | str]
-        if isinstance(socs, (Soc, str)):
-            soc_axis = [socs]
-        else:
-            soc_axis = list(socs)
-        if not soc_axis:
-            raise ConfigurationError("scenario sweep needs at least one SOC")
+        # The grid layer owns expansion now; this shim materialises it so
+        # the classic list-returning signature keeps working unchanged.
+        from repro.api.grid import SweepGrid
 
-        channel_axis: Sequence[int | None] = list(channels) if channels is not None else [None]
-        depth_axis: Sequence[int | None] = list(depths) if depths is not None else [None]
-        if broadcast is None:
-            broadcast_axis: Sequence[bool | None] = [None]
-        elif isinstance(broadcast, bool):
-            broadcast_axis = [broadcast]
-        else:
-            broadcast_axis = list(broadcast)
-        sites_axis: Sequence[int | None] = (
-            list(max_sites) if max_sites is not None else [base_config.max_sites]
-        )
-        if solvers is None:
-            solver_axis: Sequence[str] = [DEFAULT_SOLVER]
-        elif isinstance(solvers, str):
-            solver_axis = [solvers]
-        else:
-            solver_axis = list(solvers)
-        for axis, label in (
-            (channel_axis, "channels"),
-            (depth_axis, "depths"),
-            (broadcast_axis, "broadcast"),
-            (sites_axis, "max_sites"),
-            (solver_axis, "solvers"),
-        ):
-            if not axis:
-                raise ConfigurationError(f"scenario sweep axis {label!r} must not be empty")
-
-        scenarios: list[Scenario] = []
-        for soc, channel_count, depth, shared, site_limit, solver in itertools.product(
-            soc_axis, channel_axis, depth_axis, broadcast_axis, sites_axis, solver_axis
-        ):
-            cell = test_cell
-            if channel_count is not None:
-                cell = cell.with_channels(channel_count)
-            if depth is not None:
-                cell = cell.with_depth(depth)
-            run_config = base_config
-            if shared is not None and shared != run_config.broadcast:
-                run_config = run_config.with_broadcast(shared)
-            if site_limit != run_config.max_sites:
-                run_config = run_config.with_site_limit(site_limit)
-            scenarios.append(
-                cls(soc=soc, test_cell=cell, config=run_config, solver=solver)
+        return list(
+            SweepGrid(
+                socs,
+                test_cell,
+                channels=channels,
+                depths=depths,
+                broadcast=broadcast,
+                max_sites=max_sites,
+                config=config,
+                solvers=solvers,
             )
-        return scenarios
+        )

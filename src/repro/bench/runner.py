@@ -12,7 +12,11 @@ performance story and returns one JSON-ready report:
   (e.g. the exhaustive oracle on a 10-module SOC) are recorded as skipped,
   not as failures;
 * **sweep** -- the d695 design-space sweep (channels x depths x broadcast),
-  the workload the persistent store amortises across runs.
+  the workload the persistent store amortises across runs;
+* **campaign** -- the streaming multi-SOC campaign
+  (:mod:`repro.bench.campaign`): a cold sweep over a synthetic SOC family
+  versus the same sweep interrupted partway and resumed from its store,
+  recording the resume speedup and digest equality.
 
 Every section records wall-clock seconds plus the engine's
 :class:`~repro.api.engine.CacheInfo`, and the sweep section additionally
@@ -31,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import platform
+import tempfile
 import time
 from dataclasses import asdict
 from pathlib import Path
@@ -107,6 +112,18 @@ def results_digest(results: Sequence[ScenarioResult]) -> str:
     return digest.hexdigest()
 
 
+def sweep_digest(results: Sequence[ScenarioResult]) -> str:
+    """Order-insensitive digest over a sweep's exact result values.
+
+    Sorts by scenario digest before hashing, so two runs over the same
+    grid that finished in different orders (streaming yields in
+    completion order; shards interleave) still compare equal exactly when
+    their results are bit-identical.  This is the digest `repro sweep`
+    prints and the campaign benchmark compares.
+    """
+    return results_digest(sorted(results, key=lambda record: record.scenario.digest))
+
+
 def _cache_record(engine: Engine) -> dict[str, Any]:
     return asdict(engine.cache_info())
 
@@ -180,6 +197,19 @@ def _bench_sweep(
     }
 
 
+def _bench_campaign(smoke: bool, workers: int | None) -> dict[str, Any]:
+    """Time the streaming campaign (cold vs interrupted-and-resumed sweep).
+
+    The campaign manages its own throwaway stores -- interruption and
+    resume are the thing being measured, so it never shares the session's
+    ``--store`` directory.
+    """
+    from repro.bench.campaign import run_campaign
+
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as work_dir:
+        return run_campaign(work_dir, smoke=smoke, workers=workers)
+
+
 def run_bench(
     tag: str | None = None,
     store: ResultStore | str | Path | None = None,
@@ -231,6 +261,7 @@ def run_bench(
         "experiments": _bench_experiments(experiments, store),
         "solvers": _bench_solvers(store),
         "sweep": _bench_sweep(store, smoke, workers),
+        "campaign": _bench_campaign(smoke, workers),
     }
     report["store_info"] = asdict(store.info()) if store is not None else None
     report["wall_seconds"] = time.perf_counter() - started
@@ -293,5 +324,14 @@ def summarize_report(report: dict[str, Any]) -> str:
         f"(store hits {cache['store_hits']}, misses {cache['misses']})"
     )
     lines.append(f"  sweep digest: {sweep['digest']}")
+    campaign = report["campaign"]
+    digests = "identical" if campaign["digests_match"] else "DIFFER"
+    lines.append(
+        f"  campaign: {campaign['scenarios']} scenarios cold in "
+        f"{campaign['cold_seconds']:.3f}s; interrupted after "
+        f"{campaign['interrupted_after']}, resumed in "
+        f"{campaign['resume_seconds']:.3f}s ({campaign['speedup']:.1f}x, "
+        f"{campaign['resume_store_hits']} store hits, digests {digests})"
+    )
     lines.append(f"  total wall time: {report['wall_seconds']:.3f}s")
     return "\n".join(lines)

@@ -5,7 +5,11 @@ Installed as ``repro-multisite`` (see ``setup.py``) and runnable as
 
 * ``design``     -- run the two-step algorithm for one SOC / ATE and print the
   resulting infrastructure and throughput (``--solver`` picks the backend);
-* ``benchmarks`` -- list the registered ITC'02 benchmarks;
+* ``sweep``      -- stream a scenario grid (SOCs x channels x depths x
+  broadcast x sites x solvers) as JSONL, with sharding (``--shard I/N``)
+  and store-backed resumability (``--store`` / ``--resume``);
+* ``benchmarks`` -- list the catalog SOCs (ITC'02 benchmarks, ``pnx8550``,
+  the synthetic family pattern);
 * ``solvers``    -- list the registered solver backends;
 * ``bench``      -- time experiments/solvers/sweeps and write ``BENCH_<tag>.json``;
 * ``all``        -- regenerate the full experiment report (slow);
@@ -30,29 +34,33 @@ with examples lives in ``docs/cli.md``.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 from typing import Sequence
 
 from repro.api.engine import Engine
+from repro.api.grid import Grid, SweepGrid
 from repro.api.scenario import Scenario
-from repro.api.testcell import TestCell
+from repro.api.testcell import TestCell, reference_test_cell
 from repro.ate.probe_station import ProbeStation
 from repro.ate.spec import AteSpec
-from repro.bench.runner import run_bench, summarize_report, write_report
-from repro.core.exceptions import ReproError
+from repro.bench.runner import run_bench, summarize_report, sweep_digest, write_report
+from repro.core.exceptions import ConfigurationError, ReproError
 from repro.core.units import mega_vectors
 from repro.experiments.registry import list_experiments, render_experiment, run_experiment
 from repro.experiments.runner import run_all_experiments
 from repro.itc02.parser import parse_soc_file
 from repro.itc02.registry import list_benchmarks
 from repro.optimize.config import Objective, OptimizationConfig
+from repro.soc.catalog import SYNTHETIC_PATTERN, list_catalog
 from repro.soc.soc import Soc
 from repro.solvers.registry import DEFAULT_SOLVER, list_solvers
 from repro.store.result_store import ResultStore
 
 #: Sub-commands with bespoke handlers; every other sub-command is generated
 #: from (and dispatched through) the experiment registry.
-_BUILTIN_COMMANDS = ("design", "benchmarks", "solvers", "bench", "all")
+_BUILTIN_COMMANDS = ("design", "sweep", "benchmarks", "solvers", "bench", "all")
 
 
 def experiment_commands() -> tuple[str, ...]:
@@ -166,6 +174,149 @@ def _design_scenario(args: argparse.Namespace) -> Scenario:
     )
 
 
+def _add_sweep_parser(
+    subparsers: argparse._SubParsersAction, store_options: argparse.ArgumentParser
+) -> None:
+    parser = subparsers.add_parser(
+        "sweep",
+        parents=[store_options],
+        help="stream a scenario grid as JSONL (sharding, store-backed resume)",
+    )
+    parser.add_argument(
+        "socs",
+        nargs="+",
+        metavar="SOC",
+        help="catalog SOC names (benchmark, 'pnx8550', 'synthetic:<seed>:<modules>') "
+        "or paths to .soc files",
+    )
+    parser.add_argument(
+        "--channels", type=int, nargs="+", default=None, metavar="N",
+        help="ATE channel axis (default: the reference 512)",
+    )
+    parser.add_argument(
+        "--depth-m", dest="depths_m", type=float, nargs="+", default=None, metavar="M",
+        help="vector-memory depth axis in M vectors (default: the reference 7)",
+    )
+    parser.add_argument(
+        "--frequency-mhz", type=float, default=5.0, help="test clock in MHz (default 5)"
+    )
+    parser.add_argument(
+        "--broadcast", choices=("off", "on", "both"), default="off",
+        help="broadcast axis: off (default), on, or both variants",
+    )
+    parser.add_argument(
+        "--max-sites", type=int, nargs="+", default=None, metavar="N",
+        help="site-limit axis (default: unlimited)",
+    )
+    parser.add_argument(
+        "--solvers", nargs="+", default=None, metavar="NAME",
+        help=f"solver-backend axis (default {DEFAULT_SOLVER!r}; see 'solvers')",
+    )
+    parser.add_argument(
+        "--shard", metavar="I/N", default=None,
+        help="run only slice I (0-based) of a disjoint N-way grid partition",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the miss fan-out (default: serial)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from its --store directory "
+        "(finished scenarios are served from disk, only the rest compute)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default="-",
+        help="JSONL destination, one result record per line as it completes "
+        "(default '-': stdout)",
+    )
+
+
+def _parse_shard(spec: str) -> tuple[int, int]:
+    """Parse a ``--shard I/N`` argument into ``(index, count)``."""
+    index_text, _, count_text = spec.partition("/")
+    try:
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed shard spec {spec!r}; expected I/N, e.g. 0/4"
+        ) from None
+    return index, count
+
+
+def _sweep_grid(args: argparse.Namespace) -> Grid:
+    """Build the (possibly sharded) grid the ``sweep`` sub-command runs."""
+    cell = reference_test_cell(frequency_mhz=args.frequency_mhz)
+    broadcast = {"off": None, "on": True, "both": (False, True)}[args.broadcast]
+    grid: Grid = SweepGrid(
+        [_resolve_soc_argument(spec) for spec in args.socs],
+        cell,
+        channels=args.channels,
+        depths=(
+            [mega_vectors(depth) for depth in args.depths_m]
+            if args.depths_m is not None
+            else None
+        ),
+        broadcast=broadcast,
+        max_sites=args.max_sites,
+        solvers=args.solvers,
+    )
+    if args.shard is not None:
+        grid = grid.shard(*_parse_shard(args.shard))
+    return grid
+
+
+@contextlib.contextmanager
+def _open_output(spec: str):
+    """The sweep's JSONL sink: stdout for ``-``, else the named file."""
+    if spec == "-":
+        yield sys.stdout, sys.stderr
+    else:
+        with open(spec, "w", encoding="utf-8") as sink:
+            yield sink, sys.stdout
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """Stream the grid: JSONL records as they complete, then a digest line.
+
+    Progress goes to stderr and the summary (counts, digest) to stdout --
+    unless the JSONL itself goes to stdout (``--output -``), in which case
+    the summary moves to stderr to keep the record stream clean.
+    """
+    if args.resume and not args.store:
+        raise ConfigurationError("--resume needs the --store directory to resume from")
+    grid = _sweep_grid(args)
+    total = len(grid)
+    engine = Engine(store=ResultStore(args.store) if args.store else None)
+    results = []
+    with _open_output(args.output) as (sink, info_out):
+        before = engine.cache_info()
+        for record in engine.run_iter(grid, workers=args.workers):
+            info = engine.cache_info()
+            source = (
+                "store"
+                if info.store_hits > before.store_hits
+                else ("cache" if info.hits > before.hits else "computed")
+            )
+            before = info
+            print(json.dumps(record.to_record(), sort_keys=True), file=sink, flush=True)
+            print(
+                f"[{len(results) + 1}/{total}] {record.describe()}  [{source}]",
+                file=sys.stderr,
+                flush=True,
+            )
+            results.append(record)
+        info = engine.cache_info()
+        verb = "resumed" if args.resume else "swept"
+        print(
+            f"{verb} {len(results)} scenarios: {info.misses} computed, "
+            f"{info.store_hits} from store, {info.hits} from cache",
+            file=info_out,
+        )
+        print(f"sweep digest: {sweep_digest(results)}", file=info_out)
+    return 0
+
+
 def _add_bench_parser(
     subparsers: argparse._SubParsersAction, store_options: argparse.ArgumentParser
 ) -> None:
@@ -232,16 +383,28 @@ def _run_design(args: argparse.Namespace) -> int:
 
 
 def _run_benchmarks(_: argparse.Namespace) -> int:
+    benchmark_names = set()
     for info in list_benchmarks():
+        benchmark_names.add(info.name)
         origin = "synthetic reconstruction" if info.synthetic else "published data"
         print(f"{info.name:10s} {info.modules:3d} modules  [{origin}]  {info.description}")
+    # The rest of the catalog: pnx8550 plus anything user-registered, each
+    # with its registry description, and the parametric synthetic family.
+    for entry in list_catalog():
+        if entry.name not in benchmark_names:
+            print(f"{entry.name:10s} [catalog]  {entry.description}")
+    print(
+        f"{SYNTHETIC_PATTERN}  parametric family of deterministic synthetic "
+        "SOCs (any seed, any module count)"
+    )
     return 0
 
 
 def _run_solvers(_: argparse.Namespace) -> int:
     for solver in list_solvers():
         marker = "  [default]" if solver.name == DEFAULT_SOLVER else ""
-        print(f"{solver.name:12s} {solver.title}{marker}")
+        description = f" -- {solver.description}" if solver.description else ""
+        print(f"{solver.name:12s} {solver.title}{description}{marker}")
     return 0
 
 
@@ -267,7 +430,8 @@ def build_parser() -> argparse.ArgumentParser:
     store_options = _store_options()
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_design_parser(subparsers, store_options)
-    subparsers.add_parser("benchmarks", help="list the registered ITC'02 benchmarks")
+    _add_sweep_parser(subparsers, store_options)
+    subparsers.add_parser("benchmarks", help="list the catalog SOCs (benchmarks + synthetic family)")
     subparsers.add_parser("solvers", help="list the registered solver backends")
     _add_bench_parser(subparsers, store_options)
     experiments = {experiment.name: experiment for experiment in list_experiments()}
@@ -290,6 +454,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "design":
             return _run_design(args)
+        if args.command == "sweep":
+            return _run_sweep(args)
         if args.command == "benchmarks":
             return _run_benchmarks(args)
         if args.command == "solvers":

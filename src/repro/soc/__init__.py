@@ -17,6 +17,15 @@ from repro.soc.synthetic import (
     total_min_area,
 )
 from repro.soc.pnx8550 import make_pnx8550
+from repro.soc.catalog import (
+    CatalogEntry,
+    catalog_names,
+    list_catalog,
+    register_catalog_soc,
+    resolve_catalog_soc,
+    synthetic_family,
+    synthetic_soc_name,
+)
 
 __all__ = [
     "Module",
@@ -35,4 +44,11 @@ __all__ = [
     "make_synthetic_soc",
     "total_min_area",
     "make_pnx8550",
+    "CatalogEntry",
+    "catalog_names",
+    "list_catalog",
+    "register_catalog_soc",
+    "resolve_catalog_soc",
+    "synthetic_family",
+    "synthetic_soc_name",
 ]

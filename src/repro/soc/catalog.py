@@ -1,0 +1,242 @@
+"""Name-addressable SOC catalog: every SOC the system can reach by string.
+
+Before this module existed, :func:`repro.api.scenario.resolve_soc`
+hard-wired exactly two string forms -- ``"pnx8550"`` and the registered
+ITC'02 benchmark names -- so the scenario space was capped at five chips.
+The catalog unifies *all* name-addressable SOCs behind one lookup:
+
+* the ITC'02 benchmarks (``d695``, ``p22810``, ``p34392``, ``p93791``),
+  delegated to :mod:`repro.itc02.registry`;
+* ``pnx8550``, the paper's synthetic Philips SOC model;
+* parametric synthetic families: any name of the form
+  ``synthetic:<seed>:<modules>`` resolves to a deterministic
+  :func:`~repro.soc.synthetic.make_synthetic_soc` chip with ``<modules>``
+  modules generated from ``<seed>`` -- an unbounded supply of SOCs that
+  sweep grids can span by string (see :func:`synthetic_family`);
+* anything user code registers via :func:`register_catalog_soc`.
+
+Every resolution path is cached, so resolving the same name repeatedly
+(scenario canonical keys do this constantly) builds each SOC once per
+process.  Names are case-insensitive, matching the benchmark registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.core.exceptions import ConfigurationError
+from repro.soc.soc import Soc
+from repro.soc.synthetic import (
+    LogicModuleProfile,
+    MemoryModuleProfile,
+    make_synthetic_soc,
+)
+
+#: Name prefix of parametric synthetic SOC specs.
+SYNTHETIC_PREFIX = "synthetic"
+
+#: Human-readable form of the synthetic spec, used in listings and errors.
+SYNTHETIC_PATTERN = "synthetic:<seed>:<modules>"
+
+#: Best-case test-data area per module used to calibrate catalog synthetics.
+#: Scaling with the module count keeps every family member in the same
+#: operating regime on the reference ATE, whatever its size.
+SYNTHETIC_AREA_PER_MODULE = 400_000
+
+#: Module-size profiles of catalog synthetics: deliberately compact modules
+#: (short scan chains, modest pattern counts) so family members are
+#: feasible from ~0.5 M vectors of ATE depth upward and solve quickly --
+#: these chips exist to scale *campaigns*, not to stress single solves.
+SYNTHETIC_LOGIC_PROFILE = LogicModuleProfile(
+    median_flipflops=800,
+    sigma_flipflops=0.9,
+    min_flipflops=50,
+    max_flipflops=8_000,
+    median_patterns=150,
+    sigma_patterns=0.8,
+    min_patterns=20,
+    max_patterns=1_500,
+    target_chain_length=200,
+)
+SYNTHETIC_MEMORY_PROFILE = MemoryModuleProfile(
+    median_patterns=100,
+    min_patterns=10,
+    max_patterns=800,
+)
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One named SOC the catalog can resolve.
+
+    ``loader`` builds (or returns a cached) :class:`Soc`; ``description``
+    is the one-liner shown by CLI listings.
+    """
+
+    name: str
+    description: str
+    loader: Callable[[], Soc]
+
+
+_EXTRA: dict[str, CatalogEntry] = {}
+
+
+def register_catalog_soc(
+    name: str, description: str
+) -> Callable[[Callable[[], Soc]], Callable[[], Soc]]:
+    """Function decorator registering a SOC loader under ``name``.
+
+    The name becomes resolvable by every string-accepting surface:
+    ``Scenario(soc=name)``, grid SOC axes, and the CLI.
+
+    >>> @register_catalog_soc("mychip", description="demo")   # doctest: +SKIP
+    ... def _load_mychip() -> Soc:
+    ...     ...
+    """
+    if not name:
+        raise ConfigurationError("catalog SOC name must be non-empty")
+    key = name.lower()
+
+    def decorator(loader: Callable[[], Soc]) -> Callable[[], Soc]:
+        if key in _EXTRA or key in _builtin_entries():
+            raise ConfigurationError(f"catalog SOC {name!r} is already registered")
+        if key.split(":", 1)[0] == SYNTHETIC_PREFIX:
+            raise ConfigurationError(
+                f"catalog SOC name {name!r} collides with the reserved "
+                f"{SYNTHETIC_PATTERN} family"
+            )
+        _EXTRA[key] = CatalogEntry(name=key, description=description, loader=loader)
+        return loader
+
+    return decorator
+
+
+@lru_cache(maxsize=1)
+def _builtin_entries() -> dict[str, CatalogEntry]:
+    """The always-available entries: ITC'02 benchmarks + pnx8550.
+
+    Cached: this sits on the scenario canonical-key hot path (every
+    string-SOC ``canonical_key()`` resolves through the catalog), and the
+    benchmark registry is static.
+    """
+    from repro.itc02.registry import list_benchmarks, load_benchmark
+    from repro.soc.pnx8550 import make_pnx8550
+
+    entries: dict[str, CatalogEntry] = {}
+    for info in list_benchmarks():
+        entries[info.name] = CatalogEntry(
+            name=info.name,
+            description=info.description,
+            loader=lambda name=info.name: load_benchmark(name),
+        )
+    entries["pnx8550"] = CatalogEntry(
+        name="pnx8550",
+        description="Philips PNX8550 model (62 logic + 212 memory modules), "
+        "the paper's single-chip subject",
+        loader=make_pnx8550,
+    )
+    return entries
+
+
+def parse_synthetic_spec(name: str) -> tuple[int, int] | None:
+    """Parse a ``synthetic:<seed>:<modules>`` spec into ``(seed, modules)``.
+
+    Returns ``None`` for names outside the ``synthetic:`` family; raises
+    :class:`ConfigurationError` for names inside it that are malformed,
+    so typos fail loudly instead of falling through to "unknown SOC".
+    """
+    parts = name.lower().split(":")
+    if parts[0] != SYNTHETIC_PREFIX:
+        return None
+    if len(parts) != 3:
+        raise ConfigurationError(
+            f"malformed synthetic SOC spec {name!r}; expected {SYNTHETIC_PATTERN}"
+        )
+    try:
+        seed, modules = int(parts[1]), int(parts[2])
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed synthetic SOC spec {name!r}; seed and module count "
+            f"must be integers ({SYNTHETIC_PATTERN})"
+        ) from None
+    if seed < 0:
+        raise ConfigurationError(f"synthetic SOC seed must be non-negative, got {seed}")
+    if modules <= 0:
+        raise ConfigurationError(
+            f"synthetic SOC module count must be positive, got {modules}"
+        )
+    return seed, modules
+
+
+def synthetic_soc_name(seed: int, modules: int) -> str:
+    """The canonical catalog name of one synthetic SOC."""
+    return f"{SYNTHETIC_PREFIX}:{seed}:{modules}"
+
+
+def synthetic_family(seed: int, count: int, modules: int) -> tuple[str, ...]:
+    """Catalog names of a family of ``count`` synthetic SOCs.
+
+    Family members share the module count but differ in seed
+    (``seed .. seed + count - 1``), so they populate a sweep's SOC axis
+    with structurally similar yet distinct chips::
+
+        grid = SweepGrid(synthetic_family(42, count=10, modules=8), cell, ...)
+    """
+    if count <= 0:
+        raise ConfigurationError(f"synthetic family size must be positive, got {count}")
+    return tuple(synthetic_soc_name(seed + offset, modules) for offset in range(count))
+
+
+@lru_cache(maxsize=None)
+def _make_synthetic(seed: int, modules: int) -> Soc:
+    """Build (once per process) the SOC a synthetic spec names."""
+    num_memory = modules // 4
+    num_logic = modules - num_memory
+    return make_synthetic_soc(
+        name=synthetic_soc_name(seed, modules),
+        num_logic=num_logic,
+        num_memory=num_memory,
+        seed=seed,
+        target_min_area=modules * SYNTHETIC_AREA_PER_MODULE,
+        logic_profile=SYNTHETIC_LOGIC_PROFILE,
+        memory_profile=SYNTHETIC_MEMORY_PROFILE,
+    )
+
+
+def catalog_names() -> tuple[str, ...]:
+    """Names of every *fixed* catalog entry, sorted.
+
+    The synthetic family is parametric (unbounded), so it is not listed
+    here; see :data:`SYNTHETIC_PATTERN`.
+    """
+    return tuple(sorted({**_builtin_entries(), **_EXTRA}))
+
+
+def list_catalog() -> tuple[CatalogEntry, ...]:
+    """Every fixed catalog entry with its description, sorted by name."""
+    entries = {**_builtin_entries(), **_EXTRA}
+    return tuple(entries[name] for name in sorted(entries))
+
+
+def resolve_catalog_soc(name: str) -> Soc:
+    """Resolve a catalog name into a :class:`Soc`.
+
+    Raises
+    ------
+    ConfigurationError
+        When the name is malformed or names nothing in the catalog.
+    """
+    spec = parse_synthetic_spec(name)
+    if spec is not None:
+        return _make_synthetic(*spec)
+    key = name.lower()
+    entry = _EXTRA.get(key) or _builtin_entries().get(key)
+    if entry is None:
+        known = ", ".join(catalog_names())
+        raise ConfigurationError(
+            f"unknown benchmark or catalog SOC {name!r}; "
+            f"known: {known}, {SYNTHETIC_PATTERN}"
+        )
+    return entry.loader()

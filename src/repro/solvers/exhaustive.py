@@ -71,7 +71,12 @@ def _minimal_group(
     return None
 
 
-@register_solver("exhaustive", title="Exact partition enumeration (small SOCs only)")
+@register_solver(
+    "exhaustive",
+    title="Exact partition enumeration (small SOCs only)",
+    description="Enumerates every channel-group partition; the correctness "
+    "oracle, refuses SOCs with more than 8 modules",
+)
 def solve_exhaustive(problem: TestInfraProblem) -> TwoStepResult:
     """Exhaustively search channel-group partitions for the best design.
 

@@ -17,7 +17,12 @@ from repro.solvers.problem import TestInfraProblem
 from repro.solvers.registry import register_solver
 
 
-@register_solver("goel05", title="Greedy two-step heuristic of the paper (default)")
+@register_solver(
+    "goel05",
+    title="Greedy two-step heuristic of the paper (default)",
+    description="Step 1 greedy channel-group assignment, Step 2 linear "
+    "site-count search; the algorithm of Goel & Marinissen (DATE 2005)",
+)
 def solve_goel05(problem: TestInfraProblem) -> TwoStepResult:
     """Run the paper's two-step algorithm on ``problem``.
 

@@ -38,11 +38,16 @@ DEFAULT_SOLVER = "goel05"
 
 @dataclass(frozen=True)
 class Solver:
-    """One registered solver backend."""
+    """One registered solver backend.
+
+    ``title`` is the short label, ``description`` the one-line explanation
+    CLI listings print next to it.
+    """
 
     name: str
     title: str
     backend: SolverBackend
+    description: str = ""
 
     def solve(self, problem: TestInfraProblem) -> SolverSolution:
         """Solve ``problem`` and wrap the outcome as a :class:`SolverSolution`."""
@@ -52,8 +57,12 @@ class Solver:
 _REGISTRY: dict[str, Solver] = {}
 
 
-def register_solver(name: str, title: str) -> Callable[[SolverBackend], SolverBackend]:
+def register_solver(
+    name: str, title: str, description: str = ""
+) -> Callable[[SolverBackend], SolverBackend]:
     """Function decorator registering a solver backend under ``name``.
+
+    ``description`` is the one-line explanation shown by ``repro solvers``.
 
     >>> @register_solver("demo", title="Demo backend")   # doctest: +SKIP
     ... def _solve_demo(problem):
@@ -65,7 +74,9 @@ def register_solver(name: str, title: str) -> Callable[[SolverBackend], SolverBa
     def decorator(backend: SolverBackend) -> SolverBackend:
         if name in _REGISTRY:
             raise ConfigurationError(f"solver {name!r} is already registered")
-        _REGISTRY[name] = Solver(name=name, title=title, backend=backend)
+        _REGISTRY[name] = Solver(
+            name=name, title=title, backend=backend, description=description
+        )
         return backend
 
     return decorator

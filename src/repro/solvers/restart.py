@@ -92,7 +92,12 @@ def solve_with_restarts(
     return best
 
 
-@register_solver("restart", title="Randomized multi-start greedy (deterministic seed)")
+@register_solver(
+    "restart",
+    title="Randomized multi-start greedy (deterministic seed)",
+    description="Re-runs the greedy assignment over shuffled module orders "
+    "and keeps the best design; never worse than goel05",
+)
 def solve_restart(problem: TestInfraProblem) -> TwoStepResult:
     """Solve with the default restart budget and seed."""
     return solve_with_restarts(problem)

@@ -90,6 +90,39 @@ class TestScenarioIdentity:
         assert resolve_soc("pnx8550").name == "pnx8550"
 
 
+class TestScenarioDerivation:
+    def test_with_sites(self, cell):
+        base = Scenario(soc="d695", test_cell=cell)
+        limited = base.with_sites(4)
+        assert limited.config.max_sites == 4
+        assert base.config.max_sites is None  # immutability
+        assert limited.with_sites(None).config.max_sites is None
+
+    def test_with_soc(self, cell):
+        base = Scenario(soc="d695", test_cell=cell)
+        moved = base.with_soc("p22810")
+        assert moved.soc_name == "p22810"
+        assert moved.test_cell == base.test_cell
+        assert base.soc_name == "d695"
+
+    def test_with_soc_accepts_objects(self, cell):
+        soc = load_benchmark("d695")
+        assert Scenario(soc="p22810", test_cell=cell).with_soc(soc).soc is soc
+
+    def test_with_helpers_compose(self, cell):
+        scenario = (
+            Scenario(soc="d695", test_cell=cell)
+            .with_soc("p22810")
+            .with_channels(128)
+            .with_sites(6)
+            .with_solver("restart")
+        )
+        assert scenario.soc_name == "p22810"
+        assert scenario.test_cell.ate.channels == 128
+        assert scenario.config.max_sites == 6
+        assert scenario.solver == "restart"
+
+
 class TestScenarioSweep:
     def test_cartesian_expansion_count(self, cell):
         grid = Scenario.sweep(

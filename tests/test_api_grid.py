@@ -1,0 +1,188 @@
+"""Unit tests for the lazy grid layer (SweepGrid, shard, union, filter)."""
+
+import itertools
+
+import pytest
+
+from repro.api import Engine, Scenario, SweepGrid, TestCell, reference_test_cell
+from repro.api.grid import FilteredGrid, GridShard, GridUnion
+from repro.core.exceptions import ConfigurationError
+from repro.core.units import kilo_vectors
+from repro.optimize.config import OptimizationConfig
+from repro.soc.catalog import synthetic_family
+
+
+@pytest.fixture(scope="module")
+def cell() -> TestCell:
+    return reference_test_cell(channels=256, depth_m=0.0625)
+
+
+@pytest.fixture(scope="module")
+def grid(cell) -> SweepGrid:
+    return SweepGrid(
+        "d695",
+        cell,
+        channels=[128, 256],
+        depths=[kilo_vectors(48), kilo_vectors(64)],
+        broadcast=[False, True],
+    )
+
+
+class TestSweepGrid:
+    def test_matches_scenario_sweep(self, cell, grid):
+        eager = Scenario.sweep(
+            "d695",
+            cell,
+            channels=[128, 256],
+            depths=[kilo_vectors(48), kilo_vectors(64)],
+            broadcast=[False, True],
+        )
+        assert list(grid) == eager
+
+    def test_sweep_shim_returns_list(self, cell):
+        shim = Scenario.sweep("d695", cell, channels=[128, 256])
+        assert isinstance(shim, list)
+        assert shim == list(SweepGrid("d695", cell, channels=[128, 256]))
+
+    def test_len_is_axis_product(self, grid):
+        assert len(grid) == 2 * 2 * 2
+
+    def test_iteration_is_lazy(self, cell):
+        # A grid over an unknown SOC name can be built, sized and sharded;
+        # only expanding scenarios would touch the name, and even then
+        # resolution only happens at run time.
+        grid = SweepGrid("no-such-benchmark", cell, channels=range(1, 1001))
+        assert len(grid) == 1000
+        first = next(iter(grid))
+        assert first.soc_name == "no-such-benchmark"
+
+    def test_equal_arguments_compare_equal(self, cell):
+        first = SweepGrid("d695", cell, channels=[128, 256])
+        second = SweepGrid("d695", cell, channels=(128, 256))
+        assert first == second
+
+    def test_scalar_axes_promoted(self, cell):
+        grid = SweepGrid("d695", cell, broadcast=True, solvers="restart")
+        (only,) = list(grid)
+        assert only.config.broadcast
+        assert only.solver == "restart"
+
+    def test_omitted_axes_keep_base_values(self, cell):
+        (only,) = list(SweepGrid("d695", cell))
+        assert only.test_cell == cell
+        assert only.config == OptimizationConfig()
+
+    def test_scenario_at_matches_iteration(self, grid):
+        expanded = list(grid)
+        for index in range(len(grid)):
+            assert grid.scenario_at(index) == expanded[index]
+            assert grid[index] == expanded[index]
+
+    def test_scenario_at_out_of_range(self, grid):
+        with pytest.raises(ConfigurationError, match="grid index"):
+            grid.scenario_at(len(grid))
+        with pytest.raises(ConfigurationError, match="grid index"):
+            grid.scenario_at(-1)
+
+    def test_empty_axes_rejected(self, cell):
+        with pytest.raises(ConfigurationError):
+            SweepGrid([], cell)
+        for axis in ("channels", "depths", "broadcast", "max_sites", "solvers"):
+            with pytest.raises(ConfigurationError, match=axis):
+                SweepGrid("d695", cell, **{axis: []})
+
+    def test_describe_mentions_shape(self, grid):
+        text = grid.describe()
+        assert "d695" in text and str(len(grid)) in text
+
+    def test_frozen(self, grid):
+        with pytest.raises(AttributeError):
+            grid.channels = (512,)
+
+
+class TestShard:
+    def test_disjoint_complete_partition_over_catalog(self, cell):
+        # The acceptance grid: ITC'02 benchmarks + pnx8550 + a synthetic
+        # family -- 11 catalog SOCs, addressed purely by name.
+        names = ("d695", "p22810", "p34392", "p93791", "pnx8550") + synthetic_family(
+            7, count=6, modules=8
+        )
+        assert len(names) >= 10
+        grid = SweepGrid(names, cell, channels=[64, 128])
+        shards = [grid.shard(index, 4) for index in range(4)]
+        assert sum(len(shard) for shard in shards) == len(grid)
+        labels = [
+            [(s.soc_name, s.test_cell.ate.channels) for s in shard] for shard in shards
+        ]
+        flat = list(itertools.chain.from_iterable(labels))
+        assert len(flat) == len(grid)
+        assert len(set(flat)) == len(grid), "shards overlap"
+        assert set(flat) == {(s.soc_name, s.test_cell.ate.channels) for s in grid}
+
+    def test_shard_lengths_balanced(self, grid):
+        shards = [grid.shard(index, 3) for index in range(3)]
+        assert [len(shard) for shard in shards] == [3, 3, 2]
+
+    def test_single_shard_is_whole_grid(self, grid):
+        assert list(grid.shard(0, 1)) == list(grid)
+
+    def test_invalid_shards_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.shard(0, 0)
+        with pytest.raises(ConfigurationError):
+            grid.shard(2, 2)
+        with pytest.raises(ConfigurationError):
+            grid.shard(-1, 2)
+
+    def test_shard_of_union(self, cell):
+        union = SweepGrid("d695", cell, channels=[64, 128]) | SweepGrid(
+            "p22810", cell, channels=[64]
+        )
+        shards = [union.shard(index, 2) for index in range(2)]
+        assert isinstance(shards[0], GridShard)
+        merged = list(shards[0]) + list(shards[1])
+        assert len(merged) == len(union) == 3
+
+
+class TestUnionAndFilter:
+    def test_union_concatenates_in_order(self, cell):
+        first = SweepGrid("d695", cell, channels=[64])
+        second = SweepGrid("p22810", cell, channels=[128])
+        union = first | second
+        assert isinstance(union, GridUnion)
+        assert [s.soc_name for s in union] == ["d695", "p22810"]
+        assert len(union) == 2
+
+    def test_union_flattens(self, cell):
+        grids = [SweepGrid(name, cell) for name in ("d695", "p22810", "p34392")]
+        union = grids[0] | grids[1] | grids[2]
+        assert len(union.parts) == 3
+        assert [s.soc_name for s in union] == ["d695", "p22810", "p34392"]
+
+    def test_union_with_non_grid_rejected(self, cell):
+        with pytest.raises(TypeError):
+            SweepGrid("d695", cell) | ["not a grid"]
+
+    def test_filter_keeps_matching_scenarios(self, grid):
+        narrow = grid.filter(lambda s: s.test_cell.ate.channels == 128)
+        assert isinstance(narrow, FilteredGrid)
+        picked = narrow.scenarios()
+        assert len(picked) == 4
+        assert all(s.test_cell.ate.channels == 128 for s in picked)
+
+    def test_filtered_grid_has_no_len(self, grid):
+        with pytest.raises(TypeError):
+            len(grid.filter(lambda s: True))
+
+    def test_scenarios_materialises(self, grid):
+        assert grid.scenarios() == list(grid)
+
+
+class TestGridExecution:
+    def test_engine_accepts_grid_directly(self, cell):
+        grid = SweepGrid("d695", cell, channels=[128, 256])
+        streamed = sorted(
+            Engine().run_iter(grid), key=lambda r: r.scenario.test_cell.ate.channels
+        )
+        batch = Engine().run_batch(list(grid))
+        assert [r.result for r in streamed] == [r.result for r in batch]

@@ -1,18 +1,26 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.itc02.writer import write_soc_file
+
+#: A fast sweep space: two tiny synthetic catalog SOCs, two channel counts.
+SWEEP_ARGS = [
+    "sweep", "synthetic:7:4", "synthetic:8:4",
+    "--channels", "48", "64", "--depth-m", "1",
+]
 
 
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("design", "benchmarks", "solvers", "table1", "figure5",
-                        "figure6", "figure7", "economics", "solver_comparison",
-                        "all"):
+        for command in ("design", "sweep", "benchmarks", "solvers", "table1",
+                        "figure5", "figure6", "figure7", "economics",
+                        "solver_comparison", "all"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -79,6 +87,21 @@ class TestCommands:
         assert "[default]" in out
         assert len(out.strip().splitlines()) >= 3
 
+    def test_solvers_command_prints_descriptions(self, capsys):
+        from repro.solvers.registry import list_solvers
+
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for solver in list_solvers():
+            assert solver.description
+            assert solver.description in out
+
+    def test_benchmarks_command_lists_catalog_extras(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "pnx8550" in out
+        assert "synthetic:<seed>:<modules>" in out
+
     def test_design_command_with_solver(self, capsys):
         exit_code = main([
             "design", "d695", "--channels", "128", "--depth-m", "0.125",
@@ -94,3 +117,110 @@ class TestCommands:
         ])
         assert exit_code == 1
         assert "unknown solver" in capsys.readouterr().err
+
+    def test_design_command_on_synthetic_catalog_soc(self, capsys):
+        exit_code = main(["design", "synthetic:7:4", "--channels", "64", "--depth-m", "1"])
+        assert exit_code == 0
+        assert "synthetic:7:4" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def _read_jsonl(self, path):
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    def test_registered_with_grid_flags(self):
+        args = build_parser().parse_args(SWEEP_ARGS + ["--shard", "1/2", "--resume"])
+        assert args.command == "sweep"
+        assert args.channels == [48, 64]
+        assert args.shard == "1/2"
+        assert args.resume
+
+    def test_streams_jsonl_records(self, tmp_path, capsys):
+        output = tmp_path / "sweep.jsonl"
+        assert main(SWEEP_ARGS + ["--output", str(output)]) == 0
+        records = self._read_jsonl(output)
+        assert len(records) == 4
+        assert {record["soc"] for record in records} == {"synthetic:7:4", "synthetic:8:4"}
+        assert {record["ate_channels"] for record in records} == {48, 64}
+        captured = capsys.readouterr()
+        assert "sweep digest:" in captured.out
+        assert "[4/4]" in captured.err  # progress lines on stderr
+
+    def test_jsonl_to_stdout_keeps_summary_on_stderr(self, capsys):
+        assert main(SWEEP_ARGS) == 0
+        captured = capsys.readouterr()
+        for line in captured.out.strip().splitlines():
+            json.loads(line)  # stdout is pure JSONL
+        assert "sweep digest:" in captured.err
+
+    def test_shards_partition_the_grid(self, tmp_path, capsys):
+        full = tmp_path / "full.jsonl"
+        assert main(SWEEP_ARGS + ["--output", str(full)]) == 0
+        shard_keys: list[str] = []
+        for index in range(2):
+            part = tmp_path / f"shard{index}.jsonl"
+            assert main(
+                SWEEP_ARGS + ["--shard", f"{index}/2", "--output", str(part)]
+            ) == 0
+            shard_keys.extend(r["scenario_key"] for r in self._read_jsonl(part))
+        full_keys = [r["scenario_key"] for r in self._read_jsonl(full)]
+        assert sorted(shard_keys) == sorted(full_keys)
+        assert len(set(shard_keys)) == len(shard_keys)
+        capsys.readouterr()
+
+    def test_store_backed_rerun_is_all_store_hits(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        cold = tmp_path / "cold.jsonl"
+        warm = tmp_path / "warm.jsonl"
+        assert main(SWEEP_ARGS + ["--store", store, "--output", str(cold)]) == 0
+        cold_digest = capsys.readouterr().out
+        assert main(
+            SWEEP_ARGS + ["--store", store, "--resume", "--output", str(warm)]
+        ) == 0
+        warm_out = capsys.readouterr().out
+        assert "4 from store" in warm_out
+        assert "resumed" in warm_out
+        digest = [l for l in cold_digest.splitlines() if l.startswith("sweep digest")]
+        assert digest and digest[0] in warm_out
+        assert self._read_jsonl(cold) == self._read_jsonl(warm)
+
+    def test_resume_without_store_errors(self, capsys):
+        assert main(SWEEP_ARGS + ["--resume"]) == 1
+        assert "--store" in capsys.readouterr().err
+
+    def test_malformed_shard_errors(self, capsys):
+        assert main(SWEEP_ARGS + ["--shard", "nope"]) == 1
+        assert "shard" in capsys.readouterr().err
+
+    def test_out_of_range_shard_errors(self, capsys):
+        assert main(SWEEP_ARGS + ["--shard", "2/2"]) == 1
+        assert "shard index" in capsys.readouterr().err
+
+    def test_unknown_catalog_soc_errors(self, capsys):
+        assert main(["sweep", "not_a_chip", "--channels", "64"]) == 1
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_ten_catalog_socs_shard_into_disjoint_complete_partition(
+        self, tmp_path, capsys
+    ):
+        # The acceptance campaign: an ITC'02 benchmark plus a 9-member
+        # synthetic family -- 10 catalog SOCs by name -- swept through the
+        # CLI in 3 shards that partition the grid exactly.
+        from repro.soc.catalog import synthetic_family
+
+        socs = ["d695", *synthetic_family(60, count=9, modules=4)]
+        args = ["sweep", *socs, "--channels", "64", "--depth-m", "1"]
+        full = tmp_path / "full.jsonl"
+        assert main(args + ["--output", str(full)]) == 0
+        shard_keys: list[str] = []
+        for index in range(3):
+            part = tmp_path / f"shard{index}.jsonl"
+            assert main(args + ["--shard", f"{index}/3", "--output", str(part)]) == 0
+            shard_keys.extend(r["scenario_key"] for r in self._read_jsonl(part))
+        full_records = self._read_jsonl(full)
+        assert len(full_records) == 10
+        assert {r["soc"] for r in full_records} == set(socs)
+        full_keys = [r["scenario_key"] for r in full_records]
+        assert len(shard_keys) == len(set(shard_keys)) == 10  # disjoint
+        assert sorted(shard_keys) == sorted(full_keys)        # complete
+        capsys.readouterr()

@@ -58,7 +58,8 @@ class TestCliDoc:
 
     def test_flags_documented(self, cli_doc_text):
         for flag in ("--solver", "--store", "--workers", "--smoke", "--tag",
-                     "--broadcast", "--max-sites"):
+                     "--broadcast", "--max-sites", "--shard", "--resume",
+                     "--output", "--solvers"):
             assert flag in cli_doc_text
 
     def test_parser_and_doc_agree(self, cli_doc_text):
@@ -94,7 +95,12 @@ class TestArchitectureDoc:
     def test_describes_cache_tiers(self, architecture_text):
         for anchor in ("canonical_key", "digest", "ResultStore", "evaluate",
                        "STORE_FORMAT", "register_solver", "register_experiment",
-                       "register_storable"):
+                       "register_storable", "register_catalog_soc"):
+            assert anchor in architecture_text
+
+    def test_describes_grid_and_campaign_layer(self, architecture_text):
+        for anchor in ("SweepGrid", "run_iter", "shard", "catalog",
+                       "synthetic:<seed>:<modules>", "campaign"):
             assert anchor in architecture_text
 
 

@@ -9,7 +9,7 @@ import repro
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -27,6 +27,9 @@ class TestPublicApi:
             "AteSpec",
             "ProbeStation",
             "OptimizationConfig",
+            "SweepGrid",
+            "synthetic_family",
+            "register_catalog_soc",
         ):
             assert name in repro.__all__
 

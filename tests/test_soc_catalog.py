@@ -1,0 +1,121 @@
+"""Unit tests for the name-addressable SOC catalog."""
+
+import pytest
+
+from repro.api import Scenario, resolve_soc
+from repro.core.exceptions import ConfigurationError
+from repro.itc02.registry import load_benchmark
+from repro.soc import catalog
+from repro.soc.catalog import (
+    SYNTHETIC_PATTERN,
+    catalog_names,
+    list_catalog,
+    parse_synthetic_spec,
+    register_catalog_soc,
+    resolve_catalog_soc,
+    synthetic_family,
+    synthetic_soc_name,
+)
+
+
+class TestFixedEntries:
+    def test_benchmarks_resolve_to_registry_objects(self):
+        # Same object as the benchmark registry: resolution stays cached.
+        assert resolve_catalog_soc("d695") is load_benchmark("d695")
+
+    def test_names_case_insensitive(self):
+        assert resolve_catalog_soc("D695").name == "d695"
+        assert resolve_catalog_soc("PNX8550").name == "pnx8550"
+
+    def test_catalog_names_cover_benchmarks_and_pnx8550(self):
+        names = catalog_names()
+        for expected in ("d695", "p22810", "p34392", "p93791", "pnx8550"):
+            assert expected in names
+
+    def test_list_catalog_has_descriptions(self):
+        entries = list_catalog()
+        assert [entry.name for entry in entries] == sorted(catalog_names())
+        assert all(entry.description for entry in entries)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            resolve_catalog_soc("not_a_chip")
+
+
+class TestSyntheticSpecs:
+    def test_parse_round_trip(self):
+        assert parse_synthetic_spec(synthetic_soc_name(7, 12)) == (7, 12)
+
+    def test_parse_rejects_non_synthetic(self):
+        assert parse_synthetic_spec("d695") is None
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["synthetic", "synthetic:7", "synthetic:7:8:9", "synthetic:x:8",
+         "synthetic:7:y", "synthetic:-1:8", "synthetic:7:0"],
+    )
+    def test_malformed_specs_fail_loudly(self, spec):
+        with pytest.raises(ConfigurationError):
+            resolve_catalog_soc(spec)
+
+    def test_resolves_deterministically(self):
+        first = resolve_catalog_soc("synthetic:7:8")
+        again = resolve_catalog_soc("SYNTHETIC:7:8")
+        assert first is again  # cached, case-insensitive
+        assert first.name == "synthetic:7:8"
+        assert len(first.modules) == 8
+
+    def test_module_split_has_memories(self):
+        soc = resolve_catalog_soc("synthetic:3:12")
+        memories = [module for module in soc.modules if module.is_memory]
+        assert len(soc.modules) == 12
+        assert len(memories) == 3  # one quarter, rounded down
+
+    def test_distinct_seeds_distinct_socs(self):
+        assert resolve_catalog_soc("synthetic:1:6") != resolve_catalog_soc("synthetic:2:6")
+
+    def test_family_names(self):
+        family = synthetic_family(10, count=4, modules=6)
+        assert family == (
+            "synthetic:10:6", "synthetic:11:6", "synthetic:12:6", "synthetic:13:6"
+        )
+        assert SYNTHETIC_PATTERN.startswith("synthetic:")
+
+    def test_family_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_family(10, count=0, modules=6)
+
+
+class TestRegistration:
+    def test_register_and_resolve(self, tiny_soc):
+        try:
+            @register_catalog_soc("tiny-registered", description="test chip")
+            def _load() -> object:
+                return tiny_soc
+
+            assert resolve_catalog_soc("tiny-registered") is tiny_soc
+            assert "tiny-registered" in catalog_names()
+        finally:
+            catalog._EXTRA.pop("tiny-registered", None)
+
+    def test_duplicate_registration_rejected(self, tiny_soc):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_catalog_soc("d695", description="dup")(lambda: tiny_soc)
+
+    def test_synthetic_prefix_reserved(self, tiny_soc):
+        with pytest.raises(ConfigurationError, match="reserved"):
+            register_catalog_soc("synthetic:99:1", description="clash")(lambda: tiny_soc)
+
+
+class TestScenarioIntegration:
+    def test_resolve_soc_delegates_to_catalog(self):
+        assert resolve_soc("synthetic:7:8").name == "synthetic:7:8"
+
+    def test_scenario_by_synthetic_name_equals_by_object(self):
+        from repro.api import reference_test_cell
+
+        cell = reference_test_cell(channels=128, depth_m=1.0)
+        by_name = Scenario(soc="synthetic:7:8", test_cell=cell)
+        by_object = Scenario(soc=resolve_catalog_soc("synthetic:7:8"), test_cell=cell)
+        assert by_name == by_object
+        assert by_name.digest == by_object.digest
