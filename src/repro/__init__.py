@@ -58,7 +58,21 @@ scenario or sweep the backend like any other axis::
     duel = Engine().run_batch(
         Scenario.sweep("d695", cell, solvers=["goel05", "restart"]))
 
-``python -m repro solvers`` lists the registered backends.  Results can be
+So is *what* gets optimised (:mod:`repro.objectives`): every solver
+backend optimises any registered objective -- the paper's ``"throughput"``
+(default), ``"test_time"``, ``"cost_per_good_die"`` (Section-7 street
+prices) or ``"channel_budget"`` -- through the shared evaluation kernel::
+
+    cheapest = Engine().run(Scenario(soc="d695", test_cell=cell,
+                                     objective="cost_per_good_die"))
+    grid = SweepGrid("d695", cell, channels=[128, 256],
+                     objectives=["throughput", "cost_per_good_die"])
+
+``python -m repro solvers`` / ``objectives`` list the registered backends.
+Campaign artifacts -- store directories and sweep JSONL files -- analyse
+back into tables with :mod:`repro.analysis` (``python -m repro analyze``):
+group-by summaries, best-per-SOC selection and 2-D Pareto fronts
+(e.g. test time vs employed ATE capital).  Results can be
 persisted across processes with the content-addressed on-disk store
 (:mod:`repro.store`): attach one to an engine and equal scenarios are
 solved once per *store directory* instead of once per process::
@@ -111,7 +125,16 @@ from repro.solvers import (
     register_solver,
     solver_names,
 )
+from repro.analysis import AnalysisRecord, best_per_soc, load_records, pareto_front
 from repro.ate import AteSpec, ProbeStation, AtePricing, reference_ate, reference_probe_station
+from repro.objectives import (
+    DEFAULT_OBJECTIVE,
+    ObjectiveSpec,
+    get_objective,
+    list_objectives,
+    objective_names,
+    register_objective,
+)
 from repro.itc02 import load_benchmark, list_benchmarks, parse_soc_file, write_soc_file
 from repro.multisite import MultiSiteScenario, TestTiming, throughput_per_hour
 from repro.optimize import (
@@ -142,7 +165,7 @@ from repro.store import ResultStore, StoreEntry, StoreInfo
 from repro.tam import TestArchitecture, design_architecture
 from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CacheInfo",
@@ -167,6 +190,16 @@ __all__ = [
     "make_problem",
     "register_solver",
     "solver_names",
+    "DEFAULT_OBJECTIVE",
+    "ObjectiveSpec",
+    "get_objective",
+    "list_objectives",
+    "objective_names",
+    "register_objective",
+    "AnalysisRecord",
+    "best_per_soc",
+    "load_records",
+    "pareto_front",
     "AteSpec",
     "ProbeStation",
     "AtePricing",

@@ -1,0 +1,221 @@
+"""Flat campaign records: one row per solved scenario, whatever the source.
+
+The campaign layer leaves results behind in two persistent shapes: the
+content-addressed :class:`~repro.store.ResultStore` directories that
+``--store`` runs fill, and the JSONL files ``repro sweep --output`` streams.
+Analysis needs one columnar view over both, so this module normalises
+either source (plus in-memory :class:`~repro.api.engine.ScenarioResult`
+batches) into :class:`AnalysisRecord` rows -- plain frozen values carrying
+the scenario's identity axes (SOC, solver, objective, operating point) and
+its optimal-point metrics.
+
+Loading is deterministic: records are sorted by their identity axes and
+deduplicated by scenario key (first occurrence wins), so the same inputs
+always produce the same table no matter the completion or file order they
+were written in.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.objectives.registry import DEFAULT_OBJECTIVE
+from repro.optimize.channels import total_channels_used
+from repro.store.result_store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.engine import ScenarioResult
+    from repro.optimize.result import TwoStepResult
+
+
+@dataclass(frozen=True)
+class AnalysisRecord:
+    """One solved scenario, flattened for analysis.
+
+    Attributes
+    ----------
+    key:
+        The scenario's content key, normalised to the short exported form
+        (the first 16 hex chars of the canonical digest) whatever the
+        source, so the same scenario loaded from a store and from a sweep
+        JSONL deduplicates onto one row.
+    soc, solver, objective:
+        Identity axes of the scenario.
+    channels, depth, broadcast:
+        The operating point (ATE channels, vector-memory depth, broadcast
+        switch).
+    optimal_sites, channels_per_site, test_time_cycles:
+        The optimal point's multi-site configuration.
+    value:
+        The objective value at the optimal point (devices/hour for the
+        default objective; whatever the registered objective measures
+        otherwise).
+    """
+
+    key: str
+    soc: str
+    solver: str
+    objective: str
+    channels: int
+    depth: int
+    broadcast: bool
+    optimal_sites: int
+    channels_per_site: int
+    test_time_cycles: int
+    value: float
+
+    @property
+    def employed_channels(self) -> int:
+        """ATE channels the optimal configuration actually consumes.
+
+        Broadcast-aware: under broadcast the sites share one set of
+        stimulus channels, so the count is ``k/2 + sites * k/2`` rather
+        than ``sites * k`` -- the same accounting the
+        ``cost_per_good_die`` and ``channel_budget`` objectives use.
+        """
+        return total_channels_used(
+            self.channels_per_site, self.optimal_sites, self.broadcast
+        )
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering: identity axes first, then the key."""
+        return (
+            self.soc,
+            self.solver,
+            self.objective,
+            self.channels,
+            self.depth,
+            self.broadcast,
+            self.key,
+        )
+
+
+def _record_from_result(outcome: "ScenarioResult") -> AnalysisRecord:
+    scenario = outcome.scenario
+    result = outcome.result
+    return AnalysisRecord(
+        key=scenario.key,
+        soc=scenario.soc_name,
+        solver=scenario.solver,
+        objective=scenario.objective,
+        channels=scenario.test_cell.ate.channels,
+        depth=scenario.test_cell.ate.depth,
+        broadcast=scenario.config.broadcast,
+        optimal_sites=result.optimal_sites,
+        channels_per_site=result.best.channels_per_site,
+        test_time_cycles=result.best.test_time_cycles,
+        value=result.optimal_throughput,
+    )
+
+
+def records_from_results(results: Iterable["ScenarioResult"]) -> tuple[AnalysisRecord, ...]:
+    """Normalise in-memory engine results into analysis records."""
+    return _finalize(_record_from_result(outcome) for outcome in results)
+
+
+def records_from_store(store: ResultStore | str | Path) -> tuple[AnalysisRecord, ...]:
+    """Scan a persistent result store into analysis records.
+
+    Accepts a :class:`~repro.store.ResultStore` or the path of one.
+    Corrupt records are skipped, exactly as the store's own readers do.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    rows = []
+    for entry, result in store.records():
+        rows.append(
+            AnalysisRecord(
+                key=entry.key[:16],
+                soc=entry.soc_name,
+                solver=entry.solver,
+                objective=entry.objective,
+                channels=result.step1.ate.channels,
+                depth=result.step1.ate.depth,
+                broadcast=result.step1.config.broadcast,
+                optimal_sites=result.optimal_sites,
+                channels_per_site=result.best.channels_per_site,
+                test_time_cycles=result.best.test_time_cycles,
+                value=result.optimal_throughput,
+            )
+        )
+    return _finalize(rows)
+
+
+def _record_from_sweep_row(row: dict[str, Any]) -> AnalysisRecord:
+    optimal = row["optimal"]
+    return AnalysisRecord(
+        key=str(row["scenario_key"]),
+        soc=str(row["soc"]),
+        solver=str(row.get("solver", "")),
+        objective=str(row.get("objective_name", DEFAULT_OBJECTIVE)),
+        channels=int(row["ate_channels"]),
+        depth=int(row["ate_depth"]),
+        broadcast=bool(row["broadcast"]),
+        optimal_sites=int(optimal["sites"]),
+        channels_per_site=int(optimal["channels_per_site"]),
+        test_time_cycles=int(optimal["test_time_cycles"]),
+        value=float(optimal["throughput_per_hour"]),
+    )
+
+
+def records_from_jsonl(path: str | Path) -> tuple[AnalysisRecord, ...]:
+    """Parse a ``repro sweep --output`` JSONL file into analysis records.
+
+    Raises
+    ------
+    ConfigurationError
+        When a line is not valid JSON or lacks the sweep-record fields --
+        unlike store corruption, a malformed input *file* is a user error
+        worth surfacing.
+    """
+    path = Path(path)
+    rows = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        raise ConfigurationError(f"cannot read sweep JSONL {path}: {error}") from error
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            rows.append(_record_from_sweep_row(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"{path}:{number} is not a sweep record: {error}"
+            ) from error
+    return _finalize(rows)
+
+
+def load_records(
+    store: ResultStore | str | Path | None = None,
+    jsonl_paths: Sequence[str | Path] = (),
+) -> tuple[AnalysisRecord, ...]:
+    """Load and merge records from a store and/or sweep JSONL files.
+
+    Raises
+    ------
+    ConfigurationError
+        When no source is given, or a JSONL file is malformed.
+    """
+    if store is None and not jsonl_paths:
+        raise ConfigurationError(
+            "analysis needs at least one source: a --store directory or sweep JSONL files"
+        )
+    rows: list[AnalysisRecord] = []
+    if store is not None:
+        rows.extend(records_from_store(store))
+    for path in jsonl_paths:
+        rows.extend(records_from_jsonl(path))
+    return _finalize(rows)
+
+
+def _finalize(rows: Iterable[AnalysisRecord]) -> tuple[AnalysisRecord, ...]:
+    """Dedup by key (first occurrence wins) and sort deterministically."""
+    seen: dict[str, AnalysisRecord] = {}
+    for row in rows:
+        seen.setdefault(row.key, row)
+    return tuple(sorted(seen.values(), key=AnalysisRecord.sort_key))

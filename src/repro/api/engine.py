@@ -44,6 +44,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.optimize.result import Step1Result, TwoStepResult
 from repro.reporting.export import result_to_records
 from repro.reporting.series import Series
+from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.solvers.problem import make_problem
 from repro.solvers.registry import DEFAULT_SOLVER, solve
 from repro.store.result_store import ResultStore
@@ -82,9 +83,18 @@ class ScenarioResult:
         return self.result.optimal_throughput
 
     def to_record(self) -> dict[str, Any]:
-        """Flat record for :mod:`repro.reporting.export` (JSON/CSV)."""
+        """Flat record for :mod:`repro.reporting.export` (JSON/CSV).
+
+        On top of the result fields the record carries the scenario's
+        identity axes -- its short key, the solver backend and the
+        registered objective -- so downstream analysis
+        (:mod:`repro.analysis`) can group and compare without re-deriving
+        scenario metadata.
+        """
         record = result_to_records(self.result)
         record["scenario_key"] = self.scenario.key
+        record["solver"] = self.scenario.solver
+        record["objective_name"] = self.scenario.objective
         return record
 
     def describe(self) -> str:
@@ -99,6 +109,7 @@ def _execute(scenario: Scenario) -> TwoStepResult:
         scenario.test_cell.ate,
         scenario.test_cell.probe_station,
         scenario.config,
+        scenario.objective,
     )
     return solve(scenario.solver, problem).result
 
@@ -265,12 +276,19 @@ class Engine:
         rebound to the requested scenario, so callers never see another
         run's labels on ``result.scenario``.
         """
-        ours = (scenario.soc, scenario.test_cell, scenario.config, scenario.solver)
+        ours = (
+            scenario.soc,
+            scenario.test_cell,
+            scenario.config,
+            scenario.solver,
+            scenario.objective,
+        )
         theirs = (
             cached.scenario.soc,
             cached.scenario.test_cell,
             cached.scenario.config,
             cached.scenario.solver,
+            cached.scenario.objective,
         )
         if ours == theirs:
             return cached
@@ -489,19 +507,22 @@ def optimize_scenario(
     probe_station,
     config,
     solver: str = DEFAULT_SOLVER,
+    objective: str = DEFAULT_OBJECTIVE,
 ) -> TwoStepResult:
     """Run one (soc, ate, probe, config) operating point through ``engine``.
 
     This is the bridge the experiment modules use: with an engine the run is
     memoised (shared operating points across experiments are optimised
     once); without one it degrades to a plain direct call.  ``solver``
-    selects the registered backend that executes the point.
+    selects the registered backend that executes the point, ``objective``
+    the registered objective it optimises.
     """
     scenario = Scenario(
         soc=soc,
         test_cell=TestCell(ate=ate, probe_station=probe_station),
         config=config,
         solver=solver,
+        objective=objective,
     )
     if engine is None:
         return _execute(scenario)

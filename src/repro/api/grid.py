@@ -3,7 +3,7 @@
 :class:`SweepGrid` is the value form of :meth:`Scenario.sweep
 <repro.api.scenario.Scenario.sweep>`: a frozen description of a cartesian
 parameter grid (SOCs x channels x depths x broadcast x site limits x
-solvers) that expands into :class:`~repro.api.scenario.Scenario` objects
+solvers x objectives) that expands into :class:`~repro.api.scenario.Scenario` objects
 *lazily*.  Where ``Scenario.sweep`` materialises the whole list up front,
 a grid only builds the scenario the consumer is currently looking at, so
 campaign-scale spaces (dozens of SOCs x dozens of operating points) cost
@@ -35,6 +35,7 @@ from typing import Callable, Iterator, Sequence
 from repro.api.scenario import Scenario
 from repro.api.testcell import TestCell
 from repro.core.exceptions import ConfigurationError
+from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.optimize.config import OptimizationConfig
 from repro.soc.soc import Soc
 from repro.solvers.registry import DEFAULT_SOLVER
@@ -103,7 +104,7 @@ class SweepGrid(Grid):
     ``config`` values) and normalises them into tuples, so two grids built
     from equal arguments compare equal.  Expansion order matches
     ``Scenario.sweep`` exactly: SOCs vary slowest, then channels, depths,
-    broadcast, site limits, and solvers.
+    broadcast, site limits, solvers, and objectives.
 
     >>> from repro.api.testcell import reference_test_cell
     >>> grid = SweepGrid("d695", reference_test_cell(), channels=[128, 256])
@@ -121,6 +122,7 @@ class SweepGrid(Grid):
     max_sites: tuple = (None,)
     config: OptimizationConfig = field(default_factory=OptimizationConfig)
     solvers: tuple = (DEFAULT_SOLVER,)
+    objectives: tuple = (DEFAULT_OBJECTIVE,)
 
     def __init__(
         self,
@@ -133,6 +135,7 @@ class SweepGrid(Grid):
         max_sites: Sequence[int | None] | None = None,
         config: OptimizationConfig | None = None,
         solvers: Sequence[str] | str | None = None,
+        objectives: Sequence[str] | str | None = None,
     ) -> None:
         base_config = config or OptimizationConfig()
         if isinstance(socs, (Soc, str)):
@@ -159,12 +162,19 @@ class SweepGrid(Grid):
             solver_axis = (solvers,)
         else:
             solver_axis = tuple(solvers)
+        if objectives is None:
+            objective_axis: tuple = (DEFAULT_OBJECTIVE,)
+        elif isinstance(objectives, str):
+            objective_axis = (objectives,)
+        else:
+            objective_axis = tuple(objectives)
         for axis, label in (
             (channel_axis, "channels"),
             (depth_axis, "depths"),
             (broadcast_axis, "broadcast"),
             (sites_axis, "max_sites"),
             (solver_axis, "solvers"),
+            (objective_axis, "objectives"),
         ):
             if not axis:
                 raise ConfigurationError(f"scenario sweep axis {label!r} must not be empty")
@@ -177,6 +187,7 @@ class SweepGrid(Grid):
         object.__setattr__(self, "max_sites", sites_axis)
         object.__setattr__(self, "config", base_config)
         object.__setattr__(self, "solvers", solver_axis)
+        object.__setattr__(self, "objectives", objective_axis)
 
     # ------------------------------------------------------------------
     # Shape
@@ -191,6 +202,7 @@ class SweepGrid(Grid):
             "broadcast": self.broadcast,
             "max_sites": self.max_sites,
             "solvers": self.solvers,
+            "objectives": self.objectives,
         }
 
     def __len__(self) -> int:
@@ -212,7 +224,9 @@ class SweepGrid(Grid):
     # ------------------------------------------------------------------
     # Expansion
     # ------------------------------------------------------------------
-    def _build(self, soc, channel_count, depth, shared, site_limit, solver) -> Scenario:
+    def _build(
+        self, soc, channel_count, depth, shared, site_limit, solver, objective
+    ) -> Scenario:
         cell = self.test_cell
         if channel_count is not None:
             cell = cell.with_channels(channel_count)
@@ -223,7 +237,13 @@ class SweepGrid(Grid):
             run_config = run_config.with_broadcast(shared)
         if site_limit != run_config.max_sites:
             run_config = run_config.with_site_limit(site_limit)
-        return Scenario(soc=soc, test_cell=cell, config=run_config, solver=solver)
+        return Scenario(
+            soc=soc,
+            test_cell=cell,
+            config=run_config,
+            solver=solver,
+            objective=objective,
+        )
 
     def __iter__(self) -> Iterator[Scenario]:
         for point in itertools.product(*self.axes.values()):

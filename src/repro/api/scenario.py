@@ -10,8 +10,8 @@ object, which is what lets the :class:`~repro.api.engine.Engine` memoise
 results across call sites.
 
 :meth:`Scenario.sweep` expands cartesian parameter grids (benchmarks x
-channels x depths x sites x broadcast x solvers) into scenario lists for
-batch execution; it is a thin materialising shim over the lazy
+channels x depths x sites x broadcast x solvers x objectives) into
+scenario lists for batch execution; it is a thin materialising shim over the lazy
 :class:`~repro.api.grid.SweepGrid`, which is the streaming-campaign form
 of the same grid.
 """
@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.api.testcell import TestCell
 from repro.core.exceptions import ConfigurationError
+from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.optimize.config import OptimizationConfig
 from repro.soc.soc import Soc
 from repro.solvers.registry import DEFAULT_SOLVER
@@ -70,12 +71,18 @@ class Scenario:
         (see :mod:`repro.solvers`); defaults to the paper's greedy two-step
         heuristic (``"goel05"``).  The name is validated when the scenario
         is run, so declaring scenarios never imports the backends.
+    objective:
+        Name of the registered objective (:mod:`repro.objectives`) the
+        solver optimises; defaults to the paper's throughput
+        (``"throughput"``).  Like the solver, the name is validated at run
+        time, so declaring scenarios never imports the backends.
     """
 
     soc: Soc | str
     test_cell: TestCell
     config: OptimizationConfig = OptimizationConfig()
     solver: str = DEFAULT_SOLVER
+    objective: str = DEFAULT_OBJECTIVE
 
     def __post_init__(self) -> None:
         if not isinstance(self.soc, (Soc, str)):
@@ -86,6 +93,8 @@ class Scenario:
             raise ConfigurationError("scenario SOC reference must be non-empty")
         if not isinstance(self.solver, str) or not self.solver:
             raise ConfigurationError("scenario solver must be a non-empty backend name")
+        if not isinstance(self.objective, str) or not self.objective:
+            raise ConfigurationError("scenario objective must be a non-empty name")
 
     # ------------------------------------------------------------------
     # Identity
@@ -110,7 +119,12 @@ class Scenario:
         only feeds cost reporting) -- two experiments sweeping the same
         operating point under different labels or pricing share one cache
         entry.  The solver name *is* part of the key: two backends may find
-        different designs for the same operating point.
+        different designs for the same operating point.  So is the
+        objective name -- the same backend finds different designs when it
+        optimises a different objective -- but only when it deviates from
+        the default: scenarios running the paper's throughput objective
+        keep the exact keys (and digests, and store records) they had
+        before the objective registry existed.
         """
         cell = self.test_cell
         cell = replace(
@@ -119,7 +133,10 @@ class Scenario:
             probe_station=replace(cell.probe_station, name=""),
             pricing=None,
         )
-        return (self.resolve(), cell, self.config, self.solver)
+        key = (self.resolve(), cell, self.config, self.solver)
+        if self.objective != DEFAULT_OBJECTIVE:
+            key += (self.objective,)
+        return key
 
     @property
     def digest(self) -> str:
@@ -169,6 +186,10 @@ class Scenario:
         """Return a copy executed by a different solver backend."""
         return replace(self, solver=solver)
 
+    def with_objective(self, objective: str) -> "Scenario":
+        """Return a copy optimising a different registered objective."""
+        return replace(self, objective=objective)
+
     def with_sites(self, max_sites: int | None) -> "Scenario":
         """Return a copy with a different equipment limit on the site count."""
         return replace(self, config=self.config.with_site_limit(max_sites))
@@ -176,13 +197,19 @@ class Scenario:
     def describe(self) -> str:
         """One-line summary used by reports and logs.
 
-        The solver is mentioned only when it deviates from the default, so
-        reports of default runs read exactly as before the solver layer.
+        The solver and the objective are mentioned only when they deviate
+        from their defaults (the objective under the ``optimize=`` label,
+        to keep it apart from the config's D_th/D^u_th ``objective=``
+        switch), so reports of default runs read exactly as before the
+        solver and objective layers existed.
         """
         solver = "" if self.solver == DEFAULT_SOLVER else f", solver={self.solver}"
+        objective = (
+            "" if self.objective == DEFAULT_OBJECTIVE else f", optimize={self.objective}"
+        )
         return (
             f"scenario[{self.soc_name} @ {self.test_cell.ate.channels}ch x "
-            f"{self.test_cell.ate.depth} vectors, {self.config.describe()}{solver}]"
+            f"{self.test_cell.ate.depth} vectors, {self.config.describe()}{solver}{objective}]"
         )
 
     # ------------------------------------------------------------------
@@ -200,13 +227,15 @@ class Scenario:
         max_sites: Sequence[int | None] | None = None,
         config: OptimizationConfig | None = None,
         solvers: Sequence[str] | str | None = None,
+        objectives: Sequence[str] | str | None = None,
     ) -> list["Scenario"]:
         """Expand a cartesian parameter grid into a scenario list.
 
         Every axis is optional; an omitted axis keeps the corresponding value
-        of ``test_cell`` / ``config`` (and the default solver).  The
-        expansion order is deterministic: SOCs vary slowest, then channels,
-        depths, broadcast, site limits, and solvers.
+        of ``test_cell`` / ``config`` (and the default solver and
+        objective).  The expansion order is deterministic: SOCs vary
+        slowest, then channels, depths, broadcast, site limits, solvers,
+        and objectives.
 
         >>> from repro.api.testcell import reference_test_cell
         >>> cell = reference_test_cell(channels=256, depth_m=0.0625)
@@ -230,5 +259,6 @@ class Scenario:
                 max_sites=max_sites,
                 config=config,
                 solvers=solvers,
+                objectives=objectives,
             )
         )

@@ -82,6 +82,24 @@ class AtePricing:
             raise ConfigurationError("new depth must not be smaller than the current depth")
         return (new_depth - base.depth) * base.channels * self.price_per_vector_per_channel()
 
+    def capital_cost_usd(self, channels: int, depth: int) -> float:
+        """Linear capital valuation of ``channels`` channels at ``depth`` vectors.
+
+        Values an ATE resource bundle at the model's street prices: each
+        channel at the pro-rated block price plus its ``depth`` vectors of
+        memory at the per-vector upgrade price.  This is the numerator of
+        cost-based objectives (``cost_per_good_die``): pricing the channels
+        a multi-site configuration actually employs makes giving up a site
+        a genuine capital-vs-throughput trade-off.
+        """
+        if channels < 0:
+            raise ConfigurationError("channel count must be non-negative")
+        if depth < 0:
+            raise ConfigurationError("memory depth must be non-negative")
+        return channels * (
+            self.price_per_channel() + depth * self.price_per_vector_per_channel()
+        )
+
     # ------------------------------------------------------------------
     # Equal-budget upgrades (the comparison made in Section 7)
     # ------------------------------------------------------------------

@@ -46,6 +46,7 @@ from repro.api.scenario import Scenario
 from repro.api.testcell import reference_test_cell
 from repro.core.exceptions import ConfigurationError, ReproError
 from repro.core.units import kilo_vectors
+from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.experiments.registry import get_experiment, experiment_names
 from repro.solvers import evaluate as evaluate_kernel
 from repro.solvers.registry import solver_names
@@ -72,8 +73,15 @@ def default_tag() -> str:
     return f"v{__version__}"
 
 
-def bench_sweep_grid(smoke: bool = False) -> list[Scenario]:
-    """The d695 sweep scenarios the bench times (32 full, 4 in smoke mode)."""
+def bench_sweep_grid(
+    smoke: bool = False, objective: str = DEFAULT_OBJECTIVE
+) -> list[Scenario]:
+    """The d695 sweep scenarios the bench times (32 full, 4 in smoke mode).
+
+    ``objective`` selects the registered objective the sweep optimises;
+    the default keeps the scenarios (and their digests) exactly as before
+    the objective axis existed.
+    """
     cell = reference_test_cell(channels=256, depth_m=0.0625)
     if smoke:
         return Scenario.sweep(
@@ -81,6 +89,7 @@ def bench_sweep_grid(smoke: bool = False) -> list[Scenario]:
             cell,
             channels=SMOKE_SWEEP_CHANNELS,
             depths=[kilo_vectors(depth) for depth in SMOKE_SWEEP_DEPTHS_K],
+            objectives=objective,
         )
     return Scenario.sweep(
         "d695",
@@ -88,6 +97,7 @@ def bench_sweep_grid(smoke: bool = False) -> list[Scenario]:
         channels=SWEEP_CHANNELS,
         depths=[kilo_vectors(depth) for depth in SWEEP_DEPTHS_K],
         broadcast=[False, True],
+        objectives=objective,
     )
 
 
@@ -175,10 +185,13 @@ def _bench_solvers(store: ResultStore | None) -> list[dict[str, Any]]:
 
 
 def _bench_sweep(
-    store: ResultStore | None, smoke: bool, workers: int | None
+    store: ResultStore | None,
+    smoke: bool,
+    workers: int | None,
+    objective: str = DEFAULT_OBJECTIVE,
 ) -> dict[str, Any]:
     """Time the d695 design-space sweep (the store's showcase workload)."""
-    grid = bench_sweep_grid(smoke)
+    grid = bench_sweep_grid(smoke, objective)
     kernel_before = evaluate_kernel.cache_info()
     engine = Engine(store=store, workers=workers)
     started = time.perf_counter()
@@ -187,6 +200,7 @@ def _bench_sweep(
     kernel_after = evaluate_kernel.cache_info()
     return {
         "scenarios": len(grid),
+        "objective": objective,
         "seconds": seconds,
         "cache": _cache_record(engine),
         "evaluate_kernel": {
@@ -215,6 +229,7 @@ def run_bench(
     store: ResultStore | str | Path | None = None,
     smoke: bool = False,
     workers: int | None = None,
+    objective: str = DEFAULT_OBJECTIVE,
 ) -> dict[str, Any]:
     """Run the full benchmark suite and return the JSON-ready report.
 
@@ -233,6 +248,10 @@ def run_bench(
         the mode CI runs on every push.
     workers:
         Worker processes for the sweep's ``run_batch`` (default serial).
+    objective:
+        Registered objective the timed sweep optimises (default: the
+        paper's throughput, which keeps the sweep digest comparable with
+        earlier reports).
     """
     from repro import __version__
 
@@ -260,7 +279,7 @@ def run_bench(
         },
         "experiments": _bench_experiments(experiments, store),
         "solvers": _bench_solvers(store),
-        "sweep": _bench_sweep(store, smoke, workers),
+        "sweep": _bench_sweep(store, smoke, workers, objective),
         "campaign": _bench_campaign(smoke, workers),
     }
     report["store_info"] = asdict(store.info()) if store is not None else None
@@ -334,4 +353,128 @@ def summarize_report(report: dict[str, Any]) -> str:
         f"{campaign['resume_store_hits']} store hits, digests {digests})"
     )
     lines.append(f"  total wall time: {report['wall_seconds']:.3f}s")
+    return "\n".join(lines)
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load a ``BENCH_<tag>.json`` report written by :func:`write_report`.
+
+    Raises
+    ------
+    ConfigurationError
+        When the file is unreadable, not JSON, or not a bench report.
+    """
+    try:
+        report = json.loads(Path(path).expanduser().read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ConfigurationError(f"cannot read bench report {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{path} is not valid JSON: {error}") from error
+    if not isinstance(report, dict) or "tag" not in report or "sweep" not in report:
+        raise ConfigurationError(f"{path} is not a bench report (missing tag/sweep)")
+    return report
+
+
+def _ratio_line(label: str, previous: float, current: float) -> str:
+    """One comparison line: previous -> current seconds with the speedup."""
+    if current > 0:
+        ratio = f"{previous / current:.2f}x"
+    else:
+        ratio = "inf"
+    return f"    {label:18s} {previous:8.3f}s -> {current:8.3f}s  ({ratio})"
+
+
+def compare_reports(current: dict[str, Any], previous: dict[str, Any]) -> str:
+    """Regression summary of ``current`` against a ``previous`` report.
+
+    Matches the experiment and solver sections by name, compares the sweep
+    and campaign workloads, and -- when both reports timed the same sweep
+    (equal scenario counts and objective) -- checks digest equality, the
+    signal that a speedup changed nothing.  Ratios above ``1x`` mean the
+    current run is faster.  This is what ``repro bench --compare
+    PREV.json`` prints, turning the committed ``BENCH_seed.json`` baseline
+    into an actionable perf trajectory.
+    """
+    lines = [
+        f"bench compare: {previous['tag']} (package "
+        f"{previous.get('package_version', '?')}) -> {current['tag']} "
+        f"(package {current.get('package_version', '?')})"
+    ]
+    previous_experiments = {
+        row["name"]: row for row in previous.get("experiments", ()) if "seconds" in row
+    }
+    current_experiments = {
+        row["name"]: row for row in current.get("experiments", ()) if "seconds" in row
+    }
+    shared = sorted(previous_experiments.keys() & current_experiments.keys())
+    if shared:
+        lines.append("  experiments:")
+        for name in shared:
+            lines.append(
+                _ratio_line(
+                    name,
+                    previous_experiments[name]["seconds"],
+                    current_experiments[name]["seconds"],
+                )
+            )
+    for label, names in (
+        ("new", sorted(current_experiments.keys() - previous_experiments.keys())),
+        ("gone", sorted(previous_experiments.keys() - current_experiments.keys())),
+    ):
+        if names:
+            lines.append(f"    {label}: {', '.join(names)}")
+
+    previous_solvers = {
+        row["name"]: row for row in previous.get("solvers", ()) if "seconds" in row
+    }
+    current_solvers = {
+        row["name"]: row for row in current.get("solvers", ()) if "seconds" in row
+    }
+    shared = sorted(previous_solvers.keys() & current_solvers.keys())
+    if shared:
+        lines.append("  solvers:")
+        for name in shared:
+            lines.append(
+                _ratio_line(
+                    name, previous_solvers[name]["seconds"], current_solvers[name]["seconds"]
+                )
+            )
+
+    previous_sweep, current_sweep = previous["sweep"], current["sweep"]
+    lines.append("  sweep:")
+    lines.append(
+        _ratio_line(
+            f"{current_sweep['scenarios']} scenarios",
+            previous_sweep["seconds"],
+            current_sweep["seconds"],
+        )
+    )
+    comparable = previous_sweep["scenarios"] == current_sweep["scenarios"] and (
+        previous_sweep.get("objective", DEFAULT_OBJECTIVE)
+        == current_sweep.get("objective", DEFAULT_OBJECTIVE)
+    )
+    if comparable:
+        digests = (
+            "identical"
+            if previous_sweep.get("digest") == current_sweep.get("digest")
+            else "DIFFER"
+        )
+        lines.append(f"    digests: {digests}")
+    else:
+        lines.append("    digests: not comparable (different sweep workloads)")
+
+    previous_campaign = previous.get("campaign")
+    current_campaign = current.get("campaign")
+    if previous_campaign and current_campaign:
+        lines.append("  campaign:")
+        lines.append(
+            _ratio_line(
+                "cold sweep", previous_campaign["cold_seconds"], current_campaign["cold_seconds"]
+            )
+        )
+    lines.append(
+        _ratio_line(
+            "total wall", previous.get("wall_seconds", 0.0), current.get("wall_seconds", 0.0)
+        ).replace("    ", "  ", 1)
+    )
     return "\n".join(lines)

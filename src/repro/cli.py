@@ -4,14 +4,21 @@ Installed as ``repro-multisite`` (see ``setup.py``) and runnable as
 ``python -m repro``.  Sub-commands:
 
 * ``design``     -- run the two-step algorithm for one SOC / ATE and print the
-  resulting infrastructure and throughput (``--solver`` picks the backend);
+  resulting infrastructure and throughput (``--solver`` picks the backend,
+  ``--objective`` what it optimises);
 * ``sweep``      -- stream a scenario grid (SOCs x channels x depths x
-  broadcast x sites x solvers) as JSONL, with sharding (``--shard I/N``)
-  and store-backed resumability (``--store`` / ``--resume``);
+  broadcast x sites x solvers x objectives) as JSONL, with sharding
+  (``--shard I/N``) and store-backed resumability (``--store`` /
+  ``--resume``);
+* ``analyze``    -- columnar analysis of a result store or sweep JSONL
+  (group-by summaries, best-per-SOC, 2-D Pareto fronts);
 * ``benchmarks`` -- list the catalog SOCs (ITC'02 benchmarks, ``pnx8550``,
   the synthetic family pattern);
 * ``solvers``    -- list the registered solver backends;
-* ``bench``      -- time experiments/solvers/sweeps and write ``BENCH_<tag>.json``;
+* ``objectives`` -- list the registered optimisation objectives;
+* ``store``      -- inspect a persistent result store (``store info``);
+* ``bench``      -- time experiments/solvers/sweeps and write ``BENCH_<tag>.json``
+  (``--compare PREV.json`` prints a regression summary);
 * ``all``        -- regenerate the full experiment report (slow);
 * one sub-command per registered experiment (``table1``, ``figure5``,
   ``figure6``, ``figure7``, ``economics``, ``ablation``,
@@ -39,28 +46,54 @@ import json
 import sys
 from typing import Sequence
 
+from repro.analysis import (
+    best_table,
+    group_summary,
+    load_records,
+    pareto_table,
+    records_table,
+)
+from repro.analysis.analyze import GROUP_COLUMNS, METRICS
 from repro.api.engine import Engine
 from repro.api.grid import Grid, SweepGrid
 from repro.api.scenario import Scenario
 from repro.api.testcell import TestCell, reference_test_cell
 from repro.ate.probe_station import ProbeStation
 from repro.ate.spec import AteSpec
-from repro.bench.runner import run_bench, summarize_report, sweep_digest, write_report
+from repro.bench.runner import (
+    compare_reports,
+    load_report,
+    run_bench,
+    summarize_report,
+    sweep_digest,
+    write_report,
+)
 from repro.core.exceptions import ConfigurationError, ReproError
 from repro.core.units import mega_vectors
 from repro.experiments.registry import list_experiments, render_experiment, run_experiment
 from repro.experiments.runner import run_all_experiments
 from repro.itc02.parser import parse_soc_file
 from repro.itc02.registry import list_benchmarks
+from repro.objectives.registry import DEFAULT_OBJECTIVE, get_objective, list_objectives
 from repro.optimize.config import Objective, OptimizationConfig
 from repro.soc.catalog import SYNTHETIC_PATTERN, list_catalog
 from repro.soc.soc import Soc
 from repro.solvers.registry import DEFAULT_SOLVER, list_solvers
-from repro.store.result_store import ResultStore
+from repro.store.result_store import STORE_FORMAT, ResultStore
 
 #: Sub-commands with bespoke handlers; every other sub-command is generated
 #: from (and dispatched through) the experiment registry.
-_BUILTIN_COMMANDS = ("design", "sweep", "benchmarks", "solvers", "bench", "all")
+_BUILTIN_COMMANDS = (
+    "design",
+    "sweep",
+    "analyze",
+    "benchmarks",
+    "solvers",
+    "objectives",
+    "store",
+    "bench",
+    "all",
+)
 
 
 def experiment_commands() -> tuple[str, ...]:
@@ -141,6 +174,11 @@ def _add_design_parser(
         default=DEFAULT_SOLVER,
         help=f"solver backend to use (default {DEFAULT_SOLVER!r}; see 'solvers')",
     )
+    parser.add_argument(
+        "--objective",
+        default=DEFAULT_OBJECTIVE,
+        help=f"objective to optimise (default {DEFAULT_OBJECTIVE!r}; see 'objectives')",
+    )
     parser.add_argument("--show-architecture", action="store_true",
                         help="print the full channel-group architecture")
 
@@ -171,6 +209,7 @@ def _design_scenario(args: argparse.Namespace) -> Scenario:
         test_cell=test_cell,
         config=config,
         solver=args.solver,
+        objective=args.objective,
     )
 
 
@@ -211,6 +250,10 @@ def _add_sweep_parser(
     parser.add_argument(
         "--solvers", nargs="+", default=None, metavar="NAME",
         help=f"solver-backend axis (default {DEFAULT_SOLVER!r}; see 'solvers')",
+    )
+    parser.add_argument(
+        "--objective", dest="objectives", nargs="+", default=None, metavar="NAME",
+        help=f"objective axis (default {DEFAULT_OBJECTIVE!r}; see 'objectives')",
     )
     parser.add_argument(
         "--shard", metavar="I/N", default=None,
@@ -260,6 +303,7 @@ def _sweep_grid(args: argparse.Namespace) -> Grid:
         broadcast=broadcast,
         max_sites=args.max_sites,
         solvers=args.solvers,
+        objectives=args.objectives,
     )
     if args.shard is not None:
         grid = grid.shard(*_parse_shard(args.shard))
@@ -348,14 +392,34 @@ def _add_bench_parser(
         default=".",
         help="directory the report is written to (default: current directory)",
     )
+    parser.add_argument(
+        "--objective",
+        default=DEFAULT_OBJECTIVE,
+        help=f"objective the timed sweep optimises (default {DEFAULT_OBJECTIVE!r})",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="PREV.json",
+        default=None,
+        help="previous BENCH_<tag>.json to print a regression summary against "
+        "(e.g. the committed BENCH_seed.json baseline)",
+    )
 
 
 def _run_bench(args: argparse.Namespace) -> int:
+    previous = load_report(args.compare) if args.compare else None
     report = run_bench(
-        tag=args.tag, store=args.store, smoke=args.smoke, workers=args.workers
+        tag=args.tag,
+        store=args.store,
+        smoke=args.smoke,
+        workers=args.workers,
+        objective=args.objective,
     )
     path = write_report(report, args.output)
     print(summarize_report(report))
+    if previous is not None:
+        print()
+        print(compare_reports(report, previous))
     print(f"report written to {path}")
     return 0
 
@@ -369,6 +433,14 @@ def _run_design(args: argparse.Namespace) -> int:
     print(scenario.test_cell.probe_station.describe())
     print()
     print(result.describe())
+    if scenario.objective != DEFAULT_OBJECTIVE:
+        # The result's own describe() lines print raw "/h" objective values;
+        # for a non-default objective name the optimised quantity explicitly.
+        spec = get_objective(scenario.objective)
+        print(
+            f"optimized: {spec.name} ({spec.sense}imised) = "
+            f"{spec.describe_value(result.optimal_throughput)} at n_opt={result.optimal_sites}"
+        )
     print()
     print(result.step1.erpct.describe())
     if args.show_architecture:
@@ -408,6 +480,131 @@ def _run_solvers(_: argparse.Namespace) -> int:
     return 0
 
 
+def _run_objectives(_: argparse.Namespace) -> int:
+    for objective in list_objectives():
+        marker = "  [default]" if objective.name == DEFAULT_OBJECTIVE else ""
+        description = f" -- {objective.description}" if objective.description else ""
+        units = f" [{objective.units}]" if objective.units else ""
+        print(
+            f"{objective.name:18s} {objective.sense} {objective.title}"
+            f"{units}{description}{marker}"
+        )
+    return 0
+
+
+def _add_store_parser(
+    subparsers: argparse._SubParsersAction, store_options: argparse.ArgumentParser
+) -> None:
+    parser = subparsers.add_parser(
+        "store", help="inspect a persistent result store"
+    )
+    store_subparsers = parser.add_subparsers(dest="store_command", required=True)
+    store_subparsers.add_parser(
+        "info",
+        parents=[store_options],
+        help="record count, bytes and format of a --store directory",
+    )
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    if not args.store:
+        raise ConfigurationError("store info needs --store DIR to inspect")
+    store = ResultStore(args.store)
+    entries = store.scan()
+    total_bytes = sum(entry.size_bytes for entry in entries)
+    print(f"store: {store.root}")
+    print(f"format: {STORE_FORMAT}")
+    print(f"records: {len(entries)}")
+    print(f"bytes: {total_bytes}")
+    corrupt = store.info().corrupt
+    if corrupt:
+        print(f"corrupt: {corrupt} unreadable record file(s) skipped")
+    for label, field in (
+        ("SOC", "soc_name"),
+        ("solver", "solver"),
+        ("objective", "objective"),
+    ):
+        counts: dict[str, int] = {}
+        for entry in entries:
+            name = getattr(entry, field) or "?"
+            counts[name] = counts.get(name, 0) + 1
+        if counts:
+            breakdown = ", ".join(
+                f"{name}={counts[name]}" for name in sorted(counts)
+            )
+            print(f"by {label}: {breakdown}")
+    return 0
+
+
+def _add_analyze_parser(
+    subparsers: argparse._SubParsersAction, store_options: argparse.ArgumentParser
+) -> None:
+    parser = subparsers.add_parser(
+        "analyze",
+        parents=[store_options],
+        help="analyse campaign results from a --store directory and/or sweep JSONL files",
+    )
+    parser.add_argument(
+        "inputs",
+        nargs="*",
+        metavar="JSONL",
+        help="sweep JSONL files (as written by 'sweep --output')",
+    )
+    parser.add_argument(
+        "--group-by",
+        choices=sorted(GROUP_COLUMNS),
+        default=None,
+        help="print a per-group summary of --metric instead of raw records",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=sorted(METRICS),
+        default="throughput",
+        help="metric used by --group-by and --best (default 'throughput')",
+    )
+    parser.add_argument(
+        "--best",
+        action="store_true",
+        help="print the --metric-best record of every SOC",
+    )
+    parser.add_argument(
+        "--pareto",
+        metavar="X,Y",
+        default=None,
+        help="print the 2-D Pareto front of two metrics, e.g. 'time,cost'",
+    )
+
+
+def _parse_pareto(spec: str) -> tuple[str, str]:
+    """Parse a ``--pareto X,Y`` argument into two metric names."""
+    first, separator, second = spec.partition(",")
+    if not separator or not first.strip() or not second.strip():
+        raise ConfigurationError(
+            f"malformed pareto spec {spec!r}; expected two metrics, e.g. time,cost"
+        )
+    return first.strip(), second.strip()
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    records = load_records(store=args.store, jsonl_paths=args.inputs)
+    if not records:
+        print("no records found", file=sys.stderr)
+        return 1
+    sections = []
+    if args.group_by:
+        sections.append(group_summary(records, args.group_by, args.metric).render())
+    if args.best:
+        sections.append(best_table(records, args.metric).render())
+    if args.pareto:
+        sections.append(pareto_table(records, *_parse_pareto(args.pareto)).render())
+    if not sections:
+        sections.append(records_table(records).render())
+    print("\n\n".join(sections))
+    print()
+    print(f"{len(records)} records analysed")
+    return 0
+
+
 def _run_registered_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.command, _engine_from_args(args))
     print(render_experiment(args.command, result))
@@ -431,8 +628,11 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_design_parser(subparsers, store_options)
     _add_sweep_parser(subparsers, store_options)
+    _add_analyze_parser(subparsers, store_options)
     subparsers.add_parser("benchmarks", help="list the catalog SOCs (benchmarks + synthetic family)")
     subparsers.add_parser("solvers", help="list the registered solver backends")
+    subparsers.add_parser("objectives", help="list the registered optimisation objectives")
+    _add_store_parser(subparsers, store_options)
     _add_bench_parser(subparsers, store_options)
     experiments = {experiment.name: experiment for experiment in list_experiments()}
     for name in experiment_commands():
@@ -456,10 +656,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_design(args)
         if args.command == "sweep":
             return _run_sweep(args)
+        if args.command == "analyze":
+            return _run_analyze(args)
         if args.command == "benchmarks":
             return _run_benchmarks(args)
         if args.command == "solvers":
             return _run_solvers(args)
+        if args.command == "objectives":
+            return _run_objectives(args)
+        if args.command == "store":
+            return _run_store(args)
         if args.command == "bench":
             return _run_bench(args)
         if args.command == "all":

@@ -46,6 +46,11 @@ from repro.experiments.solver_comparison import (
     run_solver_comparison,
     summarize_solver_comparison,
 )
+from repro.experiments.objective_comparison import (
+    ObjectiveComparisonResult,
+    run_objective_comparison,
+    summarize_objective_comparison,
+)
 from repro.experiments.registry import (
     Experiment,
     experiment_names,
@@ -104,6 +109,9 @@ __all__ = [
     "derived_small_socs",
     "run_solver_comparison",
     "summarize_solver_comparison",
+    "ObjectiveComparisonResult",
+    "run_objective_comparison",
+    "summarize_objective_comparison",
     "ExperimentReport",
     "run_all_experiments",
 ]

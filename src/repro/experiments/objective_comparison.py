@@ -1,0 +1,151 @@
+"""Objective back-off: what the optimum looks like under each objective.
+
+The objective registry (:mod:`repro.objectives`) makes *what is optimised*
+a scenario dimension; this experiment quantifies what that dimension buys
+on the d695 benchmark: the same solver, the same operating points, swept
+over every registered objective.  The resulting table shows how the chosen
+multi-site (``n_opt``, ``k``) moves with the objective -- throughput packs
+sites, test time spends the whole budget on one wide site, the cost and
+channel-efficiency objectives settle in between -- and the analysis layer
+(:mod:`repro.analysis`) extracts the test-time-vs-capital Pareto front of
+the swept operating points.
+
+All runs are expanded with :meth:`Scenario.sweep`'s ``objectives`` axis
+and executed as one engine batch, so the experiment parallelises and
+caches like any other sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.analyze import pareto_front, records_table
+from repro.analysis.records import AnalysisRecord, records_from_results
+from repro.api.engine import Engine
+from repro.api.scenario import Scenario
+from repro.api.testcell import reference_test_cell
+from repro.experiments.registry import register_experiment
+from repro.objectives.registry import get_objective, objective_names
+from repro.reporting.tables import Table
+
+#: ATE channel counts of the swept operating points (64 K vectors each).
+COMPARISON_CHANNELS = (128, 256, 512)
+
+#: Vector-memory depth of the comparison (the d695 Table-1 region).
+COMPARISON_DEPTH_M = 0.0625
+
+#: The Pareto pair the experiment extracts: test time against employed capital.
+PARETO_METRICS = ("time", "cost")
+
+
+@dataclass(frozen=True)
+class ObjectiveComparisonResult:
+    """Outcome of the objective comparison on d695."""
+
+    records: tuple[AnalysisRecord, ...]
+    front: tuple[AnalysisRecord, ...]
+
+    @property
+    def objectives(self) -> tuple[str, ...]:
+        """Objective names present, sorted."""
+        return tuple(sorted({record.objective for record in self.records}))
+
+    def records_for(self, objective: str) -> tuple[AnalysisRecord, ...]:
+        """Records of one objective, in deterministic record order."""
+        return tuple(
+            record for record in self.records if record.objective == objective
+        )
+
+    def to_table(self) -> Table:
+        """Render the per-objective optima as a table."""
+        table = Table(
+            title="Objective comparison (d695, 64K vectors)",
+            columns=["objective", "sense", "N", "n_opt", "k", "value", "units"],
+        )
+        for name in self.objectives:
+            spec = get_objective(name)
+            for record in self.records_for(name):
+                table.add_row(
+                    [
+                        name,
+                        spec.sense,
+                        record.channels,
+                        record.optimal_sites,
+                        record.channels_per_site,
+                        f"{record.value:.4g}",
+                        spec.units,
+                    ]
+                )
+        return table
+
+
+def run_objective_comparison(
+    engine: Engine | None = None,
+    workers: int | None = None,
+) -> ObjectiveComparisonResult:
+    """Sweep d695 over every registered objective and extract the Pareto front."""
+    engine = engine if engine is not None else Engine()
+    cell = reference_test_cell(channels=COMPARISON_CHANNELS[0], depth_m=COMPARISON_DEPTH_M)
+    scenarios = Scenario.sweep(
+        "d695",
+        cell,
+        channels=COMPARISON_CHANNELS,
+        objectives=objective_names(),
+    )
+    results = engine.run_batch(scenarios, workers=workers)
+    records = records_from_results(results)
+    return ObjectiveComparisonResult(
+        records=records, front=pareto_front(records, *PARETO_METRICS)
+    )
+
+
+def summarize_objective_comparison(result: ObjectiveComparisonResult) -> str:
+    """Human-readable summary used by the CLI and EXPERIMENTS.md."""
+    lines = [
+        f"Objective comparison -- {len(result.objectives)} registered objectives "
+        f"on d695 at {len(COMPARISON_CHANNELS)} operating points"
+    ]
+    throughput = {
+        record.channels: record for record in result.records_for("throughput")
+    }
+    test_time = {record.channels: record for record in result.records_for("test_time")}
+    shared = sorted(throughput.keys() & test_time.keys())
+    if shared:
+        moved = sum(
+            1
+            for channels in shared
+            if throughput[channels].optimal_sites != test_time[channels].optimal_sites
+        )
+        lines.append(
+            f"  the optimal multi-site moves with the objective on {moved}/{len(shared)} "
+            "operating points (throughput packs sites, test_time widens one)"
+        )
+    lines.append(
+        f"  {PARETO_METRICS[0]}-vs-{PARETO_METRICS[1]} Pareto front: "
+        f"{len(result.front)} of {len(result.records)} swept points are non-dominated"
+    )
+    return "\n".join(lines)
+
+
+def render_objective_comparison(result: ObjectiveComparisonResult) -> str:
+    """Full CLI output of the objective-comparison experiment."""
+    return "\n".join(
+        [
+            result.to_table().render(),
+            "",
+            records_table(
+                result.front, title="Pareto front (time vs cost, all objectives)"
+            ).render(),
+            "",
+            summarize_objective_comparison(result),
+        ]
+    )
+
+
+@register_experiment(
+    "objective_comparison",
+    title="Objectives -- throughput vs test time vs cost per good die (d695)",
+    render=render_objective_comparison,
+)
+def _objective_comparison_experiment(engine: Engine) -> ObjectiveComparisonResult:
+    return run_objective_comparison(engine=engine)

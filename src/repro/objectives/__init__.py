@@ -1,0 +1,28 @@
+"""Pluggable optimisation objectives (what the solvers optimise).
+
+The objective is a first-class scenario axis, mirroring the solver axis:
+``Scenario(objective="cost_per_good_die")`` makes every registered solver
+backend optimise that objective through the shared evaluation kernel, and
+``Scenario.sweep(..., objectives=[...])`` / ``SweepGrid(...,
+objectives=[...])`` sweep it like channels or depths.  ``python -m repro
+objectives`` lists the registered backends; registering a new one is one
+decorated function (see docs/objectives.md).
+"""
+
+from repro.objectives.registry import (
+    DEFAULT_OBJECTIVE,
+    ObjectiveSpec,
+    get_objective,
+    list_objectives,
+    objective_names,
+    register_objective,
+)
+
+__all__ = [
+    "DEFAULT_OBJECTIVE",
+    "ObjectiveSpec",
+    "get_objective",
+    "list_objectives",
+    "objective_names",
+    "register_objective",
+]

@@ -143,6 +143,12 @@ class TwoStepResult:
         site count not exceeding the limit, reproducing the paper's example
         of equipment-limited multi-site (34% gain at ``n = 8`` for the
         PNX8550 with broadcast).
+
+        This figure-level comparison is defined for the paper's throughput
+        objective only (larger is better, devices/hour on both sides of
+        the ratio); for a result computed under another registered
+        objective the ratio would mix senses and units -- re-run the
+        scenario with the default objective to report a gain.
         """
         candidates = [
             point

@@ -21,19 +21,23 @@ solver backends -- are computed once per process.
 from __future__ import annotations
 
 from repro.core.exceptions import ConfigurationError
+from repro.objectives.registry import DEFAULT_OBJECTIVE, get_objective
 from repro.optimize.channels import max_channels_per_site
 from repro.optimize.result import SitePoint, Step1Result, TwoStepResult
 from repro.solvers.evaluate import evaluate_point
 from repro.tam.redistribution import widen_to_channel_budget
 
 
-def evaluate_site_count(step1: Step1Result, sites: int) -> SitePoint:
+def evaluate_site_count(
+    step1: Step1Result, sites: int, objective: str = DEFAULT_OBJECTIVE
+) -> SitePoint:
     """Evaluate one candidate site count, redistributing freed channels.
 
     The per-site channel budget follows from the site count and the
     broadcast mode; any budget beyond the Step-1 requirement (at least one
     full TAM wire, i.e. two channels) is spent widening the bottleneck
-    channel groups.
+    channel groups.  ``objective`` names the registered objective
+    (:mod:`repro.objectives`) the point is valued under.
     """
     if sites <= 0:
         raise ConfigurationError(f"site count must be positive, got {sites}")
@@ -43,7 +47,9 @@ def evaluate_site_count(step1: Step1Result, sites: int) -> SitePoint:
         )
     budget = max_channels_per_site(step1.ate.channels, sites, step1.config.broadcast)
     architecture = widen_to_channel_budget(step1.architecture, budget)
-    point = evaluate_point(architecture, sites, step1.ate, step1.probe_station, step1.config)
+    point = evaluate_point(
+        architecture, sites, step1.ate, step1.probe_station, step1.config, objective
+    )
     return SitePoint(
         sites=sites,
         channels_per_site=architecture.ate_channels,
@@ -53,7 +59,9 @@ def evaluate_site_count(step1: Step1Result, sites: int) -> SitePoint:
     )
 
 
-def step1_only_throughput(step1: Step1Result, sites: int) -> float:
+def step1_only_throughput(
+    step1: Step1Result, sites: int, objective: str = DEFAULT_OBJECTIVE
+) -> float:
     """Objective value at ``sites`` sites using the *un-widened* Step-1 design.
 
     This is the dashed reference line of the paper's Figure 5: what the
@@ -62,18 +70,22 @@ def step1_only_throughput(step1: Step1Result, sites: int) -> float:
     if sites <= 0:
         raise ConfigurationError(f"site count must be positive, got {sites}")
     return evaluate_point(
-        step1.architecture, sites, step1.ate, step1.probe_station, step1.config
+        step1.architecture, sites, step1.ate, step1.probe_station, step1.config, objective
     ).objective
 
 
-def run_step2(step1: Step1Result) -> TwoStepResult:
-    """Linear search for the throughput-optimal site count.
+def run_step2(step1: Step1Result, objective: str = DEFAULT_OBJECTIVE) -> TwoStepResult:
+    """Linear search for the objective-optimal site count.
 
     Returns a :class:`TwoStepResult` containing every evaluated site count
     (largest first, mirroring the paper's search direction) and the best
-    point.  Ties are resolved towards the larger site count, because more
-    sites at equal throughput means fewer touchdowns per wafer.
+    point.  ``objective`` names the registered objective the search
+    optimises; its sense decides whether "best" means largest or smallest
+    value (the comparison runs on the sense-signed score).  Ties are
+    resolved towards the larger site count, because more sites at equal
+    value means fewer touchdowns per wafer.
     """
+    spec = get_objective(objective)
     config = step1.config
     upper = step1.max_sites
     if config.max_sites is not None:
@@ -86,7 +98,7 @@ def run_step2(step1: Step1Result) -> TwoStepResult:
 
     points: list[SitePoint] = []
     for sites in range(upper, lower - 1, -1):
-        points.append(evaluate_site_count(step1, sites))
+        points.append(evaluate_site_count(step1, sites, objective))
 
-    best = max(points, key=lambda point: (point.throughput, point.sites))
+    best = max(points, key=lambda point: (spec.signed(point.throughput), point.sites))
     return TwoStepResult(step1=step1, points=tuple(points), best=best)

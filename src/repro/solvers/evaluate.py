@@ -10,9 +10,14 @@ it on the ``(architecture, sites, ate, probe station, config)`` tuple, so a
 Step-2 sweep (and every solver backend that sweeps candidate architectures,
 like the multi-start solver) computes each point exactly once per process.
 
-All inputs are frozen dataclasses, so the memoisation is a plain
-:func:`functools.lru_cache`; :func:`cache_info` / :func:`clear_cache`
-expose it for tests and diagnostics.
+Since the objective became a registry axis (:mod:`repro.objectives`), the
+kernel also owns objective evaluation: a point is memoised on the
+``(architecture, sites, ate, probe station, config, objective)`` tuple, so
+every solver backend optimises any registered objective through the same
+cache.  All inputs are frozen dataclasses plus the objective's registry
+name, so the memoisation is a plain :func:`functools.lru_cache`;
+:func:`cache_info` / :func:`clear_cache` expose it for tests and
+diagnostics.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.ate.probe_station import ProbeStation
 from repro.ate.spec import AteSpec
 from repro.multisite.cost_model import TestTiming
 from repro.multisite.throughput import MultiSiteScenario
+from repro.objectives.registry import DEFAULT_OBJECTIVE, get_objective
 from repro.optimize.config import Objective, OptimizationConfig
 from repro.tam.architecture import TestArchitecture
 
@@ -59,7 +65,13 @@ def scenario_for(
 
 
 def objective_value(scenario: MultiSiteScenario, config: OptimizationConfig) -> float:
-    """Evaluate the configured objective (``D_th`` or ``D^u_th``) for a scenario."""
+    """Evaluate the classic throughput objective (``D_th`` or ``D^u_th``).
+
+    Kept as the registry-free shortcut for call sites that explicitly want
+    the paper's throughput numbers (figure baselines, reports); solvers go
+    through :func:`evaluate_point`, which dispatches on the registered
+    objective name instead.
+    """
     if config.objective is Objective.UNIQUE_THROUGHPUT:
         return scenario.unique_throughput(abort_on_fail=config.abort_on_fail)
     return scenario.throughput(abort_on_fail=config.abort_on_fail)
@@ -67,12 +79,18 @@ def objective_value(scenario: MultiSiteScenario, config: OptimizationConfig) -> 
 
 @dataclass(frozen=True)
 class EvaluatedPoint:
-    """One memoised evaluation of a design at a site count."""
+    """One memoised evaluation of a design at a site count.
+
+    ``objective`` is the raw value of the evaluated objective; ``score`` is
+    its :meth:`~repro.objectives.registry.ObjectiveSpec.signed` form, which
+    solvers maximise regardless of the objective's sense.
+    """
 
     architecture: TestArchitecture
     sites: int
     scenario: MultiSiteScenario
     objective: float
+    score: float = 0.0
 
 
 @lru_cache(maxsize=EVALUATE_CACHE_SIZE)
@@ -82,18 +100,25 @@ def evaluate_point(
     ate: AteSpec,
     probe_station: ProbeStation,
     config: OptimizationConfig,
+    objective: str = DEFAULT_OBJECTIVE,
 ) -> EvaluatedPoint:
     """Evaluate one ``(design, sites)`` point, memoised per process.
 
-    The returned :class:`EvaluatedPoint` carries both the scenario (timing,
-    yields) and the objective value, so callers never rebuild either.
+    ``objective`` names a registered objective (:mod:`repro.objectives`);
+    the default is the paper's throughput.  The returned
+    :class:`EvaluatedPoint` carries the scenario (timing, yields), the raw
+    objective value and its sense-signed score, so callers never rebuild
+    any of them.
     """
     scenario = scenario_for(architecture, sites, ate, probe_station, config)
+    spec = get_objective(objective)
+    value = spec.value(scenario, config, ate)
     return EvaluatedPoint(
         architecture=architecture,
         sites=sites,
         scenario=scenario,
-        objective=objective_value(scenario, config),
+        objective=value,
+        score=spec.signed(value),
     )
 
 

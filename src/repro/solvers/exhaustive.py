@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.objectives.registry import get_objective
 from repro.optimize.result import TwoStepResult
 from repro.optimize.step1 import step1_result_from_architecture
 from repro.optimize.step2 import run_step2
@@ -88,6 +89,7 @@ def solve_exhaustive(problem: TestInfraProblem) -> TwoStepResult:
         When no partition fits the target ATE.
     """
     soc, ate, config = problem.soc, problem.ate, problem.config
+    objective = get_objective(problem.objective)
     if len(soc.modules) > MAX_EXHAUSTIVE_MODULES:
         raise ConfigurationError(
             f"exhaustive solver handles at most {MAX_EXHAUSTIVE_MODULES} modules, "
@@ -117,11 +119,11 @@ def solve_exhaustive(problem: TestInfraProblem) -> TwoStepResult:
             step1 = step1_result_from_architecture(
                 soc, architecture, ate, problem.probe_station, config
             )
-            candidate = run_step2(step1)
+            candidate = run_step2(step1, objective.name)
         except InfeasibleDesignError:
             continue
         rank = (
-            candidate.optimal_throughput,
+            objective.signed(candidate.optimal_throughput),
             -step1.channels_per_site,
             -step1.test_time_cycles,
         )

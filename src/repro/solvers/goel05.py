@@ -32,4 +32,4 @@ def solve_goel05(problem: TestInfraProblem) -> TwoStepResult:
         When the SOC cannot be tested on the target ATE at all.
     """
     step1 = run_step1(problem.soc, problem.ate, problem.probe_station, problem.config)
-    return run_step2(step1)
+    return run_step2(step1, problem.objective)

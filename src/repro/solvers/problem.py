@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 from repro.ate.probe_station import ProbeStation, reference_probe_station
 from repro.ate.spec import AteSpec
 from repro.core.exceptions import ConfigurationError
+from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.optimize.config import OptimizationConfig
 from repro.soc.soc import Soc
 
@@ -40,12 +41,16 @@ class TestInfraProblem:
     config:
         Variant switches of Section 5 (broadcast, abort-on-fail, objective,
         yields, site clamps).  Defaults to the paper's base case.
+    objective:
+        Registered objective (:mod:`repro.objectives`) the solver optimises;
+        defaults to the paper's throughput.
     """
 
     soc: Soc
     ate: AteSpec
     probe_station: ProbeStation = ProbeStation(name="prober-ref")
     config: OptimizationConfig = OptimizationConfig()
+    objective: str = DEFAULT_OBJECTIVE
 
     #: Despite the Test* name this is not a test case; keep pytest away.
     __test__ = False
@@ -59,6 +64,8 @@ class TestInfraProblem:
             raise ConfigurationError(
                 f"problem ATE must be an AteSpec, got {type(self.ate).__name__}"
             )
+        if not isinstance(self.objective, str) or not self.objective:
+            raise ConfigurationError("problem objective must be a non-empty name")
 
     @property
     def width_budget(self) -> int:
@@ -70,10 +77,18 @@ class TestInfraProblem:
         return replace(self, config=config)
 
     def describe(self) -> str:
-        """One-line summary used by reports and logs."""
+        """One-line summary used by reports and logs.
+
+        The objective is mentioned only when it deviates from the default,
+        so reports of default runs read exactly as before the objective
+        registry existed.
+        """
+        objective = (
+            "" if self.objective == DEFAULT_OBJECTIVE else f", optimize={self.objective}"
+        )
         return (
             f"problem[{self.soc.name} @ {self.ate.channels}ch x "
-            f"{self.ate.depth} vectors, {self.config.describe()}]"
+            f"{self.ate.depth} vectors, {self.config.describe()}{objective}]"
         )
 
 
@@ -82,6 +97,7 @@ def make_problem(
     ate: AteSpec,
     probe_station: ProbeStation | None = None,
     config: OptimizationConfig | None = None,
+    objective: str = DEFAULT_OBJECTIVE,
 ) -> TestInfraProblem:
     """Build a :class:`TestInfraProblem`, filling in the paper's defaults."""
     return TestInfraProblem(
@@ -89,6 +105,7 @@ def make_problem(
         ate=ate,
         probe_station=probe_station or reference_probe_station(),
         config=config or OptimizationConfig(),
+        objective=objective,
     )
 
 

@@ -14,6 +14,7 @@ their own process -- bit-identical.
 from __future__ import annotations
 
 from repro.core.exceptions import ConfigurationError, InfeasibleDesignError
+from repro.objectives.registry import get_objective
 from repro.core.rng import DeterministicRng
 from repro.optimize.result import TwoStepResult
 from repro.optimize.step1 import step1_result_from_architecture
@@ -54,6 +55,7 @@ def solve_with_restarts(
     if restarts < 0:
         raise ConfigurationError(f"restart count must be non-negative, got {restarts}")
     soc, ate, config = problem.soc, problem.ate, problem.config
+    objective = get_objective(problem.objective)
     width_budget = problem.width_budget
     if width_budget <= 0:
         raise ConfigurationError(f"ATE must provide at least 2 channels, got {ate.channels}")
@@ -73,12 +75,12 @@ def solve_with_restarts(
             step1 = step1_result_from_architecture(
                 soc, architecture, ate, problem.probe_station, config
             )
-            candidate = run_step2(step1)
+            candidate = run_step2(step1, objective.name)
         except InfeasibleDesignError as error:
             first_error = first_error or error
             continue
         rank = (
-            candidate.optimal_throughput,
+            objective.signed(candidate.optimal_throughput),
             -step1.channels_per_site,
             -step1.test_time_cycles,
         )

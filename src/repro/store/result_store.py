@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 from repro.core.exceptions import ConfigurationError, ReproError, StoreError
+from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.store.serialize import decode_result, encode_result
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,8 +66,10 @@ class StoreEntry:
         The scenario's full canonical digest (also the file stem).
     path:
         Location of the record file.
-    soc_name, solver:
+    soc_name, solver, objective:
         Scenario metadata recorded at :meth:`ResultStore.put` time.
+        ``objective`` falls back to the default objective name for records
+        written before the objective axis existed.
     package_version:
         ``repro.__version__`` of the writer.
     size_bytes:
@@ -82,6 +85,7 @@ class StoreEntry:
     package_version: str
     size_bytes: int
     created_at: float
+    objective: str = DEFAULT_OBJECTIVE
 
 
 @dataclass(frozen=True)
@@ -235,6 +239,7 @@ class ResultStore:
             "scenario": {
                 "soc": scenario.soc_name,
                 "solver": scenario.solver,
+                "objective": scenario.objective,
                 "description": scenario.describe(),
             },
             "result": encode_result(result),
@@ -278,11 +283,53 @@ class ResultStore:
                         package_version=str(record.get("package_version", "")),
                         size_bytes=path.stat().st_size,
                         created_at=float(record.get("created_at", 0.0)),
+                        objective=str(scenario.get("objective", DEFAULT_OBJECTIVE)),
                     )
                 )
             except (OSError, json.JSONDecodeError, KeyError, ValueError, ReproError):
                 self._count(corrupt=1)
         return tuple(sorted(entries, key=lambda entry: entry.key))
+
+    def records(self) -> "Iterator[tuple[StoreEntry, TwoStepResult]]":
+        """Yield every readable ``(entry, result)`` pair, sorted by key.
+
+        The bulk read the analysis layer (:mod:`repro.analysis`) scans a
+        store with: one pass over the record files parses each file once
+        and yields both the :class:`StoreEntry` metadata and the decoded
+        :class:`~repro.optimize.result.TwoStepResult` payload.  Records
+        that fail to parse or decode are skipped and counted as
+        ``corrupt``, exactly like :meth:`scan`; no record digest
+        re-verification happens here (the scenario that wrote the record
+        is not being rebuilt), so a renamed record file still yields its
+        payload.
+        """
+        from repro.optimize.result import TwoStepResult
+
+        for path in self._record_paths():
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                if not isinstance(record, dict) or record.get("format") != STORE_FORMAT:
+                    raise StoreError("not a current-format record")
+                scenario = record.get("scenario") or {}
+                entry = StoreEntry(
+                    key=str(record["key"]),
+                    path=path,
+                    soc_name=str(scenario.get("soc", "")),
+                    solver=str(scenario.get("solver", "")),
+                    package_version=str(record.get("package_version", "")),
+                    size_bytes=path.stat().st_size,
+                    created_at=float(record.get("created_at", 0.0)),
+                    objective=str(scenario.get("objective", DEFAULT_OBJECTIVE)),
+                )
+                result = decode_result(record["result"])
+                if not isinstance(result, TwoStepResult):
+                    raise StoreError(
+                        f"record payload is a {type(result).__name__}, not a TwoStepResult"
+                    )
+            except (OSError, json.JSONDecodeError, KeyError, ReproError, TypeError, ValueError):
+                self._count(corrupt=1)
+                continue
+            yield entry, result
 
     def evict(self, keys: "Iterator[str] | list[str] | tuple[str, ...] | None" = None) -> int:
         """Delete records; returns how many files were removed.

@@ -1,0 +1,218 @@
+"""Tests for the campaign analysis layer (records, summaries, Pareto).
+
+The d695 family at 64 K vectors is the pinned workload: the analysis views
+over it (record tables, group summaries, best-per-SOC, the time-vs-cost
+Pareto front) must be deterministic down to the row order, whatever order
+the results arrived in.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisRecord,
+    best_per_soc,
+    best_table,
+    get_metric,
+    group_summary,
+    load_records,
+    pareto_front,
+    pareto_table,
+    records_from_jsonl,
+    records_from_results,
+    records_from_store,
+    records_table,
+)
+from repro.analysis.analyze import METRICS
+from repro.api.engine import Engine
+from repro.api.scenario import Scenario
+from repro.api.testcell import reference_test_cell
+from repro.ate.pricing import AtePricing
+from repro.core.exceptions import ConfigurationError
+from repro.store.result_store import ResultStore
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return reference_test_cell(channels=256, depth_m=0.0625)
+
+
+@pytest.fixture(scope="module")
+def results(cell):
+    """The pinned d695 workload: 2 channel counts x 2 objectives."""
+    scenarios = Scenario.sweep(
+        "d695", cell, channels=[128, 256], objectives=["throughput", "test_time"]
+    )
+    return Engine().run_batch(scenarios)
+
+
+@pytest.fixture(scope="module")
+def records(results):
+    return records_from_results(results)
+
+
+class TestRecords:
+    def test_one_record_per_scenario(self, records):
+        assert len(records) == 4
+        assert all(isinstance(record, AnalysisRecord) for record in records)
+
+    def test_deterministic_order(self, results, records):
+        # Reversed input produces the identical tuple: order is canonical.
+        assert records_from_results(reversed(results)) == records
+
+    def test_identity_axes(self, records):
+        assert [(r.objective, r.channels) for r in records] == [
+            ("test_time", 128),
+            ("test_time", 256),
+            ("throughput", 128),
+            ("throughput", 256),
+        ]
+        assert all(r.soc == "d695" and r.solver == "goel05" for r in records)
+
+    def test_pinned_optima(self, records):
+        by_axis = {(r.objective, r.channels): r for r in records}
+        assert (by_axis["throughput", 128].optimal_sites,
+                by_axis["throughput", 128].channels_per_site) == (5, 24)
+        assert (by_axis["throughput", 256].optimal_sites,
+                by_axis["throughput", 256].channels_per_site) == (11, 22)
+        assert (by_axis["test_time", 128].optimal_sites,
+                by_axis["test_time", 128].channels_per_site) == (1, 128)
+        assert (by_axis["test_time", 256].optimal_sites,
+                by_axis["test_time", 256].channels_per_site) == (1, 256)
+
+    def test_store_roundtrip_matches(self, results, records, tmp_path):
+        store = ResultStore(tmp_path)
+        for outcome in results:
+            store.put(outcome.scenario, outcome.result)
+        assert records_from_store(store) == records
+        assert records_from_store(tmp_path) == records
+
+    def test_jsonl_roundtrip_matches(self, results, records, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            "".join(json.dumps(r.to_record(), sort_keys=True) + "\n" for r in results),
+            encoding="utf-8",
+        )
+        assert records_from_jsonl(path) == records
+
+    def test_load_records_merges_and_dedups(self, results, records, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for outcome in results:
+            store.put(outcome.scenario, outcome.result)
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            "".join(json.dumps(r.to_record()) + "\n" for r in results), encoding="utf-8"
+        )
+        merged = load_records(store=store, jsonl_paths=[path])
+        assert merged == records  # same scenarios from both sources: one row each
+
+    def test_load_records_needs_a_source(self):
+        with pytest.raises(ConfigurationError, match="at least one source"):
+            load_records()
+
+    def test_malformed_jsonl_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "a sweep record"}\n', encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="bad.jsonl:1"):
+            records_from_jsonl(path)
+
+    def test_missing_jsonl_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            records_from_jsonl(tmp_path / "nope.jsonl")
+
+
+class TestMetrics:
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            get_metric("velocity")
+
+    def test_cost_metric_prices_employed_capacity(self, records):
+        record = records[0]
+        expected = AtePricing().capital_cost_usd(record.employed_channels, record.depth)
+        assert METRICS["cost"].extract(record) == pytest.approx(expected)
+
+    def test_signed_respects_sense(self, records):
+        record = records[0]
+        assert METRICS["time"].signed(record) == METRICS["time"].extract(record)
+        assert METRICS["throughput"].signed(record) == -record.value
+
+
+class TestViews:
+    def test_records_table_shape(self, records):
+        table = records_table(records)
+        assert table.num_rows == 4
+        assert table.column("objective") == [
+            "test_time", "test_time", "throughput", "throughput",
+        ]
+
+    def test_group_summary_by_objective(self, records):
+        table = group_summary(records, "objective", "sites")
+        assert table.column("objective") == ["test_time", "throughput"]
+        assert table.column("records") == ["2", "2"]
+        assert table.column("max") == ["1", "11"]
+
+    def test_group_summary_rejects_unknown_column(self, records):
+        with pytest.raises(ConfigurationError, match="cannot group by"):
+            group_summary(records, "colour")
+
+    def test_best_per_soc_max_throughput(self, records):
+        (best,) = best_per_soc(records, "throughput")
+        assert (best.objective, best.channels) == ("throughput", 256)
+        assert best_table(records, "throughput").num_rows == 1
+
+    def test_best_per_soc_min_time(self, records):
+        (best,) = best_per_soc(records, "time")
+        # The 256-channel test_time run has the shortest optimal test time.
+        assert (best.objective, best.channels, best.optimal_sites) == (
+            "test_time", 256, 1,
+        )
+
+
+class TestPareto:
+    def test_pinned_time_cost_front(self, records):
+        front = pareto_front(records, "time", "cost")
+        assert [
+            (r.objective, r.channels, r.optimal_sites, r.channels_per_site)
+            for r in front
+        ] == [
+            ("test_time", 256, 1, 256),
+            ("test_time", 128, 1, 128),
+            ("throughput", 128, 5, 24),
+        ]
+        # Pinned metric values of the front, in front order.
+        times = [r.test_time_cycles for r in front]
+        assert times == [9634, 11139, 62248]
+        costs = [round(METRICS["cost"].extract(r), 2) for r in front]
+        assert costs == [128214.29, 64107.14, 60100.45]
+
+    def test_dominated_point_excluded(self, records):
+        front = pareto_front(records, "time", "cost")
+        # throughput@256 (n=11, k=22) employs 242 channels -- more capital
+        # than throughput@128 at the same optimal test time class; it is
+        # dominated and must not appear.
+        assert ("throughput", 256) not in {(r.objective, r.channels) for r in front}
+
+    def test_front_is_input_order_independent(self, results, records):
+        shuffled = records_from_results(list(reversed(results)))
+        assert pareto_front(shuffled, "time", "cost") == pareto_front(
+            records, "time", "cost"
+        )
+
+    def test_identical_metric_pairs_all_kept(self, records):
+        # Equal metric pairs: duplicate one record under a different key.
+        import dataclasses
+
+        clone = dataclasses.replace(records[0], key="f" * 16)
+        front = pareto_front(list(records) + [clone], "time", "cost")
+        keys = [r.key for r in front]
+        assert records[0].key in keys and clone.key in keys
+
+    def test_same_metric_rejected(self, records):
+        with pytest.raises(ConfigurationError, match="two different metrics"):
+            pareto_front(records, "time", "time")
+
+    def test_pareto_table_renders_front(self, records):
+        table = pareto_table(records, "time", "cost")
+        assert table.num_rows == 3
+        assert table.column("time") == ["9634", "1.114e+04", "6.225e+04"]

@@ -84,10 +84,18 @@ class TestSweepGrid:
         with pytest.raises(ConfigurationError, match="grid index"):
             grid.scenario_at(-1)
 
+    def test_scenario_at_far_out_of_range(self, grid):
+        # Indices far beyond the grid (and extreme negatives) fail with the
+        # same error, never wrap around via divmod.
+        for index in (len(grid) + 1, 10 * len(grid), -len(grid), -(10 ** 9), 10 ** 9):
+            with pytest.raises(ConfigurationError, match="grid index"):
+                grid.scenario_at(index)
+
     def test_empty_axes_rejected(self, cell):
         with pytest.raises(ConfigurationError):
             SweepGrid([], cell)
-        for axis in ("channels", "depths", "broadcast", "max_sites", "solvers"):
+        for axis in ("channels", "depths", "broadcast", "max_sites", "solvers",
+                     "objectives"):
             with pytest.raises(ConfigurationError, match=axis):
                 SweepGrid("d695", cell, **{axis: []})
 
@@ -186,3 +194,75 @@ class TestGridExecution:
         )
         batch = Engine().run_batch(list(grid))
         assert [r.result for r in streamed] == [r.result for r in batch]
+
+
+class TestComposition:
+    """The disjoint/complete shard invariant must survive filter and union."""
+
+    def _labels(self, scenarios):
+        return [
+            (
+                s.soc_name,
+                s.test_cell.ate.channels,
+                s.test_cell.ate.depth,
+                s.config.broadcast,
+            )
+            for s in scenarios
+        ]
+
+    def test_filter_then_shard_is_disjoint_and_complete(self, grid):
+        narrow = grid.filter(lambda s: s.test_cell.ate.channels == 128)
+        shards = [narrow.shard(index, 3) for index in range(3)]
+        merged = list(itertools.chain.from_iterable(shards))
+        assert len(merged) == len(narrow.scenarios()) == 4
+        assert len(set(self._labels(merged))) == 4, "shards of a filtered grid overlap"
+        assert set(self._labels(merged)) == set(self._labels(narrow.scenarios()))
+
+    def test_shard_then_filter_matches_filter_then_shard_union(self, grid):
+        # Filtering each shard keeps exactly the filtered grid's scenarios,
+        # split disjointly -- the two composition orders agree as sets.
+        predicate = lambda s: s.config.broadcast  # noqa: E731
+        per_shard = [
+            list(grid.shard(index, 2).filter(predicate)) for index in range(2)
+        ]
+        merged = list(itertools.chain.from_iterable(per_shard))
+        assert sorted(self._labels(merged)) == sorted(
+            self._labels(grid.filter(predicate).scenarios())
+        )
+        assert len(set(self._labels(merged))) == len(merged)
+
+    def test_union_of_filtered_shards_rebuilds_the_grid(self, grid):
+        # shard | shard is a Grid union; together with a pass-all filter it
+        # must reproduce the whole grid exactly once.
+        union = grid.shard(0, 2) | grid.shard(1, 2)
+        everything = union.filter(lambda s: True).scenarios()
+        assert sorted(self._labels(everything)) == sorted(self._labels(grid))
+        assert len(everything) == len(grid)
+
+    def test_shard_of_union_of_filters_is_disjoint_complete(self, cell):
+        base = SweepGrid(
+            "d695", cell, channels=[64, 128, 256], broadcast=[False, True]
+        )
+        union = base.filter(lambda s: not s.config.broadcast) | base.filter(
+            lambda s: s.config.broadcast
+        )
+        shards = [union.shard(index, 4) for index in range(4)]
+        merged = list(itertools.chain.from_iterable(shards))
+        assert len(merged) == len(base)
+        assert len(set(self._labels(merged))) == len(base)
+        assert set(self._labels(merged)) == set(self._labels(base))
+
+    def test_filtered_shard_lengths_unknowable(self, grid):
+        # A shard of a filtered grid has no len either: its source is lazy.
+        with pytest.raises(TypeError):
+            len(grid.filter(lambda s: True).shard(0, 2))
+
+    def test_objectives_axis_survives_composition(self, cell):
+        grid = SweepGrid(
+            "d695", cell, channels=[64, 128], objectives=["throughput", "test_time"]
+        )
+        costed = grid.filter(lambda s: s.objective == "test_time")
+        shards = [costed.shard(index, 2) for index in range(2)]
+        merged = list(itertools.chain.from_iterable(shards))
+        assert len(merged) == 2
+        assert all(s.objective == "test_time" for s in merged)

@@ -157,3 +157,70 @@ class TestResultsDigest:
         results = Engine().run_batch(grid[:2])
         assert results_digest(results) != results_digest(results[:1])
         assert results_digest(results) == results_digest(tuple(results))
+
+
+class TestCompareReports:
+    def test_compare_smoke_reports(self, smoke_reports):
+        from repro.bench.runner import compare_reports
+
+        cold, warm = smoke_reports
+        text = compare_reports(warm, cold)
+        assert "bench compare: cold" in text and "-> warm" in text
+        assert "economics" in text
+        assert "digests: identical" in text
+        assert "x)" in text  # at least one speedup ratio
+
+    def test_compare_flags_different_workloads(self, smoke_reports):
+        from repro.bench.runner import compare_reports
+
+        cold, warm = smoke_reports
+        other = dict(warm, sweep=dict(warm["sweep"], scenarios=99))
+        assert "not comparable" in compare_reports(other, cold)
+
+    def test_compare_flags_digest_mismatch(self, smoke_reports):
+        from repro.bench.runner import compare_reports
+
+        cold, warm = smoke_reports
+        other = dict(warm, sweep=dict(warm["sweep"], digest="deadbeef"))
+        assert "digests: DIFFER" in compare_reports(other, cold)
+
+    def test_load_report_roundtrip(self, smoke_reports, tmp_path):
+        from repro.bench.runner import load_report, write_report
+
+        cold, _ = smoke_reports
+        path = write_report(cold, tmp_path)
+        assert load_report(path)["tag"] == "cold"
+
+    def test_load_report_rejects_non_reports(self, tmp_path):
+        from repro.bench.runner import load_report
+        from repro.core.exceptions import ConfigurationError
+
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_report(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_report(bad)
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not a bench report"):
+            load_report(empty)
+
+    def test_committed_seed_baseline_loads(self):
+        from pathlib import Path
+
+        from repro.bench.runner import load_report
+
+        seed_path = Path(__file__).resolve().parents[1] / "BENCH_seed.json"
+        assert seed_path.is_file(), "BENCH_seed.json baseline missing from the repo root"
+        seed = load_report(seed_path)
+        assert seed["tag"] == "seed"
+        assert seed["sweep"]["scenarios"] >= 4
+
+    def test_bench_sweep_grid_objective_axis(self):
+        grid = bench_sweep_grid(smoke=True, objective="cost_per_good_die")
+        assert all(s.objective == "cost_per_good_die" for s in grid)
+        # The default-objective grid keeps its pre-objective digests.
+        default = bench_sweep_grid(smoke=True)
+        assert all(len(s.canonical_key()) == 4 for s in default)

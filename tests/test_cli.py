@@ -224,3 +224,145 @@ class TestSweepCommand:
         assert len(shard_keys) == len(set(shard_keys)) == 10  # disjoint
         assert sorted(shard_keys) == sorted(full_keys)        # complete
         capsys.readouterr()
+
+
+class TestObjectivesCommand:
+    def test_lists_registered_objectives(self, capsys):
+        assert main(["objectives"]) == 0
+        out = capsys.readouterr().out
+        for name in ("throughput", "test_time", "cost_per_good_die", "channel_budget"):
+            assert name in out
+        assert "[default]" in out
+
+    def test_design_with_objective(self, capsys):
+        exit_code = main([
+            "design", "d695", "--channels", "256", "--depth-m", "0.0625",
+            "--objective", "test_time",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "optimized: test_time (minimised)" in out
+        # The minimised objective spends the whole budget on one wide site.
+        assert "n_opt=1" in out
+
+    def test_design_with_unknown_objective_errors(self, capsys):
+        assert main(["design", "d695", "--objective", "velocity"]) == 1
+        assert "unknown objective" in capsys.readouterr().err
+
+    def test_sweep_objective_axis(self, tmp_path, capsys):
+        output = tmp_path / "sweep.jsonl"
+        exit_code = main([
+            "sweep", "synthetic:7:4", "--channels", "48", "--depth-m", "1",
+            "--objective", "throughput", "test_time", "--output", str(output),
+        ])
+        assert exit_code == 0
+        records = [json.loads(line) for line in output.read_text().splitlines()]
+        assert sorted(r["objective_name"] for r in records) == [
+            "test_time", "throughput",
+        ]
+
+
+class TestStoreInfoCommand:
+    def test_requires_store_flag(self, capsys):
+        assert main(["store", "info"]) == 1
+        assert "--store" in capsys.readouterr().err
+
+    def test_reports_counts_and_bytes(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(SWEEP_ARGS + ["--store", str(store_dir), "--output",
+                                  str(tmp_path / "out.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(["store", "info", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "records: 4" in out
+        assert "format: 1" in out
+        assert "by SOC: synthetic:7:4=2, synthetic:8:4=2" in out
+        assert "by solver: goel05=4" in out
+        assert "by objective: throughput=4" in out
+        bytes_line = next(line for line in out.splitlines() if line.startswith("bytes:"))
+        assert int(bytes_line.split()[1]) > 0
+
+    def test_empty_store_reports_zero(self, tmp_path, capsys):
+        assert main(["store", "info", "--store", str(tmp_path / "fresh")]) == 0
+        out = capsys.readouterr().out
+        assert "records: 0" in out
+        assert "bytes: 0" in out
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture()
+    def sweep_artifacts(self, tmp_path, capsys):
+        """A store + JSONL pair produced by one small sweep."""
+        store_dir = tmp_path / "store"
+        output = tmp_path / "sweep.jsonl"
+        assert main(SWEEP_ARGS + ["--store", str(store_dir), "--output", str(output)]) == 0
+        capsys.readouterr()
+        return store_dir, output
+
+    def test_records_table_from_jsonl(self, sweep_artifacts, capsys):
+        _, output = sweep_artifacts
+        assert main(["analyze", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign records" in out
+        assert "4 records analysed" in out
+
+    def test_records_table_from_store(self, sweep_artifacts, capsys):
+        store_dir, _ = sweep_artifacts
+        assert main(["analyze", "--store", str(store_dir)]) == 0
+        assert "4 records analysed" in capsys.readouterr().out
+
+    def test_store_and_jsonl_dedupe(self, sweep_artifacts, capsys):
+        store_dir, output = sweep_artifacts
+        assert main(["analyze", "--store", str(store_dir), str(output)]) == 0
+        assert "4 records analysed" in capsys.readouterr().out
+
+    def test_group_by_and_best(self, sweep_artifacts, capsys):
+        _, output = sweep_artifacts
+        assert main([
+            "analyze", str(output), "--group-by", "soc", "--best",
+            "--metric", "throughput",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "by soc" in out
+        assert "Best per SOC" in out
+
+    def test_pareto_view(self, sweep_artifacts, capsys):
+        _, output = sweep_artifacts
+        assert main(["analyze", str(output), "--pareto", "time,cost"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front: time (min) vs cost (min)" in out
+
+    def test_pareto_output_is_deterministic(self, sweep_artifacts, capsys):
+        _, output = sweep_artifacts
+        assert main(["analyze", str(output), "--pareto", "time,cost"]) == 0
+        first = capsys.readouterr().out
+        assert main(["analyze", str(output), "--pareto", "time,cost"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_malformed_pareto_spec_errors(self, sweep_artifacts, capsys):
+        _, output = sweep_artifacts
+        assert main(["analyze", str(output), "--pareto", "time"]) == 1
+        assert "malformed pareto spec" in capsys.readouterr().err
+
+    def test_no_sources_errors(self, capsys):
+        assert main(["analyze"]) == 1
+        assert "at least one source" in capsys.readouterr().err
+
+    def test_empty_store_reports_no_records(self, tmp_path, capsys):
+        assert main(["analyze", "--store", str(tmp_path / "fresh")]) == 1
+        assert "no records found" in capsys.readouterr().err
+
+
+class TestBenchCompareFlag:
+    def test_parser_accepts_compare(self):
+        args = build_parser().parse_args(["bench", "--smoke", "--compare", "PREV.json"])
+        assert args.compare == "PREV.json"
+        assert args.objective == "throughput"
+
+    def test_missing_compare_file_errors(self, capsys, tmp_path):
+        exit_code = main([
+            "bench", "--smoke", "--compare", str(tmp_path / "nope.json"),
+            "--output", str(tmp_path),
+        ])
+        assert exit_code == 1
+        assert "cannot read bench report" in capsys.readouterr().err

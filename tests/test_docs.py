@@ -11,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import _BUILTIN_COMMANDS, build_parser, experiment_commands
+from repro.objectives.registry import list_objectives, objective_names
 from repro.solvers.registry import solver_names
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -59,7 +60,8 @@ class TestCliDoc:
     def test_flags_documented(self, cli_doc_text):
         for flag in ("--solver", "--store", "--workers", "--smoke", "--tag",
                      "--broadcast", "--max-sites", "--shard", "--resume",
-                     "--output", "--solvers"):
+                     "--output", "--solvers", "--objective", "--compare",
+                     "--group-by", "--metric", "--best", "--pareto"):
             assert flag in cli_doc_text
 
     def test_parser_and_doc_agree(self, cli_doc_text):
@@ -76,8 +78,9 @@ class TestCliDoc:
 class TestArchitectureDoc:
     def test_mentions_every_layer_package(self, architecture_text):
         for package in ("core", "soc", "ate", "itc02", "wrapper", "tam", "rpct",
-                        "multisite", "optimize", "solvers", "store", "api",
-                        "bench", "experiments", "reporting"):
+                        "multisite", "optimize", "solvers", "objectives",
+                        "analysis", "store", "api", "bench", "experiments",
+                        "reporting"):
             assert package in architecture_text, (
                 f"ARCHITECTURE.md no longer mentions the {package!r} package"
             )
@@ -95,8 +98,15 @@ class TestArchitectureDoc:
     def test_describes_cache_tiers(self, architecture_text):
         for anchor in ("canonical_key", "digest", "ResultStore", "evaluate",
                        "STORE_FORMAT", "register_solver", "register_experiment",
-                       "register_storable", "register_catalog_soc"):
+                       "register_storable", "register_catalog_soc",
+                       "register_objective"):
             assert anchor in architecture_text
+
+    def test_mentions_registered_objectives(self, architecture_text):
+        for name in objective_names():
+            assert name in architecture_text, (
+                f"ARCHITECTURE.md no longer mentions the {name!r} objective"
+            )
 
     def test_describes_grid_and_campaign_layer(self, architecture_text):
         for anchor in ("SweepGrid", "run_iter", "shard", "catalog",
@@ -112,3 +122,41 @@ class TestReadme:
     def test_mentions_bench_and_store(self, readme_text):
         assert "bench" in readme_text
         assert "ResultStore" in readme_text
+
+
+class TestObjectivesDoc:
+    """docs/objectives.md stays in sync with the objective registry."""
+
+    @pytest.fixture(scope="class")
+    def objectives_text(self) -> str:
+        path = REPO_ROOT / "docs" / "objectives.md"
+        assert path.is_file(), "docs/objectives.md is missing"
+        return path.read_text(encoding="utf-8")
+
+    def test_every_registered_objective_documented(self, objectives_text):
+        for spec in list_objectives():
+            assert f"`{spec.name}`" in objectives_text, (
+                f"objective {spec.name!r} is registered but not documented in "
+                "docs/objectives.md -- add it to the built-ins table"
+            )
+
+    def test_documented_senses_match_registry(self, objectives_text):
+        # Each built-in's table row must state the registered sense.
+        for spec in list_objectives():
+            row = next(
+                (line for line in objectives_text.splitlines()
+                 if line.startswith(f"| `{spec.name}`")),
+                None,
+            )
+            assert row is not None, f"no table row for {spec.name!r}"
+            assert f"| {spec.sense} |" in row, (
+                f"docs/objectives.md documents the wrong sense for {spec.name!r}"
+            )
+
+    def test_registration_walkthrough_present(self, objectives_text):
+        assert "register_objective" in objectives_text
+        assert "sense" in objectives_text
+
+    def test_readme_or_architecture_link(self, objectives_text):
+        architecture = (REPO_ROOT / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        assert "docs/objectives.md" in architecture
