@@ -161,11 +161,18 @@ from repro.soc import (
     synthetic_soc_name,
 )
 from repro.schedule import TestSchedule, build_schedule
-from repro.store import ResultStore, StoreEntry, StoreInfo
+from repro.store import (
+    PackedResultStore,
+    ResultStore,
+    StoreEntry,
+    StoreInfo,
+    migrate_store,
+    open_store,
+)
 from repro.tam import TestArchitecture, design_architecture
 from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CacheInfo",
@@ -233,9 +240,12 @@ __all__ = [
     "synthetic_soc_name",
     "TestSchedule",
     "build_schedule",
+    "PackedResultStore",
     "ResultStore",
     "StoreEntry",
     "StoreInfo",
+    "migrate_store",
+    "open_store",
     "TestArchitecture",
     "design_architecture",
     "WrapperDesign",

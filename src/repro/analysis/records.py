@@ -25,6 +25,8 @@ from typing import TYPE_CHECKING, Any, Iterable, Sequence
 from repro.core.exceptions import ConfigurationError
 from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.optimize.channels import total_channels_used
+from repro.store.factory import open_store
+from repro.store.packed import PackedResultStore
 from repro.store.result_store import ResultStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -117,14 +119,16 @@ def records_from_results(results: Iterable["ScenarioResult"]) -> tuple[AnalysisR
     return _finalize(_record_from_result(outcome) for outcome in results)
 
 
-def records_from_store(store: ResultStore | str | Path) -> tuple[AnalysisRecord, ...]:
+def records_from_store(
+    store: "ResultStore | PackedResultStore | str | Path",
+) -> tuple[AnalysisRecord, ...]:
     """Scan a persistent result store into analysis records.
 
-    Accepts a :class:`~repro.store.ResultStore` or the path of one.
-    Corrupt records are skipped, exactly as the store's own readers do.
+    Accepts a store object or the path of one (either backend -- legacy
+    directory or packed; see :func:`repro.store.open_store`).  Corrupt
+    records are skipped, exactly as the store's own readers do.
     """
-    if not isinstance(store, ResultStore):
-        store = ResultStore(store)
+    store = open_store(store)
     rows = []
     for entry, result in store.records():
         rows.append(
@@ -191,7 +195,7 @@ def records_from_jsonl(path: str | Path) -> tuple[AnalysisRecord, ...]:
 
 
 def load_records(
-    store: ResultStore | str | Path | None = None,
+    store: "ResultStore | PackedResultStore | str | Path | None" = None,
     jsonl_paths: Sequence[str | Path] = (),
 ) -> tuple[AnalysisRecord, ...]:
     """Load and merge records from a store and/or sweep JSONL files.

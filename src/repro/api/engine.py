@@ -47,6 +47,8 @@ from repro.reporting.series import Series
 from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.solvers.problem import make_problem
 from repro.solvers.registry import DEFAULT_SOLVER, solve
+from repro.store.factory import open_store
+from repro.store.packed import PackedResultStore
 from repro.store.result_store import ResultStore
 
 
@@ -148,8 +150,10 @@ class Engine:
         so unbounded sweeps cannot grow the engine without limit.  Evictions
         are reported in :meth:`cache_info`.
     store:
-        Optional persistent tier: a :class:`~repro.store.ResultStore`, or a
-        directory path one is created at.  Scenarios missing from the
+        Optional persistent tier: a :class:`~repro.store.ResultStore` or
+        :class:`~repro.store.PackedResultStore`, or a directory path one is
+        opened at (the backend is detected from the on-disk layout, see
+        :func:`repro.store.open_store`).  Scenarios missing from the
         in-memory cache are looked up here before being computed, and
         computed results are written back, so results are shared across
         processes and sessions.  ``None`` (default) keeps the engine fully
@@ -161,14 +165,14 @@ class Engine:
         cache: bool = True,
         workers: int | None = None,
         max_entries: int | None = None,
-        store: "ResultStore | str | Path | None" = None,
+        store: "ResultStore | PackedResultStore | str | Path | None" = None,
     ) -> None:
         if workers is not None and workers <= 0:
             raise ConfigurationError(f"worker count must be positive, got {workers}")
         if max_entries is not None and max_entries <= 0:
             raise ConfigurationError(f"max_entries must be positive, got {max_entries}")
-        if store is not None and not isinstance(store, ResultStore):
-            store = ResultStore(store)
+        if store is not None:
+            store = open_store(store)
         self._cache_enabled = cache
         self._workers = workers
         self._max_entries = max_entries
@@ -184,7 +188,7 @@ class Engine:
     # Cache management
     # ------------------------------------------------------------------
     @property
-    def store(self) -> ResultStore | None:
+    def store(self) -> "ResultStore | PackedResultStore | None":
         """The persistent store tier, or ``None`` for a memory-only engine."""
         return self._result_store
 

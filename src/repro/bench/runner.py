@@ -50,6 +50,7 @@ from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.experiments.registry import get_experiment, experiment_names
 from repro.solvers import evaluate as evaluate_kernel
 from repro.solvers.registry import solver_names
+from repro.store.factory import open_store
 from repro.store.result_store import ResultStore
 
 #: Version of the report payload layout.
@@ -259,8 +260,8 @@ def run_bench(
         tag = default_tag()
     if not tag or any(sep in tag for sep in "/\\"):
         raise ConfigurationError(f"bench tag must be a plain label, got {tag!r}")
-    if store is not None and not isinstance(store, ResultStore):
-        store = ResultStore(store)
+    if store is not None:
+        store = open_store(store)
 
     experiments = SMOKE_EXPERIMENTS if smoke else experiment_names()
     started = time.perf_counter()
@@ -478,3 +479,75 @@ def compare_reports(current: dict[str, Any], previous: dict[str, Any]) -> str:
         ).replace("    ", "  ", 1)
     )
     return "\n".join(lines)
+
+
+#: Workloads faster than this (in both reports) are never called regressions:
+#: at sub-50ms scale, timer jitter swamps any real signal.
+REGRESSION_FLOOR_SECONDS = 0.05
+
+
+def find_regressions(
+    current: dict[str, Any], previous: dict[str, Any], threshold_pct: float
+) -> list[str]:
+    """Workloads of ``current`` slower than ``previous`` by more than the threshold.
+
+    The CI ratchet behind ``repro bench --compare BENCH_seed.json
+    --fail-on-regression PCT``: every workload the two reports share by
+    name -- experiments, solver backends, the d695 sweep, the campaign's
+    cold leg -- is compared, and a line is returned for each one whose
+    current time exceeds the previous time by more than ``threshold_pct``
+    percent.  Workloads below :data:`REGRESSION_FLOOR_SECONDS` in both
+    reports are ignored (pure timer noise), as are workloads only one
+    report has.  An empty list means the ratchet passes.
+
+    Raises
+    ------
+    ConfigurationError
+        When ``threshold_pct`` is negative.
+    """
+    if threshold_pct < 0:
+        raise ConfigurationError(
+            f"regression threshold must be >= 0 percent, got {threshold_pct}"
+        )
+
+    pairs: list[tuple[str, float, float]] = []
+    for section in ("experiments", "solvers"):
+        previous_rows = {
+            row["name"]: row for row in previous.get(section, ()) if "seconds" in row
+        }
+        for row in current.get(section, ()):
+            name = row.get("name")
+            if "seconds" in row and name in previous_rows:
+                pairs.append(
+                    (f"{section[:-1]} {name}", previous_rows[name]["seconds"], row["seconds"])
+                )
+    previous_sweep, current_sweep = previous.get("sweep"), current.get("sweep")
+    if (
+        previous_sweep
+        and current_sweep
+        and previous_sweep.get("scenarios") == current_sweep.get("scenarios")
+        and previous_sweep.get("objective", DEFAULT_OBJECTIVE)
+        == current_sweep.get("objective", DEFAULT_OBJECTIVE)
+    ):
+        pairs.append(("sweep", previous_sweep["seconds"], current_sweep["seconds"]))
+    previous_campaign, current_campaign = previous.get("campaign"), current.get("campaign")
+    if previous_campaign and current_campaign:
+        pairs.append(
+            (
+                "campaign cold sweep",
+                previous_campaign["cold_seconds"],
+                current_campaign["cold_seconds"],
+            )
+        )
+
+    regressions = []
+    for label, before, after in pairs:
+        if max(before, after) < REGRESSION_FLOOR_SECONDS:
+            continue
+        if after > before * (1.0 + threshold_pct / 100.0):
+            slower = (after / before - 1.0) * 100.0 if before > 0 else float("inf")
+            regressions.append(
+                f"{label}: {before:.3f}s -> {after:.3f}s (+{slower:.1f}%, "
+                f"threshold +{threshold_pct:g}%)"
+            )
+    return regressions

@@ -16,9 +16,16 @@ Installed as ``repro-multisite`` (see ``setup.py``) and runnable as
   the synthetic family pattern);
 * ``solvers``    -- list the registered solver backends;
 * ``objectives`` -- list the registered optimisation objectives;
-* ``store``      -- inspect a persistent result store (``store info``);
+* ``store``      -- inspect and maintain a persistent result store
+  (``store info``, ``store migrate`` to the packed backend,
+  ``store compact``);
+* ``serve``      -- run the campaign service daemon: lease sweep shards to
+  workers over HTTP/JSON and collect their records into one store;
+* ``work``       -- the matching worker loop: lease shards from a
+  ``--server URL``, compute locally, upload records;
 * ``bench``      -- time experiments/solvers/sweeps and write ``BENCH_<tag>.json``
-  (``--compare PREV.json`` prints a regression summary);
+  (``--compare PREV.json`` prints a regression summary;
+  ``--fail-on-regression PCT`` turns it into a CI ratchet);
 * ``all``        -- regenerate the full experiment report (slow);
 * one sub-command per registered experiment (``table1``, ``figure5``,
   ``figure6``, ``figure7``, ``economics``, ``ablation``,
@@ -62,6 +69,7 @@ from repro.ate.probe_station import ProbeStation
 from repro.ate.spec import AteSpec
 from repro.bench.runner import (
     compare_reports,
+    find_regressions,
     load_report,
     run_bench,
     summarize_report,
@@ -76,9 +84,15 @@ from repro.itc02.parser import parse_soc_file
 from repro.itc02.registry import list_benchmarks
 from repro.objectives.registry import DEFAULT_OBJECTIVE, get_objective, list_objectives
 from repro.optimize.config import Objective, OptimizationConfig
+from repro.service.client import ServiceClient
+from repro.service.protocol import GridSpec
+from repro.service.server import DEFAULT_LEASE_TTL, start_server
+from repro.service.worker import run_worker
 from repro.soc.catalog import SYNTHETIC_PATTERN, list_catalog
 from repro.soc.soc import Soc
 from repro.solvers.registry import DEFAULT_SOLVER, list_solvers
+from repro.store.factory import is_packed, migrate_store, open_store
+from repro.store.packed import PackedResultStore
 from repro.store.result_store import STORE_FORMAT, ResultStore
 
 #: Sub-commands with bespoke handlers; every other sub-command is generated
@@ -91,6 +105,8 @@ _BUILTIN_COMMANDS = (
     "solvers",
     "objectives",
     "store",
+    "serve",
+    "work",
     "bench",
     "all",
 )
@@ -124,9 +140,13 @@ def _store_options() -> argparse.ArgumentParser:
 
 
 def _engine_from_args(args: argparse.Namespace) -> Engine:
-    """Build the engine a sub-command runs through (store-backed with --store)."""
+    """Build the engine a sub-command runs through (store-backed with --store).
+
+    The backend (legacy directory or packed) is detected from the store's
+    on-disk layout, so every sub-command works over either transparently.
+    """
     store = getattr(args, "store", None)
-    return Engine(store=ResultStore(store) if store else None)
+    return Engine(store=open_store(store) if store else None)
 
 
 def _resolve_soc_argument(spec: str) -> Soc | str:
@@ -273,6 +293,15 @@ def _add_sweep_parser(
         help="JSONL destination, one result record per line as it completes "
         "(default '-': stdout)",
     )
+    parser.add_argument(
+        "--server", metavar="URL", default=None,
+        help="submit the grid as a campaign to a running 'repro serve' daemon "
+        "instead of sweeping locally (SOCs must be catalog names)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard count of a submitted campaign (only with --server; default 1)",
+    )
 
 
 def _parse_shard(spec: str) -> tuple[int, int]:
@@ -310,6 +339,50 @@ def _sweep_grid(args: argparse.Namespace) -> Grid:
     return grid
 
 
+def _sweep_grid_spec(args: argparse.Namespace) -> GridSpec:
+    """Build the wire-form grid spec a ``sweep --server`` submission ships.
+
+    The same axes as :func:`_sweep_grid`, but as catalog names and raw
+    vector depths -- workers rebuild the grid remotely, so ``.soc`` file
+    paths (which only exist locally) are rejected.
+    """
+    for spec in args.socs:
+        if spec.endswith(".soc"):
+            raise ConfigurationError(
+                f"campaign submission needs catalog SOC names; {spec!r} is a local file"
+            )
+    if args.shard is not None:
+        raise ConfigurationError(
+            "--shard slices a local sweep; submitted campaigns use --shards N"
+        )
+    return GridSpec(
+        socs=tuple(args.socs),
+        channels=tuple(args.channels) if args.channels is not None else None,
+        depths=(
+            tuple(mega_vectors(depth) for depth in args.depths_m)
+            if args.depths_m is not None
+            else None
+        ),
+        frequency_mhz=args.frequency_mhz,
+        broadcast=args.broadcast,
+        max_sites=tuple(args.max_sites) if args.max_sites is not None else None,
+        solvers=tuple(args.solvers) if args.solvers is not None else None,
+        objectives=tuple(args.objectives) if args.objectives is not None else None,
+        shards=args.shards,
+    )
+
+
+def _submit_sweep(args: argparse.Namespace) -> int:
+    """Submit the sweep grid as a campaign (``sweep --server URL``)."""
+    progress = ServiceClient(args.server).submit_campaign(_sweep_grid_spec(args))
+    print(
+        f"campaign {progress['campaign']} submitted: {progress['total']} scenarios "
+        f"in {progress['shards']} shard(s), {progress['solved']} already solved"
+    )
+    print(f"workers: repro work --server {args.server} --until-idle")
+    return 0
+
+
 @contextlib.contextmanager
 def _open_output(spec: str):
     """The sweep's JSONL sink: stdout for ``-``, else the named file."""
@@ -327,11 +400,15 @@ def _run_sweep(args: argparse.Namespace) -> int:
     unless the JSONL itself goes to stdout (``--output -``), in which case
     the summary moves to stderr to keep the record stream clean.
     """
+    if args.server is not None:
+        return _submit_sweep(args)
+    if args.shards != 1:
+        raise ConfigurationError("--shards shapes a submitted campaign; it needs --server URL")
     if args.resume and not args.store:
         raise ConfigurationError("--resume needs the --store directory to resume from")
     grid = _sweep_grid(args)
     total = len(grid)
-    engine = Engine(store=ResultStore(args.store) if args.store else None)
+    engine = Engine(store=open_store(args.store) if args.store else None)
     results = []
     with _open_output(args.output) as (sink, info_out):
         before = engine.cache_info()
@@ -404,9 +481,21 @@ def _add_bench_parser(
         help="previous BENCH_<tag>.json to print a regression summary against "
         "(e.g. the committed BENCH_seed.json baseline)",
     )
+    parser.add_argument(
+        "--fail-on-regression",
+        metavar="PCT",
+        type=float,
+        default=None,
+        help="exit non-zero when any shared workload is more than PCT percent "
+        "slower than the --compare baseline (the CI perf ratchet)",
+    )
 
 
 def _run_bench(args: argparse.Namespace) -> int:
+    if args.fail_on_regression is not None and not args.compare:
+        raise ConfigurationError(
+            "--fail-on-regression needs --compare PREV.json to ratchet against"
+        )
     previous = load_report(args.compare) if args.compare else None
     report = run_bench(
         tag=args.tag,
@@ -421,6 +510,18 @@ def _run_bench(args: argparse.Namespace) -> int:
         print()
         print(compare_reports(report, previous))
     print(f"report written to {path}")
+    if previous is not None and args.fail_on_regression is not None:
+        regressions = find_regressions(report, previous, args.fail_on_regression)
+        if regressions:
+            print(
+                f"perf ratchet FAILED: {len(regressions)} workload(s) regressed "
+                f"beyond +{args.fail_on_regression:g}%:",
+                file=sys.stderr,
+            )
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"perf ratchet passed (threshold +{args.fail_on_regression:g}%)")
     return 0
 
 
@@ -496,19 +597,67 @@ def _add_store_parser(
     subparsers: argparse._SubParsersAction, store_options: argparse.ArgumentParser
 ) -> None:
     parser = subparsers.add_parser(
-        "store", help="inspect a persistent result store"
+        "store", help="inspect and maintain a persistent result store"
     )
     store_subparsers = parser.add_subparsers(dest="store_command", required=True)
     store_subparsers.add_parser(
         "info",
         parents=[store_options],
-        help="record count, bytes and format of a --store directory",
+        help="record count, bytes and format of a --store directory "
+        "(packed stores: per-segment stats and orphan detection)",
+    )
+    migrate = store_subparsers.add_parser(
+        "migrate",
+        parents=[store_options],
+        help="convert a legacy one-file-per-record store to the packed format "
+        "(digest-verified; in place unless --dest is given)",
+    )
+    migrate.add_argument(
+        "--dest", metavar="DIR", default=None,
+        help="write the packed store here instead of migrating in place",
+    )
+    store_subparsers.add_parser(
+        "compact",
+        parents=[store_options],
+        help="rewrite a packed store's live records into one fresh segment, "
+        "reclaiming dead bytes and dropping orphaned index entries",
     )
 
 
-def _run_store(args: argparse.Namespace) -> int:
-    if not args.store:
-        raise ConfigurationError("store info needs --store DIR to inspect")
+def _run_store_info_packed(store: PackedResultStore) -> int:
+    print(f"store: {store.root}")
+    print("backend: packed")
+    print(f"format: {STORE_FORMAT}")
+    print(f"records: {len(store)}")
+    print(f"bytes: {store.total_bytes()}")
+    stats = store.segment_stats()
+    print(f"segments: {len(stats)}")
+    for stat in stats:
+        detail = f"{stat.records} records, {stat.live_bytes}/{stat.file_bytes} bytes live"
+        if stat.missing:
+            detail += "  [MISSING FILE]"
+        elif stat.dead_bytes:
+            detail += f" ({stat.dead_bytes} dead)"
+        print(f"  {stat.name}: {detail}")
+    orphans = store.orphans()
+    if orphans:
+        print(
+            f"orphaned: {len(orphans)} index entr(ies) whose record bytes are gone "
+            "(run 'repro store compact' to drop them)"
+        )
+    for label, column in (("SOC", "soc"), ("solver", "solver"), ("objective", "objective")):
+        counts = store.breakdown(column)
+        if counts:
+            breakdown = ", ".join(
+                f"{name or '?'}={counts[name]}" for name in sorted(counts)
+            )
+            print(f"by {label}: {breakdown}")
+    return 0
+
+
+def _run_store_info(args: argparse.Namespace) -> int:
+    if is_packed(args.store):
+        return _run_store_info_packed(PackedResultStore(args.store))
     store = ResultStore(args.store)
     entries = store.scan()
     total_bytes = sum(entry.size_bytes for entry in entries)
@@ -533,6 +682,147 @@ def _run_store(args: argparse.Namespace) -> int:
                 f"{name}={counts[name]}" for name in sorted(counts)
             )
             print(f"by {label}: {breakdown}")
+    return 0
+
+
+def _run_store_migrate(args: argparse.Namespace) -> int:
+    report = migrate_store(args.store, destination=args.dest)
+    where = "in place" if report.in_place else f"to {report.destination}"
+    print(f"migrated {report.source} {where}: {report.migrated} record(s)")
+    if report.corrupt:
+        print(f"skipped: {report.corrupt} corrupt record file(s) left behind")
+    print(f"bytes: {report.bytes_before} -> {report.bytes_after}")
+    return 0
+
+
+def _run_store_compact(args: argparse.Namespace) -> int:
+    if not is_packed(args.store):
+        raise ConfigurationError(
+            f"{args.store} is not a packed store; 'store compact' only applies "
+            "after 'repro store migrate'"
+        )
+    stats = PackedResultStore(args.store).compact()
+    print(f"compacted: {stats.records} live record(s), {stats.orphans_dropped} dropped")
+    print(f"segments: {stats.segments_before} -> {stats.segments_after}")
+    print(
+        f"bytes: {stats.bytes_before} -> {stats.bytes_after} "
+        f"({stats.bytes_reclaimed} reclaimed)"
+    )
+    return 0
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    if not args.store:
+        raise ConfigurationError(f"store {args.store_command} needs --store DIR")
+    if args.store_command == "migrate":
+        return _run_store_migrate(args)
+    if args.store_command == "compact":
+        return _run_store_compact(args)
+    return _run_store_info(args)
+
+
+def _add_serve_parser(
+    subparsers: argparse._SubParsersAction, store_options: argparse.ArgumentParser
+) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        parents=[store_options],
+        help="run the campaign service daemon (lease shards, collect records)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8750,
+        help="bind port (default 8750; 0 picks any free port)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=DEFAULT_LEASE_TTL, metavar="SECONDS",
+        help="seconds a worker may go between heartbeats before its shard "
+        f"lease expires and is re-offered (default {DEFAULT_LEASE_TTL:g})",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    if not args.store:
+        raise ConfigurationError("serve needs --store DIR for the campaign results")
+    log = None if args.quiet else (lambda message: print(message, file=sys.stderr, flush=True))
+    server = start_server(
+        args.store,
+        host=args.host,
+        port=args.port,
+        lease_ttl=args.lease_ttl,
+        log=log,
+    )
+    host, port = server.server_address[:2]
+    info = server.app.store.info()
+    # The parseable address line comes first (tests and scripts wait for
+    # it), then the human context.
+    print(f"listening on http://{host}:{port}", flush=True)
+    print(
+        f"store: {server.app.store.root} ({info.backend}, {info.size} record(s)); "
+        f"lease ttl {args.lease_ttl:g}s; Ctrl-C stops",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _add_work_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "work",
+        help="run a campaign worker: lease shards from a server, compute, upload",
+    )
+    parser.add_argument(
+        "--server", metavar="URL", required=True,
+        help="base URL of the campaign server, e.g. http://127.0.0.1:8750",
+    )
+    parser.add_argument(
+        "--worker", default=None, metavar="NAME",
+        help="worker name reported with every lease (default worker-<pid>)",
+    )
+    parser.add_argument(
+        "--campaign", default=None, metavar="ID",
+        help="only lease shards of this campaign (default: any open campaign)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between lease attempts while no work is open (default 1)",
+    )
+    parser.add_argument(
+        "--until-idle", action="store_true",
+        help="exit once the server reports no open work (default: poll forever)",
+    )
+    parser.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="stop after completing N shards (default: unlimited)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-shard progress lines"
+    )
+
+
+def _run_work(args: argparse.Namespace) -> int:
+    log = None if args.quiet else (lambda message: print(message, file=sys.stderr, flush=True))
+    stats = run_worker(
+        args.server,
+        worker=args.worker,
+        campaign=args.campaign,
+        poll=args.poll,
+        until_idle=args.until_idle,
+        max_shards=args.max_shards,
+        log=log,
+    )
+    print(stats.describe())
     return 0
 
 
@@ -633,6 +923,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("solvers", help="list the registered solver backends")
     subparsers.add_parser("objectives", help="list the registered optimisation objectives")
     _add_store_parser(subparsers, store_options)
+    _add_serve_parser(subparsers, store_options)
+    _add_work_parser(subparsers)
     _add_bench_parser(subparsers, store_options)
     experiments = {experiment.name: experiment for experiment in list_experiments()}
     for name in experiment_commands():
@@ -666,6 +958,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_objectives(args)
         if args.command == "store":
             return _run_store(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "work":
+            return _run_work(args)
         if args.command == "bench":
             return _run_bench(args)
         if args.command == "all":

@@ -71,3 +71,17 @@ class ConfigurationError(ReproError):
 
 class StoreError(ReproError):
     """Raised when a result-store payload cannot be encoded or decoded."""
+
+
+class ServiceError(ReproError):
+    """Raised when a campaign-service request fails.
+
+    Covers both transport failures (server unreachable, connection dropped)
+    and protocol-level rejections (the server answered with an error
+    payload).  ``status`` carries the HTTP status code when one was
+    received, ``None`` for pure transport failures.
+    """
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status

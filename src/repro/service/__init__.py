@@ -1,0 +1,49 @@
+"""Campaign service: a stdlib-only HTTP/JSON daemon for distributed sweeps.
+
+The streaming campaign layer (:mod:`repro.api.grid`,
+:meth:`Engine.run_iter <repro.api.engine.Engine.run_iter>`) already makes
+single-process sweeps shardable and resumable; this package adds the
+coordination tier that lets *several* processes -- possibly on several
+machines -- fill one result store together:
+
+* :mod:`repro.service.protocol` -- the wire forms: :class:`GridSpec`
+  (a JSON-safe sweep-grid description that server and workers expand into
+  byte-identical scenario sequences) and the single-scenario request;
+* :mod:`repro.service.server` -- :class:`CampaignServer` (campaign and
+  shard-lease bookkeeping around an :class:`~repro.api.engine.Engine` and
+  a result store) plus the ``ThreadingHTTPServer`` front end behind
+  ``repro serve``;
+* :mod:`repro.service.client` -- :class:`ServiceClient`, a thin
+  ``urllib``-based JSON client (also the programmatic API for submitting
+  campaigns);
+* :mod:`repro.service.worker` -- :func:`run_worker`, the
+  lease/compute/upload loop behind ``repro work``.
+
+Everything on the wire is the store's own record format
+(:func:`repro.store.make_record`), so a campaign run through the service
+leaves behind exactly the store a local ``repro sweep --store`` would
+have written -- same digests, same bytes.  See ARCHITECTURE.md
+("The campaign service") for the lease lifecycle and failure model.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    GridSpec,
+    scenario_from_wire,
+    scenario_to_wire,
+)
+from repro.service.server import CampaignServer, start_server
+from repro.service.worker import WorkerStats, run_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CampaignServer",
+    "GridSpec",
+    "ServiceClient",
+    "WorkerStats",
+    "run_worker",
+    "scenario_from_wire",
+    "scenario_to_wire",
+    "start_server",
+]

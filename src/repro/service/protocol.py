@@ -1,0 +1,297 @@
+"""Wire forms of the campaign service: JSON-safe grid and scenario specs.
+
+The service never ships :class:`~repro.api.scenario.Scenario` objects over
+the wire -- it ships *descriptions*, and both ends expand them locally:
+
+* :class:`GridSpec` is the JSON form of a :class:`~repro.api.grid.SweepGrid`
+  (catalog SOC names x channels x depths x broadcast x site limits x
+  solvers x objectives, plus a shard count).  Because grid iteration order
+  is deterministic, a server and a worker that build the same spec see the
+  same scenario at the same index -- which is what makes a leased shard
+  ``(index, count)`` an unambiguous work assignment and keeps the
+  scenarios' content digests identical on both sides.
+* :func:`scenario_from_wire` builds a single scenario from the same kind
+  of parameter payload (the ``repro design`` axes), for the one-shot
+  ``POST /scenarios`` endpoint.
+
+All SOCs are referenced by catalog name (``d695``,
+``synthetic:<seed>:<modules>``, ...): names resolve identically in every
+process, while ``.soc`` file paths would not exist on remote workers.
+Depths travel as raw vector counts (integers), never the CLI's
+mega-vector floats, so the wire form is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.api.grid import Grid, SweepGrid
+from repro.api.scenario import Scenario
+from repro.api.testcell import reference_test_cell
+from repro.core.exceptions import ConfigurationError
+from repro.objectives.registry import DEFAULT_OBJECTIVE
+from repro.optimize.config import OptimizationConfig
+from repro.solvers.registry import DEFAULT_SOLVER
+
+#: Version stamp of the wire protocol; servers reject payloads from a
+#: different major protocol so mixed deployments fail loudly, not subtly.
+PROTOCOL_VERSION = 1
+
+_BROADCAST_AXES = ("off", "on", "both")
+
+
+def _name_axis(value: Any, label: str) -> tuple[str, ...]:
+    """Validate a wire axis of non-empty strings (SOCs, solvers, objectives)."""
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ConfigurationError(f"grid spec {label!r} must be a non-empty list of names")
+    names = []
+    for item in value:
+        if not isinstance(item, str) or not item:
+            raise ConfigurationError(
+                f"grid spec {label!r} entries must be non-empty strings, got {item!r}"
+            )
+        names.append(item)
+    return tuple(names)
+
+
+def _int_axis(value: Any, label: str) -> tuple[int, ...] | None:
+    """Validate an optional wire axis of positive integers (channels, depths)."""
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ConfigurationError(f"grid spec {label!r} must be null or a non-empty list")
+    numbers = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int) or item <= 0:
+            raise ConfigurationError(
+                f"grid spec {label!r} entries must be positive integers, got {item!r}"
+            )
+        numbers.append(item)
+    return tuple(numbers)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """JSON-safe description of a sharded sweep grid.
+
+    Attributes mirror the axes of :class:`~repro.api.grid.SweepGrid` (an
+    omitted axis keeps the reference test cell's value), plus ``shards``:
+    the number of disjoint strided slices the campaign is split into for
+    leasing.  ``frequency_mhz`` parameterises the reference test cell;
+    everything else about the cell (probe station, pricing) is pinned to
+    the paper's reference values, exactly as ``repro sweep`` pins them.
+    """
+
+    socs: tuple[str, ...]
+    channels: tuple[int, ...] | None = None
+    depths: tuple[int, ...] | None = None
+    frequency_mhz: float = 5.0
+    broadcast: str = "off"
+    max_sites: tuple[int, ...] | None = None
+    solvers: tuple[str, ...] | None = None
+    objectives: tuple[str, ...] | None = None
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.socs:
+            raise ConfigurationError("grid spec needs at least one SOC")
+        if self.broadcast not in _BROADCAST_AXES:
+            raise ConfigurationError(
+                f"grid spec broadcast must be one of {_BROADCAST_AXES}, got {self.broadcast!r}"
+            )
+        if self.shards <= 0:
+            raise ConfigurationError(f"grid spec shards must be positive, got {self.shards}")
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError(
+                f"grid spec frequency_mhz must be positive, got {self.frequency_mhz}"
+            )
+
+    # ------------------------------------------------------------------
+    # Wire form
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON payload form (round-trips through :meth:`from_wire`)."""
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "socs": list(self.socs),
+            "channels": list(self.channels) if self.channels is not None else None,
+            "depths": list(self.depths) if self.depths is not None else None,
+            "frequency_mhz": self.frequency_mhz,
+            "broadcast": self.broadcast,
+            "max_sites": list(self.max_sites) if self.max_sites is not None else None,
+            "solvers": list(self.solvers) if self.solvers is not None else None,
+            "objectives": list(self.objectives) if self.objectives is not None else None,
+            "shards": self.shards,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "GridSpec":
+        """Validate and decode a JSON payload into a spec.
+
+        Raises
+        ------
+        ConfigurationError
+            When the payload is not an object, speaks a different protocol
+            version, or any axis is malformed.
+        """
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError("grid spec must be a JSON object")
+        protocol = payload.get("protocol", PROTOCOL_VERSION)
+        if protocol != PROTOCOL_VERSION:
+            raise ConfigurationError(
+                f"grid spec speaks protocol {protocol!r}; this side speaks {PROTOCOL_VERSION}"
+            )
+        unknown = set(payload) - {
+            "protocol", "socs", "channels", "depths", "frequency_mhz",
+            "broadcast", "max_sites", "solvers", "objectives", "shards",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"grid spec has unknown fields: {', '.join(sorted(unknown))}"
+            )
+        broadcast = payload.get("broadcast", "off")
+        if not isinstance(broadcast, str):
+            raise ConfigurationError(f"grid spec broadcast must be a string, got {broadcast!r}")
+        shards = payload.get("shards", 1)
+        if isinstance(shards, bool) or not isinstance(shards, int):
+            raise ConfigurationError(f"grid spec shards must be an integer, got {shards!r}")
+        frequency = payload.get("frequency_mhz", 5.0)
+        if isinstance(frequency, bool) or not isinstance(frequency, (int, float)):
+            raise ConfigurationError(
+                f"grid spec frequency_mhz must be a number, got {frequency!r}"
+            )
+
+        def optional_names(key: str) -> tuple[str, ...] | None:
+            value = payload.get(key)
+            return None if value is None else _name_axis(value, key)
+
+        return cls(
+            socs=_name_axis(payload.get("socs"), "socs"),
+            channels=_int_axis(payload.get("channels"), "channels"),
+            depths=_int_axis(payload.get("depths"), "depths"),
+            frequency_mhz=float(frequency),
+            broadcast=broadcast,
+            max_sites=_int_axis(payload.get("max_sites"), "max_sites"),
+            solvers=optional_names("solvers"),
+            objectives=optional_names("objectives"),
+            shards=shards,
+        )
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def build_grid(self) -> SweepGrid:
+        """Expand into the sweep grid both ends iterate identically."""
+        broadcast = {"off": None, "on": True, "both": (False, True)}[self.broadcast]
+        return SweepGrid(
+            list(self.socs),
+            reference_test_cell(frequency_mhz=self.frequency_mhz),
+            channels=list(self.channels) if self.channels is not None else None,
+            depths=list(self.depths) if self.depths is not None else None,
+            broadcast=broadcast,
+            max_sites=list(self.max_sites) if self.max_sites is not None else None,
+            solvers=list(self.solvers) if self.solvers is not None else None,
+            objectives=list(self.objectives) if self.objectives is not None else None,
+        )
+
+    def shard_grid(self, index: int) -> Grid:
+        """The grid slice shard ``index`` owns (strided, disjoint, complete)."""
+        return self.build_grid().shard(index, self.shards)
+
+    def describe(self) -> str:
+        """One-line summary used by progress output and logs."""
+        return f"{self.build_grid().describe()} in {self.shards} shard(s)"
+
+
+# ----------------------------------------------------------------------
+# Single-scenario wire form
+# ----------------------------------------------------------------------
+def scenario_to_wire(
+    soc: str,
+    *,
+    channels: int | None = None,
+    depth: int | None = None,
+    frequency_mhz: float = 5.0,
+    broadcast: bool = False,
+    max_sites: int | None = None,
+    solver: str = DEFAULT_SOLVER,
+    objective: str = DEFAULT_OBJECTIVE,
+) -> dict[str, Any]:
+    """Build the ``POST /scenarios`` payload for one catalog scenario."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "soc": soc,
+        "channels": channels,
+        "depth": depth,
+        "frequency_mhz": frequency_mhz,
+        "broadcast": broadcast,
+        "max_sites": max_sites,
+        "solver": solver,
+        "objective": objective,
+    }
+
+
+def scenario_from_wire(payload: Any) -> Scenario:
+    """Decode a ``POST /scenarios`` payload into a scenario.
+
+    The payload axes mirror ``repro design``: omitted channels/depth keep
+    the reference test cell's 512 x 7M operating point.
+
+    Raises
+    ------
+    ConfigurationError
+        When the payload is malformed.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError("scenario spec must be a JSON object")
+    soc = payload.get("soc")
+    if not isinstance(soc, str) or not soc:
+        raise ConfigurationError("scenario spec needs a catalog SOC name under 'soc'")
+    frequency = payload.get("frequency_mhz", 5.0)
+    if isinstance(frequency, bool) or not isinstance(frequency, (int, float)) or frequency <= 0:
+        raise ConfigurationError(
+            f"scenario spec frequency_mhz must be a positive number, got {frequency!r}"
+        )
+    cell = reference_test_cell(frequency_mhz=float(frequency))
+    for key in ("channels", "depth"):
+        value = payload.get(key)
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
+            raise ConfigurationError(
+                f"scenario spec {key!r} must be a positive integer, got {value!r}"
+            )
+        cell = cell.with_channels(value) if key == "channels" else cell.with_depth(value)
+    max_sites = payload.get("max_sites")
+    if max_sites is not None and (
+        isinstance(max_sites, bool) or not isinstance(max_sites, int) or max_sites <= 0
+    ):
+        raise ConfigurationError(
+            f"scenario spec max_sites must be null or a positive integer, got {max_sites!r}"
+        )
+    solver = payload.get("solver", DEFAULT_SOLVER)
+    objective = payload.get("objective", DEFAULT_OBJECTIVE)
+    if not isinstance(solver, str) or not isinstance(objective, str):
+        raise ConfigurationError("scenario spec solver/objective must be names")
+    return Scenario(
+        soc=soc,
+        test_cell=cell,
+        config=OptimizationConfig(
+            broadcast=bool(payload.get("broadcast", False)), max_sites=max_sites
+        ),
+        solver=solver,
+        objective=objective,
+    )
+
+
+def sequence_of_keys(value: Any) -> tuple[str, ...]:
+    """Validate a wire list of scenario digests (``POST /records/query``)."""
+    if not isinstance(value, (list, tuple)):
+        raise ConfigurationError("'keys' must be a list of scenario digests")
+    keys = []
+    for item in value:
+        if not isinstance(item, str) or not item:
+            raise ConfigurationError(f"scenario digests must be non-empty strings, got {item!r}")
+        keys.append(item)
+    return tuple(keys)

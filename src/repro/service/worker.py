@@ -1,0 +1,175 @@
+"""The worker loop behind ``repro work``: lease, dedup, compute, upload.
+
+A worker is stateless: everything it needs arrives in the lease response
+(the campaign's grid spec plus a shard index), and everything it produces
+leaves as store-format records through ``POST /records``.  That is what
+makes workers killable at any instant -- a dead worker's lease expires
+server-side and the shard is re-offered; the replacement worker's first
+act is a batch presence query, so scenarios the dead worker already
+uploaded are never recomputed.
+
+Per leased shard the loop is:
+
+1. rebuild the shard's scenario slice locally from the grid spec
+   (deterministic grid order makes this exact);
+2. ``POST /records/query`` with every scenario digest -- already-solved
+   scenarios are skipped (counted in :attr:`WorkerStats.skipped`);
+3. solve the rest through a local in-memory :class:`~repro.api.engine.
+   Engine` and upload each record as soon as it is done (no batching: an
+   interrupted worker loses at most the scenario in flight);
+4. heartbeat after every scenario; when the server answers ``gone`` the
+   lease has expired and the worker abandons the shard immediately
+   (someone else owns it now);
+5. ``POST /leases/<id>/complete`` when the slice is exhausted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.api.engine import Engine
+from repro.core.exceptions import ReproError
+from repro.service.client import ServiceClient
+from repro.service.protocol import GridSpec
+from repro.store.result_store import make_record
+
+#: Seconds between lease polls when the server reports no open work.
+DEFAULT_POLL = 1.0
+
+
+@dataclass
+class WorkerStats:
+    """What one :func:`run_worker` invocation did, for logs and tests."""
+
+    shards: int = 0
+    computed: int = 0
+    skipped: int = 0
+    stored: int = 0
+    duplicates: int = 0
+    failed: int = 0
+    abandoned: int = 0
+    #: Scenario digests this worker solved itself (not skipped), in order.
+    solved_keys: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line summary printed when the worker exits."""
+        return (
+            f"worker done: {self.shards} shard(s), {self.computed} computed, "
+            f"{self.skipped} skipped (already solved), {self.stored} stored, "
+            f"{self.duplicates} duplicate(s), {self.failed} failed, "
+            f"{self.abandoned} abandoned lease(s)"
+        )
+
+
+def run_worker(
+    server: "str | ServiceClient",
+    *,
+    worker: str | None = None,
+    campaign: str | None = None,
+    poll: float = DEFAULT_POLL,
+    until_idle: bool = False,
+    max_shards: int | None = None,
+    log: Callable[[str], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> WorkerStats:
+    """Run the lease/compute/upload loop against a campaign server.
+
+    Parameters
+    ----------
+    server:
+        Base URL of the campaign server, or an existing client.
+    worker:
+        Worker name reported with every lease (default: ``worker-<pid>``).
+    campaign:
+        Restrict leasing to one campaign id (default: any open campaign).
+    poll:
+        Seconds between lease attempts while the server has no open work.
+    until_idle:
+        Exit as soon as the server reports no open work at all (the batch
+        mode CI and tests run); the default is to keep polling forever
+        (the daemon mode real fleets run).
+    max_shards:
+        Stop after completing this many shards (``None``: unlimited).
+    log:
+        Optional sink for progress lines.
+    sleep:
+        Injectable sleep (tests pass a no-op).
+
+    Returns
+    -------
+    WorkerStats
+        Counters of everything the worker did.
+    """
+    client = server if isinstance(server, ServiceClient) else ServiceClient(server)
+    name = worker or f"worker-{os.getpid()}"
+    stats = WorkerStats()
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    while True:
+        if max_shards is not None and stats.shards >= max_shards:
+            return stats
+        response = client.lease(name, campaign=campaign)
+        status = response.get("status")
+        if status == "idle":
+            if until_idle:
+                return stats
+            sleep(poll)
+            continue
+        if status == "wait":
+            # Shards exist but every one is currently leased.  Even under
+            # ``until_idle`` we keep polling: a leased shard may belong to a
+            # dead worker, in which case its lease expires and we must be
+            # around to pick the shard up -- exiting here could strand a
+            # campaign one shard short of complete.
+            sleep(poll)
+            continue
+        if status != "granted":
+            raise ReproError(f"unexpected lease status {status!r} from server")
+
+        lease = str(response["lease"])
+        shard = int(response["shard"])
+        shards = int(response["shards"])
+        spec = GridSpec.from_wire(response["grid"])
+        scenarios = list(spec.build_grid().shard(shard, shards))
+        say(
+            f"{name}: leased {response.get('campaign')} shard {shard + 1}/{shards} "
+            f"({len(scenarios)} scenario(s)) as {lease}"
+        )
+
+        todo = set(client.missing([scenario.digest for scenario in scenarios]))
+        engine = Engine()  # local memory cache only; the server owns the store
+        abandoned = False
+        for scenario in scenarios:
+            if scenario.digest not in todo:
+                stats.skipped += 1
+                continue
+            try:
+                outcome = engine.run(scenario)
+            except ReproError as error:
+                # An infeasible operating point is a scenario-level outcome,
+                # not a worker failure; record it and move on.
+                stats.failed += 1
+                say(f"{name}: {scenario.describe()} failed: {error}")
+                continue
+            stats.computed += 1
+            stats.solved_keys.append(scenario.digest)
+            report = client.put_record(make_record(scenario, outcome.result))
+            stats.stored += int(report.get("stored", 0))
+            stats.duplicates += int(report.get("duplicates", 0))
+            if client.heartbeat(lease).get("status") == "gone":
+                # Our lease expired mid-shard: the shard is someone else's
+                # now.  Everything uploaded so far is already deduplicated.
+                stats.abandoned += 1
+                abandoned = True
+                say(f"{name}: lease {lease} expired; abandoning shard {shard}")
+                break
+        if not abandoned:
+            client.complete(lease)
+            stats.shards += 1
+            say(f"{name}: completed shard {shard + 1}/{shards}")

@@ -7,6 +7,13 @@ but every new process starts cold.  This package adds the tier below it:
   on-disk store (one JSON record per solved scenario, keyed by the
   scenario's solver-aware canonical digest) with atomic writes and
   corruption-tolerant reads;
+* :class:`~repro.store.packed.PackedResultStore` -- the same records
+  packed into append-only segment files behind a SQLite index, for
+  million-record campaign stores (indexed lookups, sub-second ``info``,
+  ``compact``/``reindex`` maintenance);
+* :func:`~repro.store.factory.open_store` /
+  :func:`~repro.store.factory.migrate_store` -- backend detection by
+  on-disk layout, and digest-verified legacy-to-packed migration;
 * :mod:`~repro.store.serialize` -- the exact JSON codec for the result
   graph (registered frozen dataclasses only, with sub-object interning).
 
@@ -17,12 +24,21 @@ sweeps (Table 1, Figures 5-7) cheap across runs.  See ARCHITECTURE.md for
 the full three-tier caching story.
 """
 
+from repro.store.factory import MigrationReport, is_packed, migrate_store, open_store
+from repro.store.packed import (
+    PACKED_MANIFEST,
+    CompactStats,
+    PackedResultStore,
+    SegmentStat,
+)
 from repro.store.result_store import (
     RECORD_SUFFIX,
     STORE_FORMAT,
     ResultStore,
     StoreEntry,
     StoreInfo,
+    decode_record,
+    make_record,
 )
 from repro.store.serialize import (
     decode_result,
@@ -32,13 +48,23 @@ from repro.store.serialize import (
 )
 
 __all__ = [
+    "PACKED_MANIFEST",
     "RECORD_SUFFIX",
     "STORE_FORMAT",
+    "CompactStats",
+    "MigrationReport",
+    "PackedResultStore",
     "ResultStore",
+    "SegmentStat",
     "StoreEntry",
     "StoreInfo",
+    "decode_record",
     "decode_result",
     "encode_result",
+    "is_packed",
+    "make_record",
+    "migrate_store",
+    "open_store",
     "register_storable",
     "storable_names",
 ]

@@ -56,6 +56,107 @@ RECORD_SUFFIX = ".json"
 _STAGING_IDS = itertools.count()
 
 
+def make_record(scenario: "Scenario", result: "TwoStepResult") -> dict:
+    """Build the JSON record dict every store backend persists for a scenario.
+
+    This is the single wire/disk format of the store layer: the directory
+    backend writes one such dict per file, the packed backend appends them
+    as segment lines, and the campaign service ships them over HTTP.  The
+    record is self-describing (``key`` is the scenario's full digest), so a
+    consumer can verify it against the scenario that requested it.
+    """
+    from repro import __version__
+
+    return {
+        "format": STORE_FORMAT,
+        "package_version": __version__,
+        "key": scenario.digest,
+        "created_at": time.time(),
+        "scenario": {
+            "soc": scenario.soc_name,
+            "solver": scenario.solver,
+            "objective": scenario.objective,
+            "description": scenario.describe(),
+        },
+        "result": encode_result(result),
+    }
+
+
+def decode_record(record: object, expected_key: str | None = None) -> "TwoStepResult":
+    """Validate a parsed record dict and rebuild its result payload.
+
+    Shared read-path validation of both store backends: the record must be
+    a dict carrying the current :data:`STORE_FORMAT`, its recorded ``key``
+    must match ``expected_key`` (when given), and its payload must decode
+    into a :class:`~repro.optimize.result.TwoStepResult`.
+
+    Raises
+    ------
+    StoreError
+        On any violation; store readers treat it as a corrupt-record miss.
+    """
+    from repro.optimize.result import TwoStepResult
+
+    if not isinstance(record, dict):
+        raise StoreError("record is not a JSON object")
+    if record.get("format") != STORE_FORMAT:
+        raise StoreError(f"unsupported store format {record.get('format')!r}")
+    if expected_key is not None and record.get("key") != expected_key:
+        raise StoreError("record key does not match the scenario digest")
+    if "result" not in record:
+        raise StoreError("record has no result payload")
+    result = decode_result(record["result"])
+    if not isinstance(result, TwoStepResult):
+        raise StoreError(
+            f"record payload is a {type(result).__name__}, not a TwoStepResult"
+        )
+    return result
+
+
+def entry_from_record(record: object, path: Path, size_bytes: int) -> StoreEntry:
+    """Build the :class:`StoreEntry` metadata row of a parsed record dict.
+
+    Raises :class:`StoreError` when the record is not a current-format
+    record dict with a key; metadata fields degrade to empty defaults.
+    """
+    if not isinstance(record, dict) or record.get("format") != STORE_FORMAT:
+        raise StoreError("not a current-format record")
+    if "key" not in record:
+        raise StoreError("record has no key")
+    scenario = record.get("scenario") or {}
+    return StoreEntry(
+        key=str(record["key"]),
+        path=path,
+        soc_name=str(scenario.get("soc", "")),
+        solver=str(scenario.get("solver", "")),
+        package_version=str(record.get("package_version", "")),
+        size_bytes=size_bytes,
+        created_at=float(record.get("created_at", 0.0)),
+        objective=str(scenario.get("objective", DEFAULT_OBJECTIVE)),
+    )
+
+
+def record_key(record: object) -> str:
+    """The safe record key of a record dict destined for storage.
+
+    Raises
+    ------
+    StoreError
+        When the record carries no key, or the key could escape the store
+        (path separators, dots) -- raw ingestion (the campaign service, the
+        migration tool) must never let a payload name a file outside the
+        store.
+    """
+    if not isinstance(record, dict):
+        raise StoreError("record is not a JSON object")
+    key = record.get("key")
+    if not isinstance(key, str) or not key:
+        raise StoreError("record has no key")
+    if not all(ch.isalnum() or ch in "-_" for ch in key):
+        raise StoreError(f"record key {key!r} is not a plain token")
+    return key
+
+
 @dataclass(frozen=True)
 class StoreEntry:
     """One record found by :meth:`ResultStore.scan`.
@@ -90,13 +191,17 @@ class StoreEntry:
 
 @dataclass(frozen=True)
 class StoreInfo:
-    """Session statistics of one :class:`ResultStore` instance.
+    """Session statistics of one result-store instance.
 
     ``hits``/``misses`` count :meth:`ResultStore.get` outcomes; ``corrupt``
     counts reads that found a record file but could not use it (bad JSON,
     format or key mismatch, failed validation) -- each such read is also a
     miss.  ``puts`` counts written records, ``size`` is the current number
-    of record files on disk.
+    of records on disk.  ``backend`` names the on-disk layout (``"dir"``
+    for the one-file-per-record :class:`ResultStore`, ``"packed"`` for the
+    segmented :class:`~repro.store.packed.PackedResultStore`), ``format``
+    the record format version, and ``segments`` the number of segment
+    files (always 0 for the directory backend).
     """
 
     hits: int
@@ -104,6 +209,9 @@ class StoreInfo:
     puts: int
     corrupt: int
     size: int
+    backend: str = "dir"
+    format: int = STORE_FORMAT
+    segments: int = 0
 
 
 class ResultStore:
@@ -170,6 +278,30 @@ class ResultStore:
     def __contains__(self, scenario: "Scenario") -> bool:
         return self.path_for(scenario).is_file()
 
+    def contains_key(self, key: str) -> bool:
+        """Presence test by digest (no record bytes are read or validated).
+
+        Keys that could not name a record file of this store (path
+        separators, dots) are simply absent, never an error.
+        """
+        candidate = self._root / f"{key}{RECORD_SUFFIX}"
+        return candidate.parent == self._root and candidate.is_file()
+
+    def missing_keys(self, keys: "Iterator[str] | list[str] | tuple[str, ...]") -> tuple[str, ...]:
+        """The subset of ``keys`` the store does not hold, in input order.
+
+        The batch presence test the campaign service answers worker dedup
+        queries with; duplicated input keys are reported once.  Same
+        semantics as :meth:`PackedResultStore.missing_keys
+        <repro.store.packed.PackedResultStore.missing_keys>`, so the
+        service works over either backend.
+        """
+        seen: dict[str, None] = {}
+        for key in keys:
+            if key not in seen:
+                seen[key] = None
+        return tuple(key for key in seen if not self.contains_key(key))
+
     def _record_paths(self) -> Iterator[Path]:
         try:
             yield from sorted(self._root.glob(f"*{RECORD_SUFFIX}"))
@@ -198,20 +330,7 @@ class ResultStore:
             self._count(misses=1, corrupt=1)
             return None
         try:
-            record = json.loads(raw)
-            if not isinstance(record, dict):
-                raise StoreError("record is not a JSON object")
-            if record.get("format") != STORE_FORMAT:
-                raise StoreError(f"unsupported store format {record.get('format')!r}")
-            if record.get("key") != scenario.digest:
-                raise StoreError("record key does not match the scenario digest")
-            result = decode_result(record["result"])
-            from repro.optimize.result import TwoStepResult
-
-            if not isinstance(result, TwoStepResult):
-                raise StoreError(
-                    f"record payload is a {type(result).__name__}, not a TwoStepResult"
-                )
+            result = decode_record(json.loads(raw), expected_key=scenario.digest)
         except (json.JSONDecodeError, KeyError, ReproError, TypeError, ValueError):
             self._count(misses=1, corrupt=1)
             return None
@@ -229,22 +348,21 @@ class ResultStore:
         readers (including engine process-pool drivers sharing the
         directory) either see the previous record or the complete new one.
         """
-        from repro import __version__
+        return self.put_record(make_record(scenario, result))
 
-        record = {
-            "format": STORE_FORMAT,
-            "package_version": __version__,
-            "key": scenario.digest,
-            "created_at": time.time(),
-            "scenario": {
-                "soc": scenario.soc_name,
-                "solver": scenario.solver,
-                "objective": scenario.objective,
-                "description": scenario.describe(),
-            },
-            "result": encode_result(result),
-        }
-        path = self.path_for(scenario)
+    def put_record(self, record: dict) -> Path:
+        """Persist an already-built record dict under its own ``key``.
+
+        The raw-ingestion path: the campaign service stores records shipped
+        by remote workers through here, and so does store migration.  The
+        key is validated to be a plain token (it can never name a file
+        outside the store directory), but the payload is deliberately *not*
+        re-decoded -- the read path validates on every :meth:`get`, so a
+        bad payload becomes a corrupt-record miss, exactly like a
+        truncated file.
+        """
+        key = record_key(record)
+        path = self._root / f"{key}{RECORD_SUFFIX}"
         staging = path.with_name(f".{path.stem}.{os.getpid()}.{next(_STAGING_IDS)}.tmp")
         try:
             staging.write_text(
@@ -271,21 +389,7 @@ class ResultStore:
         for path in self._record_paths():
             try:
                 record = json.loads(path.read_text(encoding="utf-8"))
-                if not isinstance(record, dict) or record.get("format") != STORE_FORMAT:
-                    raise StoreError("not a current-format record")
-                scenario = record.get("scenario") or {}
-                entries.append(
-                    StoreEntry(
-                        key=str(record["key"]),
-                        path=path,
-                        soc_name=str(scenario.get("soc", "")),
-                        solver=str(scenario.get("solver", "")),
-                        package_version=str(record.get("package_version", "")),
-                        size_bytes=path.stat().st_size,
-                        created_at=float(record.get("created_at", 0.0)),
-                        objective=str(scenario.get("objective", DEFAULT_OBJECTIVE)),
-                    )
-                )
+                entries.append(entry_from_record(record, path, path.stat().st_size))
             except (OSError, json.JSONDecodeError, KeyError, ValueError, ReproError):
                 self._count(corrupt=1)
         return tuple(sorted(entries, key=lambda entry: entry.key))
@@ -303,29 +407,11 @@ class ResultStore:
         is not being rebuilt), so a renamed record file still yields its
         payload.
         """
-        from repro.optimize.result import TwoStepResult
-
         for path in self._record_paths():
             try:
                 record = json.loads(path.read_text(encoding="utf-8"))
-                if not isinstance(record, dict) or record.get("format") != STORE_FORMAT:
-                    raise StoreError("not a current-format record")
-                scenario = record.get("scenario") or {}
-                entry = StoreEntry(
-                    key=str(record["key"]),
-                    path=path,
-                    soc_name=str(scenario.get("soc", "")),
-                    solver=str(scenario.get("solver", "")),
-                    package_version=str(record.get("package_version", "")),
-                    size_bytes=path.stat().st_size,
-                    created_at=float(record.get("created_at", 0.0)),
-                    objective=str(scenario.get("objective", DEFAULT_OBJECTIVE)),
-                )
-                result = decode_result(record["result"])
-                if not isinstance(result, TwoStepResult):
-                    raise StoreError(
-                        f"record payload is a {type(result).__name__}, not a TwoStepResult"
-                    )
+                entry = entry_from_record(record, path, path.stat().st_size)
+                result = decode_record(record)
             except (OSError, json.JSONDecodeError, KeyError, ReproError, TypeError, ValueError):
                 self._count(corrupt=1)
                 continue

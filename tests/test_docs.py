@@ -61,8 +61,16 @@ class TestCliDoc:
         for flag in ("--solver", "--store", "--workers", "--smoke", "--tag",
                      "--broadcast", "--max-sites", "--shard", "--resume",
                      "--output", "--solvers", "--objective", "--compare",
-                     "--group-by", "--metric", "--best", "--pareto"):
+                     "--group-by", "--metric", "--best", "--pareto",
+                     "--server", "--shards", "--host", "--port",
+                     "--lease-ttl", "--worker", "--campaign", "--poll",
+                     "--until-idle", "--max-shards", "--dest",
+                     "--fail-on-regression"):
             assert flag in cli_doc_text
+
+    def test_store_actions_documented(self, cli_doc_text):
+        for action in ("store info", "store migrate", "store compact"):
+            assert action in cli_doc_text
 
     def test_parser_and_doc_agree(self, cli_doc_text):
         parser = build_parser()
@@ -113,6 +121,18 @@ class TestArchitectureDoc:
                        "synthetic:<seed>:<modules>", "campaign"):
             assert anchor in architecture_text
 
+    def test_describes_service_layer(self, architecture_text):
+        for anchor in ("GridSpec", "CampaignServer", "ServiceClient",
+                       "run_worker", "lease", "heartbeat", "--lease-ttl",
+                       "pending → leased → done", "/records/query"):
+            assert anchor in architecture_text
+
+    def test_describes_packed_store(self, architecture_text):
+        for anchor in ("PackedResultStore", "packed.manifest", "index.sqlite",
+                       "open_store", "migrate", "compact", "reindex",
+                       "orphaned", "source of truth"):
+            assert anchor in architecture_text
+
 
 class TestReadme:
     def test_links_architecture_and_cli_docs(self, readme_text):
@@ -122,6 +142,11 @@ class TestReadme:
     def test_mentions_bench_and_store(self, readme_text):
         assert "bench" in readme_text
         assert "ResultStore" in readme_text
+
+    def test_distributed_campaign_quickstart(self, readme_text):
+        for anchor in ("repro serve", "repro work", "--server",
+                       "store migrate"):
+            assert anchor in readme_text
 
 
 class TestObjectivesDoc:
