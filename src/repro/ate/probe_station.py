@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.exceptions import ConfigurationError
+from repro.core.fingerprint import pickle_state
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,18 @@ class ProbeStation:
             raise ConfigurationError(
                 f"contact yield must be within [0, 1], got {self.contact_yield}"
             )
+
+    def __hash__(self) -> int:
+        # Structural hash cached on first use; see repro.core.fingerprint.
+        fingerprint = self.__dict__.get("_fingerprint")
+        if fingerprint is None:
+            fingerprint = hash(
+                (self.index_time_s, self.contact_test_time_s, self.contact_yield, self.name)
+            )
+            object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
+
+    __getstate__ = pickle_state
 
     def with_contact_yield(self, contact_yield: float) -> "ProbeStation":
         """Return a copy with a different per-terminal contact yield."""

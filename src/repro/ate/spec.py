@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.exceptions import ConfigurationError
+from repro.core.fingerprint import pickle_state
 from repro.core.units import cycles_to_seconds, format_depth, mega_vectors
 
 
@@ -47,6 +48,16 @@ class AteSpec:
             raise ConfigurationError(
                 f"ATE test-clock frequency must be positive, got {self.frequency_hz}"
             )
+
+    def __hash__(self) -> int:
+        # Structural hash cached on first use; see repro.core.fingerprint.
+        fingerprint = self.__dict__.get("_fingerprint")
+        if fingerprint is None:
+            fingerprint = hash((self.channels, self.depth, self.frequency_hz, self.name))
+            object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
+
+    __getstate__ = pickle_state
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -66,6 +66,19 @@ SWEEP_DEPTHS_K = (48, 64, 96, 128)
 SMOKE_SWEEP_CHANNELS = (128, 256)
 SMOKE_SWEEP_DEPTHS_K = (48, 64)
 
+#: Synthetic cold-sweep axes (the batch kernel's showcase workload): a
+#: deterministic synthetic SOC family swept over channels x depths (in
+#: binary M vectors) x broadcast.  Full grid: 25 x 5 x 4 x 2 = 1000
+#: scenarios; smoke grid: 2 x 2 x 2 x 2 = 16.
+SYNTHETIC_SWEEP_SEED = 7000
+SYNTHETIC_SWEEP_SOCS = 25
+SYNTHETIC_SWEEP_MODULES = 10
+SYNTHETIC_SWEEP_CHANNELS = (128, 192, 256, 320, 512)
+SYNTHETIC_SWEEP_DEPTHS_M = (1.0, 2.0, 4.0, 8.0)
+SMOKE_SYNTHETIC_SWEEP_SOCS = 2
+SMOKE_SYNTHETIC_SWEEP_CHANNELS = (128, 256)
+SMOKE_SYNTHETIC_SWEEP_DEPTHS_M = (1.0, 2.0)
+
 
 def default_tag() -> str:
     """Default report tag: the package version (``v<x.y.z>``)."""
@@ -135,8 +148,40 @@ def sweep_digest(results: Sequence[ScenarioResult]) -> str:
     return results_digest(sorted(results, key=lambda record: record.scenario.digest))
 
 
+def clear_computation_caches() -> None:
+    """Drop every process-wide computation cache (kernel memo, wrapper caches).
+
+    Cold-path timings are only meaningful when earlier work in the same
+    process cannot leak in through the evaluation kernel's memo or the
+    wrapper-design caches.  The bench's cold legs (and the store benchmark
+    tests) call this before timing; persistent stores are untouched --
+    store warmth is a property of the directory, not the process.
+    The kernel's cumulative counters are kept -- dropping only the memo
+    means the report's per-section counter deltas never go backwards.
+    """
+    from repro.wrapper import combine, pareto
+
+    evaluate_kernel.drop_memo()
+    combine._cached_test_time.cache_clear()
+    pareto._cached_pareto.cache_clear()
+
+
 def _cache_record(engine: Engine) -> dict[str, Any]:
     return asdict(engine.cache_info())
+
+
+def _kernel_delta(
+    before: "evaluate_kernel.KernelCacheInfo",
+    after: "evaluate_kernel.KernelCacheInfo",
+) -> dict[str, Any]:
+    """Delta of the process-wide evaluation-kernel counters over one section."""
+    return {
+        "hits": after.hits - before.hits,
+        "misses": after.misses - before.misses,
+        "batch_calls": after.batch_calls - before.batch_calls,
+        "batch_points": after.batch_points - before.batch_points,
+        "max_batch": after.max_batch,
+    }
 
 
 def _bench_experiments(
@@ -147,14 +192,17 @@ def _bench_experiments(
     for name in names:
         experiment = get_experiment(name)
         engine = Engine(store=store)
+        kernel_before = evaluate_kernel.cache_info()
         started = time.perf_counter()
         experiment.run(engine)
+        seconds = time.perf_counter() - started
         rows.append(
             {
                 "name": name,
                 "title": experiment.title,
-                "seconds": time.perf_counter() - started,
+                "seconds": seconds,
                 "cache": _cache_record(engine),
+                "evaluate_kernel": _kernel_delta(kernel_before, evaluate_kernel.cache_info()),
             }
         )
     return rows
@@ -167,6 +215,7 @@ def _bench_solvers(store: ResultStore | None) -> list[dict[str, Any]]:
     for name in solver_names():
         scenario = Scenario(soc="d695", test_cell=cell, solver=name)
         engine = Engine(store=store)
+        kernel_before = evaluate_kernel.cache_info()
         started = time.perf_counter()
         try:
             outcome = engine.run(scenario)
@@ -180,6 +229,7 @@ def _bench_solvers(store: ResultStore | None) -> list[dict[str, Any]]:
                 "optimal_sites": outcome.optimal_sites,
                 "optimal_throughput": outcome.optimal_throughput,
                 "cache": _cache_record(engine),
+                "evaluate_kernel": _kernel_delta(kernel_before, evaluate_kernel.cache_info()),
             }
         )
     return rows
@@ -198,16 +248,64 @@ def _bench_sweep(
     started = time.perf_counter()
     results = engine.run_batch(grid, workers=workers)
     seconds = time.perf_counter() - started
-    kernel_after = evaluate_kernel.cache_info()
     return {
         "scenarios": len(grid),
         "objective": objective,
         "seconds": seconds,
         "cache": _cache_record(engine),
-        "evaluate_kernel": {
-            "hits": kernel_after.hits - kernel_before.hits,
-            "misses": kernel_after.misses - kernel_before.misses,
-        },
+        "evaluate_kernel": _kernel_delta(kernel_before, evaluate_kernel.cache_info()),
+        "digest": results_digest(results),
+    }
+
+
+def synthetic_sweep_grid(smoke: bool = False) -> list[Scenario]:
+    """The cold synthetic sweep scenarios (1000 full, 16 in smoke mode)."""
+    from repro.core.units import mega_vectors
+    from repro.soc.catalog import synthetic_family
+
+    cell = reference_test_cell()
+    if smoke:
+        socs = synthetic_family(
+            SYNTHETIC_SWEEP_SEED, count=SMOKE_SYNTHETIC_SWEEP_SOCS,
+            modules=SYNTHETIC_SWEEP_MODULES,
+        )
+        channels = SMOKE_SYNTHETIC_SWEEP_CHANNELS
+        depths_m = SMOKE_SYNTHETIC_SWEEP_DEPTHS_M
+    else:
+        socs = synthetic_family(
+            SYNTHETIC_SWEEP_SEED, count=SYNTHETIC_SWEEP_SOCS,
+            modules=SYNTHETIC_SWEEP_MODULES,
+        )
+        channels = SYNTHETIC_SWEEP_CHANNELS
+        depths_m = SYNTHETIC_SWEEP_DEPTHS_M
+    return Scenario.sweep(
+        socs,
+        cell,
+        channels=channels,
+        depths=[mega_vectors(depth) for depth in depths_m],
+        broadcast=[False, True],
+    )
+
+
+def _bench_synthetic_sweep(smoke: bool, workers: int | None) -> dict[str, Any]:
+    """Time the synthetic cold sweep (the batch kernel's showcase workload).
+
+    Unlike the d695 sweep this section is always *cold*: the process-wide
+    computation caches are dropped first and no store is attached, so the
+    number measures raw solver + kernel throughput, run to run.
+    """
+    grid = synthetic_sweep_grid(smoke)
+    clear_computation_caches()
+    kernel_before = evaluate_kernel.cache_info()
+    engine = Engine(workers=workers)
+    started = time.perf_counter()
+    results = engine.run_batch(grid, workers=workers)
+    seconds = time.perf_counter() - started
+    return {
+        "scenarios": len(grid),
+        "seconds": seconds,
+        "cache": _cache_record(engine),
+        "evaluate_kernel": _kernel_delta(kernel_before, evaluate_kernel.cache_info()),
         "digest": results_digest(results),
     }
 
@@ -264,6 +362,7 @@ def run_bench(
         store = open_store(store)
 
     experiments = SMOKE_EXPERIMENTS if smoke else experiment_names()
+    kernel_before = evaluate_kernel.cache_info()
     started = time.perf_counter()
     report: dict[str, Any] = {
         "format": BENCH_FORMAT,
@@ -281,9 +380,11 @@ def run_bench(
         "experiments": _bench_experiments(experiments, store),
         "solvers": _bench_solvers(store),
         "sweep": _bench_sweep(store, smoke, workers, objective),
+        "synthetic_sweep": _bench_synthetic_sweep(smoke, workers),
         "campaign": _bench_campaign(smoke, workers),
     }
     report["store_info"] = asdict(store.info()) if store is not None else None
+    report["evaluate_kernel"] = _kernel_delta(kernel_before, evaluate_kernel.cache_info())
     report["wall_seconds"] = time.perf_counter() - started
     return report
 
@@ -344,6 +445,23 @@ def summarize_report(report: dict[str, Any]) -> str:
         f"(store hits {cache['store_hits']}, misses {cache['misses']})"
     )
     lines.append(f"  sweep digest: {sweep['digest']}")
+    synthetic = report.get("synthetic_sweep")
+    if synthetic:
+        kernel = synthetic["evaluate_kernel"]
+        lines.append(
+            f"  synthetic sweep (cold): {synthetic['scenarios']} scenarios in "
+            f"{synthetic['seconds']:.3f}s  (kernel hits {kernel['hits']}, "
+            f"misses {kernel['misses']}, max batch {kernel['max_batch']})"
+        )
+    kernel_total = report.get("evaluate_kernel")
+    if kernel_total:
+        lines.append(
+            f"  evaluate kernel: {kernel_total['hits']} hits, "
+            f"{kernel_total['misses']} misses over "
+            f"{kernel_total['batch_calls']} batch calls "
+            f"({kernel_total['batch_points']} points, "
+            f"max batch {kernel_total['max_batch']})"
+        )
     campaign = report["campaign"]
     digests = "identical" if campaign["digests_match"] else "DIFFER"
     lines.append(
@@ -464,6 +582,28 @@ def compare_reports(current: dict[str, Any], previous: dict[str, Any]) -> str:
     else:
         lines.append("    digests: not comparable (different sweep workloads)")
 
+    previous_synthetic = previous.get("synthetic_sweep")
+    current_synthetic = current.get("synthetic_sweep")
+    if (
+        previous_synthetic
+        and current_synthetic
+        and previous_synthetic["scenarios"] == current_synthetic["scenarios"]
+    ):
+        lines.append("  synthetic sweep (cold):")
+        lines.append(
+            _ratio_line(
+                f"{current_synthetic['scenarios']} scenarios",
+                previous_synthetic["seconds"],
+                current_synthetic["seconds"],
+            )
+        )
+        digests = (
+            "identical"
+            if previous_synthetic.get("digest") == current_synthetic.get("digest")
+            else "DIFFER"
+        )
+        lines.append(f"    digests: {digests}")
+
     previous_campaign = previous.get("campaign")
     current_campaign = current.get("campaign")
     if previous_campaign and current_campaign:
@@ -481,33 +621,90 @@ def compare_reports(current: dict[str, Any], previous: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+#: Rows printed by the ``--profile`` table.
+PROFILE_TOP_FUNCTIONS = 20
+
+
+def _normalise_profile_path(filename: str) -> str:
+    """Shorten a profiled file path to a machine-independent form.
+
+    Repo files are shown relative to the package (``repro/...``); stdlib
+    and site-packages files keep their final two components.  Built-ins
+    (``~``) pass through.  Keeping paths machine-independent makes profile
+    tables from different checkouts comparable line by line.
+    """
+    if filename.startswith("~") or filename.startswith("<"):
+        return filename
+    parts = Path(filename).parts
+    for anchor in ("repro", "site-packages"):
+        if anchor in parts:
+            index = parts.index(anchor)
+            if anchor == "repro":
+                return "/".join(parts[index:])
+            return "/".join(parts[index + 1 :])
+    return "/".join(parts[-2:]) if len(parts) >= 2 else filename
+
+
+def format_profile(stats: Any, limit: int = PROFILE_TOP_FUNCTIONS) -> str:
+    """Top-``limit`` cumulative-time table of a :class:`pstats.Stats`.
+
+    The table is deterministic given the profile data: rows sort by
+    cumulative time descending with (path, line, function) as the tie
+    break, and paths are normalised via :func:`_normalise_profile_path`.
+    """
+    rows = []
+    for (filename, lineno, name), (_, ncalls, tottime, cumtime, _) in stats.stats.items():
+        rows.append(
+            (cumtime, tottime, ncalls, _normalise_profile_path(filename), lineno, name)
+        )
+    rows.sort(key=lambda row: (-row[0], row[3], row[4], row[5]))
+    lines = [
+        f"profile: top {min(limit, len(rows))} of {len(rows)} functions by cumulative time",
+        f"  {'cumtime':>9s} {'tottime':>9s} {'ncalls':>9s}  function",
+    ]
+    for cumtime, tottime, ncalls, path, lineno, name in rows[:limit]:
+        lines.append(
+            f"  {cumtime:9.3f} {tottime:9.3f} {ncalls:9d}  {path}:{lineno}({name})"
+        )
+    return "\n".join(lines)
+
+
 #: Workloads faster than this (in both reports) are never called regressions:
 #: at sub-50ms scale, timer jitter swamps any real signal.
 REGRESSION_FLOOR_SECONDS = 0.05
 
 
 def find_regressions(
-    current: dict[str, Any], previous: dict[str, Any], threshold_pct: float
+    current: dict[str, Any],
+    previous: dict[str, Any],
+    threshold_pct: float,
+    noise_floor_seconds: float = REGRESSION_FLOOR_SECONDS,
 ) -> list[str]:
     """Workloads of ``current`` slower than ``previous`` by more than the threshold.
 
     The CI ratchet behind ``repro bench --compare BENCH_seed.json
     --fail-on-regression PCT``: every workload the two reports share by
-    name -- experiments, solver backends, the d695 sweep, the campaign's
-    cold leg -- is compared, and a line is returned for each one whose
-    current time exceeds the previous time by more than ``threshold_pct``
-    percent.  Workloads below :data:`REGRESSION_FLOOR_SECONDS` in both
-    reports are ignored (pure timer noise), as are workloads only one
-    report has.  An empty list means the ratchet passes.
+    name -- experiments, solver backends, the d695 and synthetic sweeps,
+    the campaign's cold leg -- is compared, and a line is returned for each
+    one whose current time exceeds the previous time by more than
+    ``threshold_pct`` percent.  Workloads below ``noise_floor_seconds``
+    (default :data:`REGRESSION_FLOOR_SECONDS`; the ``--noise-floor`` CLI
+    flag, in milliseconds) in both reports are ignored (pure timer noise),
+    as are workloads only one report has.  An empty list means the ratchet
+    passes.
 
     Raises
     ------
     ConfigurationError
-        When ``threshold_pct`` is negative.
+        When ``threshold_pct`` or ``noise_floor_seconds`` is negative.
     """
     if threshold_pct < 0:
         raise ConfigurationError(
             f"regression threshold must be >= 0 percent, got {threshold_pct}"
+        )
+    if noise_floor_seconds < 0:
+        raise ConfigurationError(
+            f"noise floor must be >= 0 seconds, got {noise_floor_seconds}"
         )
 
     pairs: list[tuple[str, float, float]] = []
@@ -530,6 +727,20 @@ def find_regressions(
         == current_sweep.get("objective", DEFAULT_OBJECTIVE)
     ):
         pairs.append(("sweep", previous_sweep["seconds"], current_sweep["seconds"]))
+    previous_synthetic = previous.get("synthetic_sweep")
+    current_synthetic = current.get("synthetic_sweep")
+    if (
+        previous_synthetic
+        and current_synthetic
+        and previous_synthetic.get("scenarios") == current_synthetic.get("scenarios")
+    ):
+        pairs.append(
+            (
+                "synthetic sweep",
+                previous_synthetic["seconds"],
+                current_synthetic["seconds"],
+            )
+        )
     previous_campaign, current_campaign = previous.get("campaign"), current.get("campaign")
     if previous_campaign and current_campaign:
         pairs.append(
@@ -542,7 +753,7 @@ def find_regressions(
 
     regressions = []
     for label, before, after in pairs:
-        if max(before, after) < REGRESSION_FLOOR_SECONDS:
+        if max(before, after) < noise_floor_seconds:
             continue
         if after > before * (1.0 + threshold_pct / 100.0):
             slower = (after / before - 1.0) * 100.0 if before > 0 else float("inf")

@@ -70,6 +70,7 @@ from repro.ate.spec import AteSpec
 from repro.bench.runner import (
     compare_reports,
     find_regressions,
+    format_profile,
     load_report,
     run_bench,
     summarize_report,
@@ -489,6 +490,27 @@ def _add_bench_parser(
         help="exit non-zero when any shared workload is more than PCT percent "
         "slower than the --compare baseline (the CI perf ratchet)",
     )
+    parser.add_argument(
+        "--noise-floor",
+        metavar="MS",
+        type=float,
+        default=None,
+        help="ignore workloads faster than MS milliseconds in both reports when "
+        "ratcheting (default 50 ms; timer jitter swamps anything quicker)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the bench under cProfile and print the top functions by "
+        "cumulative time",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="also dump the raw cProfile stats to FILE (implies --profile); "
+        "inspect with python -m pstats",
+    )
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -496,7 +518,18 @@ def _run_bench(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             "--fail-on-regression needs --compare PREV.json to ratchet against"
         )
+    if args.noise_floor is not None and args.noise_floor < 0:
+        raise ConfigurationError(
+            f"--noise-floor must be >= 0 milliseconds, got {args.noise_floor}"
+        )
     previous = load_report(args.compare) if args.compare else None
+
+    profiler = None
+    if args.profile or args.profile_out:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     report = run_bench(
         tag=args.tag,
         store=args.store,
@@ -504,14 +537,34 @@ def _run_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         objective=args.objective,
     )
+    if profiler is not None:
+        profiler.disable()
+
     path = write_report(report, args.output)
     print(summarize_report(report))
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler)
+        print()
+        print(format_profile(stats))
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print(f"profile stats written to {args.profile_out}")
     if previous is not None:
         print()
         print(compare_reports(report, previous))
     print(f"report written to {path}")
     if previous is not None and args.fail_on_regression is not None:
-        regressions = find_regressions(report, previous, args.fail_on_regression)
+        if args.noise_floor is not None:
+            regressions = find_regressions(
+                report,
+                previous,
+                args.fail_on_regression,
+                noise_floor_seconds=args.noise_floor / 1000.0,
+            )
+        else:
+            regressions = find_regressions(report, previous, args.fail_on_regression)
         if regressions:
             print(
                 f"perf ratchet FAILED: {len(regressions)} workload(s) regressed "

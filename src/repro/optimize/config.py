@@ -20,6 +20,7 @@ from dataclasses import dataclass, replace
 from enum import Enum
 
 from repro.core.exceptions import ConfigurationError
+from repro.core.fingerprint import pickle_state
 
 
 class Objective(Enum):
@@ -69,6 +70,25 @@ class OptimizationConfig:
             raise ConfigurationError(
                 f"max_sites ({self.max_sites}) must be >= min_sites ({self.min_sites})"
             )
+
+    def __hash__(self) -> int:
+        # Structural hash cached on first use; see repro.core.fingerprint.
+        fingerprint = self.__dict__.get("_fingerprint")
+        if fingerprint is None:
+            fingerprint = hash(
+                (
+                    self.broadcast,
+                    self.abort_on_fail,
+                    self.objective,
+                    self.manufacturing_yield,
+                    self.min_sites,
+                    self.max_sites,
+                )
+            )
+            object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
+
+    __getstate__ = pickle_state
 
     def with_broadcast(self, broadcast: bool) -> "OptimizationConfig":
         """Return a copy with the broadcast switch changed."""

@@ -22,10 +22,19 @@ from __future__ import annotations
 
 from repro.core.exceptions import ConfigurationError
 from repro.objectives.registry import DEFAULT_OBJECTIVE, get_objective
-from repro.optimize.channels import max_channels_per_site
 from repro.optimize.result import SitePoint, Step1Result, TwoStepResult
-from repro.solvers.evaluate import evaluate_point
-from repro.tam.redistribution import widen_to_channel_budget
+from repro.solvers.evaluate import EvaluatedPoint, evaluate_batch, evaluate_points
+
+
+def _site_point(point: EvaluatedPoint) -> SitePoint:
+    """Adapt a kernel :class:`EvaluatedPoint` to the Step-2 result shape."""
+    return SitePoint(
+        sites=point.sites,
+        channels_per_site=point.architecture.ate_channels,
+        architecture=point.architecture,
+        scenario=point.scenario,
+        throughput=point.objective,
+    )
 
 
 def evaluate_site_count(
@@ -37,26 +46,11 @@ def evaluate_site_count(
     broadcast mode; any budget beyond the Step-1 requirement (at least one
     full TAM wire, i.e. two channels) is spent widening the bottleneck
     channel groups.  ``objective`` names the registered objective
-    (:mod:`repro.objectives`) the point is valued under.
+    (:mod:`repro.objectives`) the point is valued under.  This is the
+    single-point shim over the batch kernel's
+    :func:`~repro.solvers.evaluate.evaluate_points`.
     """
-    if sites <= 0:
-        raise ConfigurationError(f"site count must be positive, got {sites}")
-    if sites > step1.max_sites:
-        raise ConfigurationError(
-            f"site count {sites} exceeds the Step-1 maximum of {step1.max_sites}"
-        )
-    budget = max_channels_per_site(step1.ate.channels, sites, step1.config.broadcast)
-    architecture = widen_to_channel_budget(step1.architecture, budget)
-    point = evaluate_point(
-        architecture, sites, step1.ate, step1.probe_station, step1.config, objective
-    )
-    return SitePoint(
-        sites=sites,
-        channels_per_site=architecture.ate_channels,
-        architecture=architecture,
-        scenario=point.scenario,
-        throughput=point.objective,
-    )
+    return _site_point(evaluate_points(step1, (sites,), objective)[0])
 
 
 def step1_only_throughput(
@@ -69,9 +63,13 @@ def step1_only_throughput(
     """
     if sites <= 0:
         raise ConfigurationError(f"site count must be positive, got {sites}")
-    return evaluate_point(
-        step1.architecture, sites, step1.ate, step1.probe_station, step1.config, objective
-    ).objective
+    return evaluate_batch(
+        [(step1.architecture, sites)],
+        step1.ate,
+        step1.probe_station,
+        step1.config,
+        objective,
+    )[0].objective
 
 
 def run_step2(step1: Step1Result, objective: str = DEFAULT_OBJECTIVE) -> TwoStepResult:
@@ -84,6 +82,11 @@ def run_step2(step1: Step1Result, objective: str = DEFAULT_OBJECTIVE) -> TwoStep
     value (the comparison runs on the sense-signed score).  Ties are
     resolved towards the larger site count, because more sites at equal
     value means fewer touchdowns per wafer.
+
+    The whole range is evaluated in one pass through the batch kernel
+    (:func:`~repro.solvers.evaluate.evaluate_points`): the descending
+    search order makes the incremental channel redistribution exact, so
+    each site count only widens the previous architecture.
     """
     spec = get_objective(objective)
     config = step1.config
@@ -96,9 +99,7 @@ def run_step2(step1: Step1Result, objective: str = DEFAULT_OBJECTIVE) -> TwoStep
             f"no feasible site count: search range [{lower}, {upper}] is empty"
         )
 
-    points: list[SitePoint] = []
-    for sites in range(upper, lower - 1, -1):
-        points.append(evaluate_site_count(step1, sites, objective))
-
+    evaluated = evaluate_points(step1, range(upper, lower - 1, -1), objective)
+    points = tuple(_site_point(point) for point in evaluated)
     best = max(points, key=lambda point: (spec.signed(point.throughput), point.sites))
-    return TwoStepResult(step1=step1, points=tuple(points), best=best)
+    return TwoStepResult(step1=step1, points=points, best=best)

@@ -16,9 +16,11 @@ scan flip-flops, test-data volume, terminal counts).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Sequence
 
 from repro.core.exceptions import InvalidSocError
+from repro.core.fingerprint import pickle_state
 
 
 @dataclass(frozen=True)
@@ -101,6 +103,26 @@ class Module:
         if not isinstance(self.scan_chains, tuple):
             object.__setattr__(self, "scan_chains", tuple(self.scan_chains))
 
+    def __hash__(self) -> int:
+        # Structural hash cached on first use; see repro.core.fingerprint.
+        fingerprint = self.__dict__.get("_fingerprint")
+        if fingerprint is None:
+            fingerprint = hash(
+                (
+                    self.name,
+                    self.inputs,
+                    self.outputs,
+                    self.bidirs,
+                    self.scan_chains,
+                    self.patterns,
+                    self.is_memory,
+                )
+            )
+            object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
+
+    __getstate__ = pickle_state
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
@@ -109,7 +131,7 @@ class Module:
         """Number of internal scan chains."""
         return len(self.scan_chains)
 
-    @property
+    @cached_property
     def scan_lengths(self) -> tuple[int, ...]:
         """Lengths of the internal scan chains, in declaration order."""
         return tuple(chain.length for chain in self.scan_chains)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.exceptions import InvalidSocError
+from repro.core.fingerprint import pickle_state
 from repro.soc.module import Module
 
 
@@ -63,6 +64,16 @@ class Soc:
             raise InvalidSocError(
                 f"SOC {self.name!r}: functional_pins must be >= 0, got {self.functional_pins}"
             )
+
+    def __hash__(self) -> int:
+        # Structural hash cached on first use; see repro.core.fingerprint.
+        fingerprint = self.__dict__.get("_fingerprint")
+        if fingerprint is None:
+            fingerprint = hash((self.name, self.modules, self.functional_pins))
+            object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
+
+    __getstate__ = pickle_state
 
     # ------------------------------------------------------------------
     # Container protocol

@@ -22,7 +22,11 @@ solvers`` lists what is registered.
 
 from repro.solvers.evaluate import (
     EvaluatedPoint,
+    KernelCacheInfo,
+    evaluate_batch,
+    evaluate_move,
     evaluate_point,
+    evaluate_points,
     objective_value,
     scenario_for,
     timing_for,
@@ -41,10 +45,14 @@ from repro.solvers.registry import (
 __all__ = [
     "DEFAULT_SOLVER",
     "EvaluatedPoint",
+    "KernelCacheInfo",
     "Solver",
     "SolverSolution",
     "TestInfraProblem",
+    "evaluate_batch",
+    "evaluate_move",
     "evaluate_point",
+    "evaluate_points",
     "get_solver",
     "list_solvers",
     "make_problem",

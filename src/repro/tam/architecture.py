@@ -10,8 +10,10 @@ application time in cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.exceptions import ConfigurationError, InvalidSocError
+from repro.core.fingerprint import pickle_state
 from repro.soc.soc import Soc
 from repro.tam.channel_group import ChannelGroup
 
@@ -56,10 +58,20 @@ class TestArchitecture:
         if extra:
             raise InvalidSocError(f"unknown modules in channel groups: {sorted(extra)}")
 
+    def __hash__(self) -> int:
+        # Structural hash cached on first use; see repro.core.fingerprint.
+        fingerprint = self.__dict__.get("_fingerprint")
+        if fingerprint is None:
+            fingerprint = hash((self.soc, self.groups, self.depth))
+            object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
+
+    __getstate__ = pickle_state
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def total_width(self) -> int:
         """Total TAM width (sum of group widths)."""
         return sum(group.width for group in self.groups)
@@ -69,12 +81,12 @@ class TestArchitecture:
         """ATE channels required per site: ``k = 2 * total TAM width``."""
         return 2 * self.total_width
 
-    @property
+    @cached_property
     def test_time_cycles(self) -> int:
         """SOC test application time in cycles (largest group fill)."""
-        return max(group.fill for group in self.groups)
+        return max(self.fills)
 
-    @property
+    @cached_property
     def fills(self) -> tuple[int, ...]:
         """Fill of every group, in group order."""
         return tuple(group.fill for group in self.groups)

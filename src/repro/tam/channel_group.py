@@ -11,8 +11,10 @@ channels -- is the sum of the module test times at the group's width.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.exceptions import ConfigurationError
+from repro.core.fingerprint import pickle_state
 from repro.soc.module import Module
 from repro.wrapper.combine import module_test_time
 
@@ -42,6 +44,16 @@ class ChannelGroup:
         if not isinstance(self.modules, tuple):
             object.__setattr__(self, "modules", tuple(self.modules))
 
+    def __hash__(self) -> int:
+        # Structural hash cached on first use; see repro.core.fingerprint.
+        fingerprint = self.__dict__.get("_fingerprint")
+        if fingerprint is None:
+            fingerprint = hash((self.index, self.width, self.modules))
+            object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
+
+    __getstate__ = pickle_state
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
@@ -50,7 +62,7 @@ class ChannelGroup:
         """ATE channels consumed by this group (stimulus + response)."""
         return 2 * self.width
 
-    @property
+    @cached_property
     def fill(self) -> int:
         """Vector-memory depth consumed on this group's channels (cycles)."""
         return sum(module_test_time(module, self.width) for module in self.modules)

@@ -35,13 +35,19 @@ def widen_bottleneck(architecture: TestArchitecture, extra_wires: int) -> TestAr
     """
     if extra_wires < 0:
         raise ConfigurationError(f"extra wire count must be non-negative, got {extra_wires}")
-    current = architecture
+    if extra_wires == 0:
+        return architecture
+    # Track the groups and their fills locally so each wire only re-derives
+    # the fill of the one group it widened; the architecture (and its full
+    # validation pass) is rebuilt once at the end.
+    groups = list(architecture.groups)
+    fills = [group.fill for group in groups]
     for _ in range(extra_wires):
-        fills = current.fills
         bottleneck = max(range(len(fills)), key=lambda position: (fills[position], -position))
-        group = current.groups[bottleneck]
-        current = current.with_group_width(group.index, group.width + 1)
-    return current
+        widened = groups[bottleneck].with_width(groups[bottleneck].width + 1)
+        groups[bottleneck] = widened
+        fills[bottleneck] = widened.fill
+    return architecture.with_groups(tuple(groups))
 
 
 def widen_to_channel_budget(

@@ -19,6 +19,7 @@ reconstruct which scan chains ended up on which wrapper chain.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -78,10 +79,16 @@ def lpt_partition(sizes: Sequence[int], num_bins: int) -> Partition:
     _check_arguments(sizes, num_bins)
     assignments: list[list[int]] = [[] for _ in range(num_bins)]
     loads = [0] * num_bins
+    # A heap of (load, bin) tuples picks the same bin as
+    # ``min(range(num_bins), key=lambda b: (loads[b], b))`` -- the
+    # least-loaded bin, ties towards the lower index -- in O(log bins).
+    heap = [(0, b) for b in range(num_bins)]
     for index in _decreasing_order(sizes):
-        target = min(range(num_bins), key=lambda b: (loads[b], b))
+        load, target = heapq.heappop(heap)
         assignments[target].append(index)
-        loads[target] += sizes[index]
+        load += sizes[index]
+        loads[target] = load
+        heapq.heappush(heap, (load, target))
     return Partition(
         bins=tuple(tuple(bin_items) for bin_items in assignments),
         loads=tuple(loads),
@@ -99,16 +106,30 @@ def bfd_partition(sizes: Sequence[int], num_bins: int) -> Partition:
     _check_arguments(sizes, num_bins)
     assignments: list[list[int]] = [[] for _ in range(num_bins)]
     loads = [0] * num_bins
+    current_max = 0
     for index in _decreasing_order(sizes):
         size = sizes[index]
-        current_max = max(loads)
-        fitting = [b for b in range(num_bins) if loads[b] + size <= current_max]
-        if fitting:
-            target = max(fitting, key=lambda b: (loads[b], -b))
-        else:
-            target = min(range(num_bins), key=lambda b: (loads[b], b))
+        # One fused scan finds both the best-fit bin (fullest bin the item
+        # fits on, ties towards the lower index) and the least-loaded
+        # fallback (ties towards the lower index as well).
+        target = -1
+        target_load = -1
+        fallback = 0
+        fallback_load = loads[0]
+        for b in range(num_bins):
+            load = loads[b]
+            if load + size <= current_max and load > target_load:
+                target = b
+                target_load = load
+            if load < fallback_load:
+                fallback = b
+                fallback_load = load
+        if target < 0:
+            target = fallback
         assignments[target].append(index)
         loads[target] += size
+        if loads[target] > current_max:
+            current_max = loads[target]
     return Partition(
         bins=tuple(tuple(bin_items) for bin_items in assignments),
         loads=tuple(loads),
@@ -119,11 +140,39 @@ def best_partition(sizes: Sequence[int], num_bins: int) -> Partition:
     """Return the better of the LPT and BFD partitions (smaller makespan).
 
     This is the scan-chain distribution step of the COMBINE algorithm.
-    Ties are resolved in favour of LPT.
+    Ties are resolved in favour of LPT -- which also licenses the shortcut
+    below: when the LPT makespan already meets the trivial lower bound
+    (the largest item, or the average bin load rounded up), no partition
+    can beat it and BFD is skipped entirely.
     """
     lpt = lpt_partition(sizes, num_bins)
+    if sizes:
+        total = sum(sizes)
+        lower_bound = max(max(sizes), -(-total // num_bins))
+        if lpt.makespan == lower_bound:
+            return lpt
     bfd = bfd_partition(sizes, num_bins)
     return bfd if bfd.makespan < lpt.makespan else lpt
+
+
+def water_level(sorted_loads: Sequence[int], cells: int) -> int:
+    """Smallest integer level ``L`` with ``sum(max(0, L - load)) >= cells``.
+
+    ``sorted_loads`` must be sorted ascending and non-empty; ``cells`` must
+    be positive.  With the loads sorted, the capacity restricted to the
+    ``k`` smallest loads is the closed form ``k * L - prefix_k``, so the
+    level is found directly from prefix sums instead of by binary search.
+    """
+    num = len(sorted_loads)
+    prefix = 0
+    for k in range(1, num + 1):
+        prefix += sorted_loads[k - 1]
+        # Smallest L with k * L - prefix >= cells, valid while at most the
+        # k smallest loads sit below L (i.e. L does not pass the next load).
+        candidate = -(-(cells + prefix) // k)
+        if k == num or candidate <= sorted_loads[k]:
+            return candidate
+    return sorted_loads[-1] + cells  # pragma: no cover - loop always returns
 
 
 def spread_cells(base_loads: Sequence[int], cells: int) -> tuple[int, ...]:
@@ -147,19 +196,12 @@ def spread_cells(base_loads: Sequence[int], cells: int) -> tuple[int, ...]:
     num = len(loads)
     if cells == 0:
         return tuple([0] * num)
+    if num == 1:
+        return (cells,)
 
-    # Find the smallest integer water level L such that
-    # sum(max(0, L - load)) >= cells, then distribute the slack of the last
+    # Find the water level, then distribute the slack of the last
     # partially-filled level over the lowest-indexed chains for determinism.
-    low, high = min(loads), max(loads) + cells
-    while low < high:
-        mid = (low + high) // 2
-        capacity = sum(max(0, mid - load) for load in loads)
-        if capacity >= cells:
-            high = mid
-        else:
-            low = mid + 1
-    level = low
+    level = water_level(sorted(loads), cells)
     added = [max(0, level - load) for load in loads]
     surplus = sum(added) - cells
     if surplus > 0:

@@ -224,3 +224,167 @@ class TestCompareReports:
         # The default-objective grid keeps its pre-objective digests.
         default = bench_sweep_grid(smoke=True)
         assert all(len(s.canonical_key()) == 4 for s in default)
+
+
+class TestKernelCounters:
+    def test_every_section_records_kernel_counters(self, smoke_reports):
+        cold, _ = smoke_reports
+        for row in cold["experiments"]:
+            assert set(row["evaluate_kernel"]) == {
+                "hits", "misses", "batch_calls", "batch_points", "max_batch",
+            }
+        for row in cold["solvers"]:
+            if "skipped" not in row:
+                assert "evaluate_kernel" in row
+        assert cold["sweep"]["evaluate_kernel"]["misses"] >= 0
+        assert cold["synthetic_sweep"]["evaluate_kernel"]["misses"] > 0
+        assert cold["evaluate_kernel"]["batch_calls"] > 0
+
+    def test_summary_prints_kernel_totals(self, smoke_reports):
+        cold, _ = smoke_reports
+        text = summarize_report(cold)
+        assert "evaluate kernel:" in text
+        assert "synthetic sweep (cold):" in text
+
+
+class TestSyntheticSweep:
+    def test_smoke_grid_size(self):
+        from repro.bench.runner import synthetic_sweep_grid
+
+        assert len(synthetic_sweep_grid(smoke=True)) == 16
+
+    def test_full_grid_size(self):
+        from repro.bench.runner import synthetic_sweep_grid
+
+        assert len(synthetic_sweep_grid(smoke=False)) == 1000
+
+    def test_section_shape(self, smoke_reports):
+        cold, warm = smoke_reports
+        section = cold["synthetic_sweep"]
+        assert section["scenarios"] == 16
+        assert section["seconds"] > 0
+        assert len(section["digest"]) == 64
+        # The synthetic sweep is always cold (caches cleared, no store), so
+        # the warm report must reproduce the digest by recomputation.
+        assert warm["synthetic_sweep"]["digest"] == section["digest"]
+        assert warm["synthetic_sweep"]["cache"]["store_hits"] == 0
+
+
+class TestNoiseFloor:
+    @staticmethod
+    def _reports(before, after):
+        previous = {"experiments": [{"name": "x", "seconds": before}], "solvers": []}
+        current = {"experiments": [{"name": "x", "seconds": after}], "solvers": []}
+        return current, previous
+
+    def test_default_floor_ignores_sub_50ms_workloads(self):
+        from repro.bench.runner import find_regressions
+
+        current, previous = self._reports(0.010, 0.040)
+        assert find_regressions(current, previous, 10.0) == []
+
+    def test_custom_floor_catches_fast_workloads(self):
+        from repro.bench.runner import find_regressions
+
+        current, previous = self._reports(0.010, 0.040)
+        regressions = find_regressions(
+            current, previous, 10.0, noise_floor_seconds=0.005
+        )
+        assert len(regressions) == 1
+        assert "experiment x" in regressions[0]
+
+    def test_raised_floor_silences_regressions(self):
+        from repro.bench.runner import find_regressions
+
+        current, previous = self._reports(0.2, 0.9)
+        assert find_regressions(current, previous, 10.0, noise_floor_seconds=1.0) == []
+        assert len(find_regressions(current, previous, 10.0)) == 1
+
+    def test_negative_floor_rejected(self):
+        from repro.bench.runner import find_regressions
+
+        current, previous = self._reports(0.2, 0.9)
+        with pytest.raises(ConfigurationError, match="noise floor"):
+            find_regressions(current, previous, 10.0, noise_floor_seconds=-0.1)
+
+    def test_cli_noise_floor_flag(self, tmp_path, capsys):
+        baseline = run_bench(tag="base", smoke=True)
+        write_report(baseline, tmp_path)
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--tag",
+                "next",
+                "--output",
+                str(tmp_path),
+                "--compare",
+                str(tmp_path / "BENCH_base.json"),
+                "--fail-on-regression",
+                "1000000",
+                "--noise-floor",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "perf ratchet passed" in capsys.readouterr().out
+
+    def test_cli_rejects_negative_noise_floor(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--smoke", "--output", str(tmp_path), "--noise-floor", "-5"]
+        )
+        assert code == 1
+        assert "noise-floor" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_format_profile_is_deterministic_given_stats(self):
+        import cProfile
+        import pstats
+
+        from repro.bench.runner import format_profile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sum(range(1000))
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        first = format_profile(stats)
+        second = format_profile(stats)
+        assert first == second
+        assert first.splitlines()[0].startswith("profile: top")
+
+    def test_normalise_profile_path(self):
+        from repro.bench.runner import _normalise_profile_path
+
+        assert _normalise_profile_path(
+            "/home/me/checkout/src/repro/bench/runner.py"
+        ) == "repro/bench/runner.py"
+        assert _normalise_profile_path(
+            "/usr/lib/python3.11/site-packages/numpy/core/x.py"
+        ) == "numpy/core/x.py"
+        assert _normalise_profile_path("~") == "~"
+
+    def test_cli_profile_prints_table_and_writes_stats(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.prof"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--tag",
+                "prof",
+                "--output",
+                str(tmp_path),
+                "--profile",
+                "--profile-out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile: top" in out
+        assert "cumtime" in out
+        assert out_file.is_file()
+        import pstats
+
+        pstats.Stats(str(out_file))  # the dump must be loadable
