@@ -14,7 +14,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-multisite",
-    version="1.6.0",
+    version="1.7.0",
     description=(
         "Reproduction of Goel & Marinissen (DATE 2005): on-chip test "
         "infrastructure design for optimal multi-site testing of system chips"

@@ -172,7 +172,7 @@ from repro.store import (
 from repro.tam import TestArchitecture, design_architecture
 from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CacheInfo",

@@ -129,11 +129,13 @@ def records_table(records: Sequence[AnalysisRecord], title: str = "Campaign reco
             "k",
             "t (cycles)",
             "value",
+            "gap",
             "cost (USD)",
         ],
     )
     cost = METRICS["cost"]
     for record in records:
+        gap = record.gap
         table.add_row(
             [
                 record.soc,
@@ -146,6 +148,7 @@ def records_table(records: Sequence[AnalysisRecord], title: str = "Campaign reco
                 record.channels_per_site,
                 record.test_time_cycles,
                 f"{record.value:.4g}",
+                "-" if gap is None else f"{gap:.2%}",
                 round(cost.extract(record), 2),
             ]
         )

@@ -56,6 +56,10 @@ class AnalysisRecord:
         The objective value at the optimal point (devices/hour for the
         default objective; whatever the registered objective measures
         otherwise).
+    lower_bound:
+        The certified bound on the achievable objective value
+        (:mod:`repro.solvers.bounds`), or ``None`` when the source carries
+        no certificate (e.g. a sweep JSONL written before bounds existed).
     """
 
     key: str
@@ -69,6 +73,14 @@ class AnalysisRecord:
     channels_per_site: int
     test_time_cycles: int
     value: float
+    lower_bound: float | None = None
+
+    @property
+    def gap(self) -> float | None:
+        """Relative optimality gap against the certificate (0.0 = proven optimal)."""
+        from repro.solvers.bounds import relative_gap
+
+        return relative_gap(self.value, self.lower_bound, self.objective)
 
     @property
     def employed_channels(self) -> int:
@@ -111,6 +123,7 @@ def _record_from_result(outcome: "ScenarioResult") -> AnalysisRecord:
         channels_per_site=result.best.channels_per_site,
         test_time_cycles=result.best.test_time_cycles,
         value=result.optimal_throughput,
+        lower_bound=outcome.lower_bound,
     )
 
 
@@ -128,9 +141,16 @@ def records_from_store(
     directory or packed; see :func:`repro.store.open_store`).  Corrupt
     records are skipped, exactly as the store's own readers do.
     """
+    from repro.solvers.bounds import certificate
+
     store = open_store(store)
     rows = []
     for entry, result in store.records():
+        step1 = result.step1
+        cert = certificate(
+            step1.architecture.soc, step1.ate, step1.probe_station,
+            step1.config, entry.objective,
+        )
         rows.append(
             AnalysisRecord(
                 key=entry.key[:16],
@@ -144,6 +164,7 @@ def records_from_store(
                 channels_per_site=result.best.channels_per_site,
                 test_time_cycles=result.best.test_time_cycles,
                 value=result.optimal_throughput,
+                lower_bound=None if cert is None else cert.value,
             )
         )
     return _finalize(rows)
@@ -151,6 +172,7 @@ def records_from_store(
 
 def _record_from_sweep_row(row: dict[str, Any]) -> AnalysisRecord:
     optimal = row["optimal"]
+    bound = row.get("lower_bound")
     return AnalysisRecord(
         key=str(row["scenario_key"]),
         soc=str(row["soc"]),
@@ -163,6 +185,7 @@ def _record_from_sweep_row(row: dict[str, Any]) -> AnalysisRecord:
         channels_per_site=int(optimal["channels_per_site"]),
         test_time_cycles=int(optimal["test_time_cycles"]),
         value=float(optimal["throughput_per_hour"]),
+        lower_bound=None if bound is None else float(bound),
     )
 
 

@@ -97,7 +97,24 @@ class ScenarioResult:
         record["scenario_key"] = self.scenario.key
         record["solver"] = self.scenario.solver
         record["objective_name"] = self.scenario.objective
+        bound = self.lower_bound
+        if bound is not None:
+            record["lower_bound"] = bound
         return record
+
+    @property
+    def lower_bound(self) -> float | None:
+        """Certified bound on the scenario's optimal objective value.
+
+        Delegates to the certificate layer (:mod:`repro.solvers.bounds`):
+        a literal lower bound for minimised objectives, the symmetric
+        certified cap for maximised ones.  ``None`` when no certificate
+        exists (e.g. an unregistered objective name in a hand-built
+        scenario).
+        """
+        from repro.solvers.bounds import scenario_lower_bound
+
+        return scenario_lower_bound(self.scenario)
 
     def describe(self) -> str:
         """One-line summary used by reports and logs."""
@@ -112,6 +129,7 @@ def _execute(scenario: Scenario) -> TwoStepResult:
         scenario.test_cell.probe_station,
         scenario.config,
         scenario.objective,
+        scenario.solver_options,
     )
     return solve(scenario.solver, problem).result
 
@@ -286,6 +304,7 @@ class Engine:
             scenario.config,
             scenario.solver,
             scenario.objective,
+            scenario.solver_options,
         )
         theirs = (
             cached.scenario.soc,
@@ -293,6 +312,7 @@ class Engine:
             cached.scenario.config,
             cached.scenario.solver,
             cached.scenario.objective,
+            cached.scenario.solver_options,
         )
         if ours == theirs:
             return cached
@@ -512,6 +532,7 @@ def optimize_scenario(
     config,
     solver: str = DEFAULT_SOLVER,
     objective: str = DEFAULT_OBJECTIVE,
+    solver_options: tuple = (),
 ) -> TwoStepResult:
     """Run one (soc, ate, probe, config) operating point through ``engine``.
 
@@ -519,7 +540,8 @@ def optimize_scenario(
     memoised (shared operating points across experiments are optimised
     once); without one it degrades to a plain direct call.  ``solver``
     selects the registered backend that executes the point, ``objective``
-    the registered objective it optimises.
+    the registered objective it optimises, and ``solver_options`` tunes
+    backend knobs (non-default options change the scenario's key).
     """
     scenario = Scenario(
         soc=soc,
@@ -527,6 +549,7 @@ def optimize_scenario(
         config=config,
         solver=solver,
         objective=objective,
+        solver_options=solver_options,
     )
     if engine is None:
         return _execute(scenario)

@@ -52,6 +52,54 @@ def resolve_soc(soc: Soc | str) -> Soc:
     return resolve_catalog_soc(soc)
 
 
+def normalize_solver_options(options: object) -> tuple:
+    """Normalise solver options into a canonical name-sorted tuple of pairs.
+
+    Accepts a mapping, an iterable of ``(name, value)`` pairs, or an
+    already-normalised tuple.  Values are restricted to plain scalars
+    (bool/int/float/str) so option tuples stay hashable, reprable and
+    JSON-round-trippable -- the canonical key and the store depend on all
+    three.
+
+    Raises
+    ------
+    ConfigurationError
+        On non-pair items, empty/duplicate/non-string names, or
+        non-scalar values.
+    """
+    if isinstance(options, dict):
+        items = list(options.items())
+    else:
+        try:
+            items = [tuple(item) for item in options]  # type: ignore[union-attr]
+        except TypeError:
+            raise ConfigurationError(
+                "solver options must be a mapping or (name, value) pairs, "
+                f"got {type(options).__name__}"
+            ) from None
+    pairs = []
+    for item in items:
+        if len(item) != 2:
+            raise ConfigurationError(
+                f"solver option items must be (name, value) pairs, got {item!r}"
+            )
+        name, value = item
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(
+                f"solver option names must be non-empty strings, got {name!r}"
+            )
+        if not isinstance(value, (bool, int, float, str)):
+            raise ConfigurationError(
+                f"solver option {name!r} must be a scalar (bool/int/float/str), "
+                f"got {type(value).__name__}"
+            )
+        pairs.append((name, value))
+    names = [name for name, _ in pairs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate solver option names in {sorted(names)}")
+    return tuple(sorted(pairs))
+
+
 @dataclass(frozen=True, eq=False)
 class Scenario:
     """One declarative optimisation run: SOC + test cell + config.
@@ -76,6 +124,17 @@ class Scenario:
         solver optimises; defaults to the paper's throughput
         (``"throughput"``).  Like the solver, the name is validated at run
         time, so declaring scenarios never imports the backends.
+    solver_options:
+        Backend-specific tuning knobs, e.g. the simulated-annealing
+        schedule (``temperature``, ``cooling``, ``moves_per_temp``,
+        ``restarts``).  Accepts a mapping or an iterable of ``(name,
+        value)`` pairs and is normalised to a name-sorted tuple of pairs,
+        so two scenarios passing the same knobs in different forms or
+        orders compare equal.  Option names are interpreted by the solver
+        backend; unknown options are rejected when the scenario runs.
+        Like the objective, the options enter the canonical key (and
+        therefore digests and store records) **only when non-empty**, so
+        every pre-existing scenario key stays valid.
     """
 
     soc: Soc | str
@@ -83,6 +142,7 @@ class Scenario:
     config: OptimizationConfig = OptimizationConfig()
     solver: str = DEFAULT_SOLVER
     objective: str = DEFAULT_OBJECTIVE
+    solver_options: tuple = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.soc, (Soc, str)):
@@ -95,6 +155,9 @@ class Scenario:
             raise ConfigurationError("scenario solver must be a non-empty backend name")
         if not isinstance(self.objective, str) or not self.objective:
             raise ConfigurationError("scenario objective must be a non-empty name")
+        object.__setattr__(
+            self, "solver_options", normalize_solver_options(self.solver_options)
+        )
 
     # ------------------------------------------------------------------
     # Identity
@@ -136,6 +199,12 @@ class Scenario:
         key = (self.resolve(), cell, self.config, self.solver)
         if self.objective != DEFAULT_OBJECTIVE:
             key += (self.objective,)
+        if self.solver_options:
+            # Appended only when set, and as a tuple (the objective above
+            # appends a string), so option-free scenarios keep their
+            # pre-solver-options keys and the two extensions cannot
+            # collide.
+            key += (self.solver_options,)
         return key
 
     @property
@@ -190,6 +259,15 @@ class Scenario:
         """Return a copy optimising a different registered objective."""
         return replace(self, objective=objective)
 
+    def with_solver_options(self, **options: object) -> "Scenario":
+        """Return a copy with the given backend knobs (none: reset to default).
+
+        ``scenario.with_solver_options(temperature=2.0, restarts=2)`` tunes
+        the backend; the knob names are validated by the solver when the
+        scenario runs.
+        """
+        return replace(self, solver_options=tuple(options.items()))
+
     def with_sites(self, max_sites: int | None) -> "Scenario":
         """Return a copy with a different equipment limit on the site count."""
         return replace(self, config=self.config.with_site_limit(max_sites))
@@ -207,9 +285,14 @@ class Scenario:
         objective = (
             "" if self.objective == DEFAULT_OBJECTIVE else f", optimize={self.objective}"
         )
+        options = ""
+        if self.solver_options:
+            knobs = " ".join(f"{name}={value}" for name, value in self.solver_options)
+            options = f", options[{knobs}]"
         return (
             f"scenario[{self.soc_name} @ {self.test_cell.ate.channels}ch x "
-            f"{self.test_cell.ate.depth} vectors, {self.config.describe()}{solver}{objective}]"
+            f"{self.test_cell.ate.depth} vectors, "
+            f"{self.config.describe()}{solver}{objective}{options}]"
         )
 
     # ------------------------------------------------------------------

@@ -208,12 +208,19 @@ def _bench_experiments(
     return rows
 
 
+#: Smoke-sized annealing knobs for the solver-timing row: a short schedule
+#: that keeps the bench leg cheap while still exercising the full backend.
+SA_BENCH_KNOBS = {"temperature": 0.5, "cooling": 0.7, "moves_per_temp": 10}
+
+
 def _bench_solvers(store: ResultStore | None) -> list[dict[str, Any]]:
     """Time each registered solver backend on the reference d695 point."""
     cell = reference_test_cell(channels=256, depth_m=0.0625)
     rows: list[dict[str, Any]] = []
     for name in solver_names():
         scenario = Scenario(soc="d695", test_cell=cell, solver=name)
+        if name == "simulated_annealing":
+            scenario = scenario.with_solver_options(**SA_BENCH_KNOBS)
         engine = Engine(store=store)
         kernel_before = evaluate_kernel.cache_info()
         started = time.perf_counter()

@@ -200,6 +200,22 @@ def _add_design_parser(
         default=DEFAULT_OBJECTIVE,
         help=f"objective to optimise (default {DEFAULT_OBJECTIVE!r}; see 'objectives')",
     )
+    parser.add_argument(
+        "--sa-temperature", type=float, default=None, metavar="T",
+        help="simulated_annealing: starting temperature (backend default when omitted)",
+    )
+    parser.add_argument(
+        "--sa-cooling", type=float, default=None, metavar="C",
+        help="simulated_annealing: geometric cooling factor in (0, 1)",
+    )
+    parser.add_argument(
+        "--sa-moves-per-temp", type=int, default=None, metavar="M",
+        help="simulated_annealing: proposed moves per temperature level",
+    )
+    parser.add_argument(
+        "--sa-restarts", type=int, default=None, metavar="R",
+        help="simulated_annealing: number of independent annealing chains",
+    )
     parser.add_argument("--show-architecture", action="store_true",
                         help="print the full channel-group architecture")
 
@@ -225,12 +241,23 @@ def _design_scenario(args: argparse.Namespace) -> Scenario:
         manufacturing_yield=args.manufacturing_yield,
         max_sites=args.max_sites,
     )
+    solver_options = {
+        name: value
+        for name, value in (
+            ("temperature", args.sa_temperature),
+            ("cooling", args.sa_cooling),
+            ("moves_per_temp", args.sa_moves_per_temp),
+            ("restarts", args.sa_restarts),
+        )
+        if value is not None
+    }
     return Scenario(
         soc=_resolve_soc_argument(args.soc),
         test_cell=test_cell,
         config=config,
         solver=args.solver,
         objective=args.objective,
+        solver_options=tuple(solver_options.items()),
     )
 
 

@@ -51,6 +51,11 @@ from repro.experiments.objective_comparison import (
     run_objective_comparison,
     summarize_objective_comparison,
 )
+from repro.experiments.sa_knob_search import (
+    SaKnobSearchResult,
+    run_sa_knob_search,
+    summarize_sa_knob_search,
+)
 from repro.experiments.registry import (
     Experiment,
     experiment_names,
@@ -112,6 +117,9 @@ __all__ = [
     "ObjectiveComparisonResult",
     "run_objective_comparison",
     "summarize_objective_comparison",
+    "SaKnobSearchResult",
+    "run_sa_knob_search",
+    "summarize_sa_knob_search",
     "ExperimentReport",
     "run_all_experiments",
 ]

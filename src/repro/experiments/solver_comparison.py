@@ -8,8 +8,9 @@ scenario dimension; this experiment quantifies what that dimension buys:
   partition-enumeration oracle -- validating that the paper's greedy
   heuristic finds the true optimum there (or reporting its gap);
 * on the **full ITC'02 benchmarks** (at each benchmark's Table-1 operating
-  point) the greedy backends compete: the deterministic paper order
-  (``"goel05"``) against the randomized multi-start (``"restart"``).
+  point) the scalable backends compete: the deterministic paper order
+  (``"goel05"``) against the randomized multi-start (``"restart"``) and
+  the Metropolis local search (``"simulated_annealing"``).
 
 All runs are expanded with :meth:`Scenario.sweep`'s ``solvers`` axis and
 executed as one engine batch, so shared operating points are cached and the
@@ -38,10 +39,10 @@ from repro.solvers.registry import DEFAULT_SOLVER
 SMALL_INSTANCE_SIZES = (3, 4, 5)
 
 #: Backends compared on the full benchmarks (exhaustive cannot scale there).
-GREEDY_SOLVERS = (DEFAULT_SOLVER, "restart")
+GREEDY_SOLVERS = (DEFAULT_SOLVER, "restart", "simulated_annealing")
 
 #: Backends compared on the small instances, oracle included.
-ORACLE_SOLVERS = (DEFAULT_SOLVER, "restart", "exhaustive")
+ORACLE_SOLVERS = (DEFAULT_SOLVER, "restart", "simulated_annealing", "exhaustive")
 
 #: Test cell of the small-instance comparison: modest enough that the
 #: oracle's site sweeps stay cheap, rich enough for multi-site trade-offs.
@@ -218,7 +219,7 @@ def run_solver_comparison(
 
 def summarize_solver_comparison(result: SolverComparisonResult) -> str:
     """Human-readable summary used by the CLI and EXPERIMENTS.md."""
-    lines = ["Solver comparison -- goel05 vs. restart vs. exhaustive"]
+    lines = ["Solver comparison -- goel05 vs. restart vs. simulated_annealing vs. exhaustive"]
     if result.oracle_instances:
         agreed = result.oracle_agreements
         worst_gap = max(
@@ -244,6 +245,17 @@ def summarize_solver_comparison(result: SolverComparisonResult) -> str:
             f"  restart strictly beats goel05 on {wins}/{len(greedy_instances)} "
             "full ITC'02 benchmarks (never worse by construction)"
         )
+        sa_wins = sum(
+            1
+            for name in greedy_instances
+            if result.row(name, "simulated_annealing").throughput
+            > result.row(name, DEFAULT_SOLVER).throughput
+        )
+        lines.append(
+            f"  simulated_annealing strictly beats goel05 on {sa_wins}/"
+            f"{len(greedy_instances)} full ITC'02 benchmarks "
+            "(never worse by construction)"
+        )
     return "\n".join(lines)
 
 
@@ -260,7 +272,7 @@ def render_solver_comparison(result: SolverComparisonResult) -> str:
 
 @register_experiment(
     "solver_comparison",
-    title="Solver backends -- goel05 vs. restart vs. exhaustive (ITC'02 set)",
+    title="Solver backends -- goel05 / restart / simulated_annealing / exhaustive (ITC'02 set)",
     render=render_solver_comparison,
 )
 def _solver_comparison_experiment(engine: Engine) -> SolverComparisonResult:

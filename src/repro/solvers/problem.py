@@ -44,6 +44,12 @@ class TestInfraProblem:
     objective:
         Registered objective (:mod:`repro.objectives`) the solver optimises;
         defaults to the paper's throughput.
+    solver_options:
+        Backend tuning knobs as a name-sorted tuple of ``(name, value)``
+        pairs, exactly as normalised by
+        :func:`repro.api.scenario.normalize_solver_options`.  The default
+        (empty) keeps pre-existing problems equal and hashable as before;
+        backends without knobs ignore the field.
     """
 
     soc: Soc
@@ -51,6 +57,7 @@ class TestInfraProblem:
     probe_station: ProbeStation = ProbeStation(name="prober-ref")
     config: OptimizationConfig = OptimizationConfig()
     objective: str = DEFAULT_OBJECTIVE
+    solver_options: tuple = ()
 
     #: Despite the Test* name this is not a test case; keep pytest away.
     __test__ = False
@@ -76,6 +83,10 @@ class TestInfraProblem:
         """Return a copy of this problem with different variant switches."""
         return replace(self, config=config)
 
+    def options_dict(self) -> dict:
+        """The solver options as a plain ``{name: value}`` dict."""
+        return dict(self.solver_options)
+
     def describe(self) -> str:
         """One-line summary used by reports and logs.
 
@@ -98,6 +109,7 @@ def make_problem(
     probe_station: ProbeStation | None = None,
     config: OptimizationConfig | None = None,
     objective: str = DEFAULT_OBJECTIVE,
+    solver_options: tuple = (),
 ) -> TestInfraProblem:
     """Build a :class:`TestInfraProblem`, filling in the paper's defaults."""
     return TestInfraProblem(
@@ -106,6 +118,7 @@ def make_problem(
         probe_station=probe_station or reference_probe_station(),
         config=config or OptimizationConfig(),
         objective=objective,
+        solver_options=solver_options,
     )
 
 
@@ -146,6 +159,32 @@ class SolverSolution:
     def channels_per_site(self) -> int:
         """ATE channels per site of the Step-1 design."""
         return self.result.step1.channels_per_site
+
+    @property
+    def score(self) -> float:
+        """The objective value on the maximise convention (sense-signed)."""
+        from repro.objectives.registry import get_objective
+
+        return get_objective(self.problem.objective).signed(self.optimal_throughput)
+
+    @property
+    def lower_bound(self) -> float | None:
+        """Certified bound on the achievable objective value, raw units.
+
+        ``None`` when no certificate exists for the problem (see
+        :mod:`repro.solvers.bounds`); otherwise no feasible design can beat
+        it, so ``score <= signed(lower_bound)`` always holds.
+        """
+        from repro.solvers.bounds import problem_lower_bound
+
+        return problem_lower_bound(self.problem)
+
+    @property
+    def gap(self) -> float | None:
+        """Relative optimality gap against the certificate (0.0 = proven optimal)."""
+        from repro.solvers.bounds import relative_gap
+
+        return relative_gap(self.optimal_throughput, self.lower_bound, self.problem.objective)
 
     def describe(self) -> str:
         """One-line summary used by reports and logs."""

@@ -11,7 +11,10 @@ paper's heuristic.  The built-in backends:
 * ``"exhaustive"`` -- exact enumeration over channel-group partitions for
   small module counts, the correctness oracle;
 * ``"restart"`` -- randomized multi-start greedy, deterministically seeded
-  through :mod:`repro.core.rng`.
+  through :mod:`repro.core.rng`;
+* ``"simulated_annealing"`` -- Metropolis local search over channel-group
+  partitions driven by the shared evaluation kernel, with solver-option
+  knobs for the temperature schedule.
 
 Backend modules are imported lazily on first lookup (they depend on the
 optimisation stack, which itself depends on this registry through the
@@ -87,6 +90,7 @@ def _ensure_backends() -> None:
     import repro.solvers.exhaustive  # noqa: F401
     import repro.solvers.goel05  # noqa: F401
     import repro.solvers.restart  # noqa: F401
+    import repro.solvers.simulated_annealing  # noqa: F401
 
 
 def get_solver(name: str) -> Solver:

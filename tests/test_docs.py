@@ -65,7 +65,8 @@ class TestCliDoc:
                      "--server", "--shards", "--host", "--port",
                      "--lease-ttl", "--worker", "--campaign", "--poll",
                      "--until-idle", "--max-shards", "--dest",
-                     "--fail-on-regression"):
+                     "--fail-on-regression", "--sa-temperature",
+                     "--sa-cooling", "--sa-moves-per-temp", "--sa-restarts"):
             assert flag in cli_doc_text
 
     def test_store_actions_documented(self, cli_doc_text):
@@ -102,6 +103,11 @@ class TestArchitectureDoc:
     def test_mentions_registered_solvers(self, architecture_text):
         for name in solver_names():
             assert name in architecture_text
+
+    def test_describes_bound_certificates(self, architecture_text):
+        for anchor in ("bounds.py", "BoundCertificate", "lower_bound",
+                       "with_solver_options"):
+            assert anchor in architecture_text
 
     def test_describes_cache_tiers(self, architecture_text):
         for anchor in ("canonical_key", "digest", "ResultStore", "evaluate",

@@ -64,7 +64,7 @@ class TestComparison:
 
     def test_full_benchmark_rows_use_greedy_solvers_only(self, comparison):
         solvers = {row.solver for row in comparison.rows_for("d695")}
-        assert solvers == {DEFAULT_SOLVER, "restart"}
+        assert solvers == {DEFAULT_SOLVER, "restart", "simulated_annealing"}
 
     def test_missing_row_lookup_raises(self, comparison):
         with pytest.raises(KeyError):

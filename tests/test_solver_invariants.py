@@ -1,0 +1,141 @@
+"""Cross-solver invariant suite: properties every backend must satisfy.
+
+Rather than testing each backend's internals, this suite pins the contract
+of the solver registry itself, over **every registered solver x every
+registered objective**:
+
+* solutions are feasible (per-site channel budget, vector-memory depth);
+* solving the same problem twice is bit-identical (seeded determinism);
+* no solution beats its lower-bound certificate (``score <= signed bound``);
+* the search backends (``restart``, ``simulated_annealing``) are never
+  worse than the paper's ``goel05`` heuristic -- including on the four full
+  ITC'02 benchmarks at their Table-1 operating points.
+
+New backends and objectives are picked up automatically through the
+registries; a backend that violates any of these properties fails here
+before it can corrupt an experiment.
+"""
+
+import pytest
+
+from repro.ate.spec import AteSpec
+from repro.core.units import kilo_vectors
+from repro.experiments.table1 import DEFAULT_ATE_CHANNELS, DEFAULT_DEPTH_GRIDS_K
+from repro.itc02.registry import TABLE1_BENCHMARKS, load_benchmark
+from repro.objectives.registry import get_objective, objective_names
+from repro.soc.catalog import resolve_catalog_soc
+from repro.solvers.problem import make_problem
+from repro.solvers.registry import DEFAULT_SOLVER, solve, solver_names
+
+#: Cheap annealing knobs so the full cross product stays fast; the
+#: invariants must hold for *any* knob setting, so smoke values suffice.
+SA_SMOKE_OPTIONS = (("cooling", 0.7), ("moves_per_temp", 8), ("temperature", 0.5))
+
+#: Backends expected to dominate the paper's deterministic heuristic.
+SEARCH_SOLVERS = ("restart", "simulated_annealing")
+
+
+def _options_for(solver: str) -> tuple:
+    return SA_SMOKE_OPTIONS if solver == "simulated_annealing" else ()
+
+
+def _problem(soc, ate, solver: str, objective: str):
+    return make_problem(soc, ate, objective=objective, solver_options=_options_for(solver))
+
+
+def _assert_feasible(solution) -> None:
+    """Every evaluated site point must respect the problem's ATE limits."""
+    ate = solution.problem.ate
+    result = solution.result
+    assert result.step1.channels_per_site <= ate.channels
+    for point in result.points:
+        assert point.channels_per_site <= ate.channels
+        assert all(group.fill <= ate.depth for group in point.architecture.groups)
+
+
+def _benchmark_ate(name: str) -> AteSpec:
+    """A benchmark's Table-1 operating point (middle of its depth grid)."""
+    grid = DEFAULT_DEPTH_GRIDS_K[name]
+    return AteSpec(
+        channels=DEFAULT_ATE_CHANNELS[name],
+        depth=kilo_vectors(grid[len(grid) // 2]),
+        name=f"ate-{name}",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    """Expand the registry cross product at collection time."""
+    if "solver" in metafunc.fixturenames:
+        metafunc.parametrize("solver", solver_names())
+    if "objective" in metafunc.fixturenames:
+        metafunc.parametrize("objective", objective_names())
+    if "itc_benchmark" in metafunc.fixturenames:
+        # Not named "benchmark": pytest-benchmark claims that fixture name.
+        metafunc.parametrize("itc_benchmark", TABLE1_BENCHMARKS)
+
+
+class TestEverySolverEveryObjective:
+    """The cross-product invariants, on an exhaustively tractable SOC."""
+
+    def test_solution_is_feasible(self, tiny_soc, small_ate, solver, objective):
+        solution = solve(solver, _problem(tiny_soc, small_ate, solver, objective))
+        assert solution.solver == solver
+        assert solution.problem.objective == objective
+        _assert_feasible(solution)
+
+    def test_rerun_is_bit_identical(self, tiny_soc, small_ate, solver, objective):
+        problem = _problem(tiny_soc, small_ate, solver, objective)
+        first = solve(solver, problem)
+        second = solve(solver, problem)
+        assert first == second
+
+    def test_score_never_beats_the_certificate(self, tiny_soc, small_ate, solver, objective):
+        solution = solve(solver, _problem(tiny_soc, small_ate, solver, objective))
+        bound = solution.lower_bound
+        assert bound is not None
+        signed_bound = get_objective(objective).signed(bound)
+        assert solution.score <= signed_bound + 1e-9 * abs(signed_bound)
+        gap = solution.gap
+        assert gap is not None and gap >= 0.0
+
+
+class TestEverySolverMediumSoc:
+    """The same invariants on a larger SOC (no oracle, default objective)."""
+
+    def test_feasible_deterministic_and_bounded(self, medium_soc, small_ate, solver):
+        problem = _problem(
+            medium_soc, small_ate.with_depth(kilo_vectors(128)), solver, "throughput"
+        )
+        first = solve(solver, problem)
+        second = solve(solver, problem)
+        assert first == second
+        _assert_feasible(first)
+        bound = first.lower_bound
+        assert bound is not None
+        # throughput is max-sense: the raw bound is directly an upper bound.
+        assert first.score <= bound + 1e-9 * abs(bound)
+
+
+class TestSearchDominatesGoel05:
+    """restart / simulated_annealing are never worse than the paper order."""
+
+    def test_never_worse_on_itc02_benchmarks(self, itc_benchmark):
+        soc = load_benchmark(itc_benchmark)
+        ate = _benchmark_ate(itc_benchmark)
+        greedy = solve(
+            DEFAULT_SOLVER, _problem(soc, ate, DEFAULT_SOLVER, "throughput")
+        )
+        for solver in SEARCH_SOLVERS:
+            solution = solve(solver, _problem(soc, ate, solver, "throughput"))
+            assert solution.score >= greedy.score, solver
+            _assert_feasible(solution)
+
+    def test_sa_ties_or_beats_restart_on_a_large_synthetic(self):
+        # Acceptance pin: on synthetic:1:20 (20 modules) at a 512-channel,
+        # 1 M-vector ATE the annealer matches the multi-start search with
+        # its *default* knobs.
+        soc = resolve_catalog_soc("synthetic:1:20")
+        ate = AteSpec(channels=512, depth=1_048_576, name="ate-large")
+        annealed = solve("simulated_annealing", make_problem(soc, ate))
+        restarted = solve("restart", make_problem(soc, ate))
+        assert annealed.score >= restarted.score
