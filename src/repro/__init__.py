@@ -106,9 +106,11 @@ from repro.api import (
     Grid,
     GridShard,
     GridUnion,
+    PlanChunk,
     Scenario,
     ScenarioResult,
     SweepGrid,
+    SweepPlan,
     TestCell,
     batch_throughput_series,
     optimize_scenario,
@@ -172,7 +174,7 @@ from repro.store import (
 from repro.tam import TestArchitecture, design_architecture
 from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CacheInfo",
@@ -181,9 +183,11 @@ __all__ = [
     "Grid",
     "GridShard",
     "GridUnion",
+    "PlanChunk",
     "Scenario",
     "ScenarioResult",
     "SweepGrid",
+    "SweepPlan",
     "TestCell",
     "batch_throughput_series",
     "optimize_scenario",

@@ -37,6 +37,7 @@ from repro.api.engine import (
     optimize_scenario,
 )
 from repro.api.grid import FilteredGrid, Grid, GridShard, GridUnion, SweepGrid
+from repro.api.plan import PlanChunk, SweepPlan, auto_chunk_size, structure_key
 from repro.api.scenario import Scenario, resolve_soc
 from repro.api.testcell import TestCell, reference_test_cell
 
@@ -49,10 +50,14 @@ __all__ = [
     "GridUnion",
     "Scenario",
     "ScenarioResult",
+    "PlanChunk",
     "SweepGrid",
+    "SweepPlan",
     "TestCell",
+    "auto_chunk_size",
     "batch_throughput_series",
     "optimize_scenario",
     "reference_test_cell",
     "resolve_soc",
+    "structure_key",
 ]

@@ -8,10 +8,13 @@
   of the same scenario (also via different call sites, e.g. two experiments
   sweeping over the same operating point) cost one optimisation;
 * :meth:`Engine.run_iter` is the streaming form: it accepts any scenario
-  iterable (typically a lazy :class:`~repro.api.grid.SweepGrid`), fans the
-  cache misses out over a ``concurrent.futures`` process pool and *yields*
-  results as they complete, writing each one to the persistent store the
-  moment it exists -- so a killed campaign is resumable from the store;
+  iterable (typically a lazy :class:`~repro.api.grid.SweepGrid`), plans the
+  cache misses into structure-sharing chunks (:class:`~repro.api.plan.
+  SweepPlan`), fans the chunks out over a ``concurrent.futures`` process
+  pool and *yields* results as they complete, flushing them to the
+  persistent store in configurable batches (``flush_every``, flushed on
+  exit and on exceptions too) -- so a killed campaign is resumable from
+  the store;
 * :meth:`Engine.run_batch` is the ordered wrapper over :meth:`run_iter`:
   it collects the stream and returns results in input order.  The
   two-step algorithm is deterministic, so batch results are bit-identical
@@ -38,7 +41,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.api.scenario import Scenario
+from repro.api.plan import AUTO_CHUNK, SweepPlan, normalize_chunk_size
+from repro.api.scenario import Scenario, cached_digest
 from repro.api.testcell import TestCell
 from repro.core.exceptions import ConfigurationError
 from repro.optimize.result import Step1Result, TwoStepResult
@@ -49,7 +53,16 @@ from repro.solvers.problem import make_problem
 from repro.solvers.registry import DEFAULT_SOLVER, solve
 from repro.store.factory import open_store
 from repro.store.packed import PackedResultStore
-from repro.store.result_store import ResultStore
+from repro.store.result_store import ResultStore, make_record
+
+#: Default store-flush granularity of :meth:`Engine.run_iter`: every
+#: completed record is flushed immediately, preserving the strongest
+#: durability (a hard-killed campaign loses only in-flight work).  Raise
+#: ``flush_every`` to batch store writes (one ``put_records`` call per
+#: batch -- one index transaction on the packed backend); buffered records
+#: are always flushed on stream exit and on exceptions, so ordinary
+#: interruptions lose nothing either way.
+DEFAULT_FLUSH_EVERY = 1
 
 
 @dataclass(frozen=True)
@@ -132,6 +145,30 @@ def _execute(scenario: Scenario) -> TwoStepResult:
         scenario.solver_options,
     )
     return solve(scenario.solver, problem).result
+
+
+def _execute_chunk(
+    scenarios: Sequence[Scenario],
+) -> "tuple[list[TwoStepResult], Exception | None]":
+    """Run one plan chunk in a single pool task (top-level so it pickles).
+
+    One pickle round-trip ships the whole chunk (structure-sharing
+    scenarios pickle their common SOC/config objects once) and one ships
+    the whole result list back -- the per-scenario IPC amortisation the
+    :class:`~repro.api.plan.SweepPlan` exists for.  A failing scenario
+    stops the chunk, but the results computed before it are *returned*,
+    not lost: the driver persists them, then re-raises the error with its
+    original class -- so exceptions propagate exactly as in serial
+    execution while interrupted chunks stay resumable at scenario
+    granularity.
+    """
+    results: list[TwoStepResult] = []
+    for scenario in scenarios:
+        try:
+            results.append(_execute(scenario))
+        except Exception as error:  # noqa: BLE001 - re-raised driver-side
+            return results, error
+    return results, None
 
 
 @dataclass(frozen=True)
@@ -342,6 +379,8 @@ class Engine:
         self,
         scenarios: "Iterable[Scenario]",
         workers: int | None = None,
+        chunk_size: "int | str" = AUTO_CHUNK,
+        flush_every: int | None = None,
     ) -> Iterator[ScenarioResult]:
         """Execute a scenario stream, yielding results as they complete.
 
@@ -350,28 +389,40 @@ class Engine:
         stream is processed in two phases:
 
         1. **Dedup / warm tier scan** -- every scenario is checked against
-           the in-memory cache and then the persistent store; hits are
-           yielded immediately (in input order), equal scenarios are
-           collapsed onto one computation.
-        2. **Fan-out** -- the remaining misses run on a process pool of
-           ``workers`` processes (``None`` = engine default, ``1`` =
-           serial in-process) and are yielded *in completion order*, not
-           submission order.
+           the in-memory cache, then against the persistent store with
+           *one* bulk ``missing_keys`` presence query for the whole
+           campaign; hits are yielded immediately (in input order), equal
+           scenarios are collapsed onto one computation.
+        2. **Fan-out** -- the remaining misses are planned into
+           structure-sharing chunks (:class:`~repro.api.plan.SweepPlan`)
+           of ``chunk_size`` scenarios (``"auto"``: sized from the miss
+           count and worker count), submitted chunk-per-task to a process
+           pool of ``workers`` processes (``None`` = engine default,
+           ``1`` = serial in-process) and yielded *in completion order*,
+           not submission order.  Chunking only groups -- results are
+           bit-identical to unchunked execution.
 
-        Each computed result is written to both cache tiers the moment it
-        completes, so an interrupted campaign loses only in-flight work: a
-        rerun against the same store serves every finished scenario from
-        phase 1 and recomputes nothing twice.  Exceptions raised by the
-        optimisation tasks propagate unchanged, whatever their type.
+        Each computed result enters the in-memory tier the moment it
+        completes; store writes are flushed in batches of ``flush_every``
+        records (default :data:`DEFAULT_FLUSH_EVERY`: every record
+        immediately) via ``put_records``, and the buffer is always flushed
+        when the stream ends, is abandoned, or raises -- so an interrupted
+        campaign loses only in-flight work: a rerun against the same store
+        serves every finished scenario from phase 1 and recomputes nothing
+        twice.  Exceptions raised by the optimisation tasks propagate
+        unchanged, whatever their type; results a failing chunk completed
+        before its error are persisted first.
         """
         pairs = ((scenario.canonical_key(), scenario) for scenario in scenarios)
-        for _key, record in self._stream(pairs, workers):
+        for _key, record in self._stream(pairs, workers, chunk_size, flush_every):
             yield record
 
     def _stream(
         self,
         pairs: "Iterable[tuple[tuple, Scenario]]",
         workers: int | None,
+        chunk_size: "int | str" = AUTO_CHUNK,
+        flush_every: int | None = None,
     ) -> Iterator[tuple[tuple, ScenarioResult]]:
         """Shared streaming core: ``(key, scenario)`` in, ``(key, result)`` out.
 
@@ -381,6 +432,16 @@ class Engine:
         if workers is not None and workers <= 0:
             raise ConfigurationError(f"worker count must be positive, got {workers}")
         effective_workers = workers if workers is not None else (self._workers or 1)
+        chunk_size = normalize_chunk_size(chunk_size)
+        if flush_every is None:
+            flush_every = DEFAULT_FLUSH_EVERY
+        if flush_every <= 0:
+            raise ConfigurationError(
+                f"flush_every must be a positive record count, got {flush_every}"
+            )
+
+        items = list(pairs)
+        store_present = self._probe_store(items)
 
         # Phase 1: resolve warm tiers up front, deduplicating the misses.
         # Duplicates of pending keys are tracked aside, and duplicates of
@@ -391,7 +452,7 @@ class Engine:
         pending: dict[tuple, Scenario] = {}
         duplicates: dict[tuple, list[Scenario]] = {}
         yielded: set[tuple] = set()
-        for key, scenario in pairs:
+        for key, scenario in items:
             if key in pending:
                 duplicates.setdefault(key, []).append(scenario)
                 continue
@@ -399,7 +460,7 @@ class Engine:
                 yield key, self._deliver(scenario, self._recall(key, scenario))
                 continue
             cached = self._lookup(key)
-            if cached is None:
+            if cached is None and cached_digest(scenario, key) in store_present:
                 cached = self._lookup_store(key, scenario)
             if cached is not None:
                 yielded.add(key)
@@ -407,21 +468,96 @@ class Engine:
             else:
                 pending[key] = scenario
 
-        # Phase 2: compute the misses, persisting and yielding each result
-        # as soon as it exists.
+        # Phase 2: compute the misses chunk by chunk, buffering store
+        # writes; the finally clause makes the flush unconditional --
+        # normal exhaustion, abandonment (GeneratorExit) and task
+        # exceptions all leave every completed record persisted.
         todo = list(pending.items())
         worker_count = min(effective_workers, len(todo))
-        if worker_count > 1:
-            outcomes = self._map_parallel(_execute, [s for _, s in todo], worker_count)
-        else:
-            outcomes = ((i, _execute(s)) for i, (_, s) in enumerate(todo))
-        for index, outcome in outcomes:
-            key, scenario = todo[index]
-            record = ScenarioResult(scenario=scenario, result=outcome)
-            self._store(key, record)
-            yield key, record
-            for duplicate in duplicates.get(key, ()):
-                yield key, self._deliver(duplicate, record)
+        buffer: list[dict] = []
+        try:
+            if worker_count > 1:
+                plan = SweepPlan.build(
+                    [scenario for _, scenario in todo],
+                    chunk_size=chunk_size,
+                    workers=worker_count,
+                    keys=[key for key, _ in todo],
+                )
+                outcomes: Iterator = self._map_chunks(plan, worker_count)
+            else:
+                # Serial in-process execution: chunking would only change
+                # the order, so the input order is simply kept.
+                outcomes = (
+                    ((index,), [_execute(scenario)], None)
+                    for index, (_, scenario) in enumerate(todo)
+                )
+            for indices, results, error in outcomes:
+                for position, outcome in zip(indices, results):
+                    key, scenario = todo[position]
+                    record = ScenarioResult(scenario=scenario, result=outcome)
+                    self._record_completed(key, record, buffer)
+                    if len(buffer) >= flush_every:
+                        self._flush(buffer)
+                    yield key, record
+                    for duplicate in duplicates.get(key, ()):
+                        yield key, self._deliver(duplicate, record)
+                if error is not None:
+                    raise error
+        finally:
+            self._flush(buffer)
+
+    def _probe_store(
+        self, items: "Sequence[tuple[tuple, Scenario]]"
+    ) -> set[str]:
+        """One bulk store presence query for a whole stream's scenarios.
+
+        Returns the digests the store holds, replacing a per-scenario
+        ``get`` probe with a single ``missing_keys`` call (a batched SQL
+        lookup on the packed backend).  The in-memory tier is *peeked*
+        (uncounted) here; the counted lookups happen in stream order in
+        phase 1, so hit statistics are identical to the per-scenario path.
+        """
+        if self._result_store is None or not items:
+            return set()
+        digests: list[str] = []
+        seen: set[tuple] = set()
+        for key, scenario in items:
+            if key in seen:
+                continue
+            seen.add(key)
+            if self._cache_enabled:
+                with self._lock:
+                    if key in self._cache:
+                        continue
+            digests.append(cached_digest(scenario, key))
+        if not digests:
+            return set()
+        missing = set(self._result_store.missing_keys(digests))
+        return {digest for digest in digests if digest not in missing}
+
+    def _record_completed(
+        self, key: tuple, record: ScenarioResult, buffer: list[dict]
+    ) -> None:
+        """Count a computed miss, memoise it, and queue its store write."""
+        with self._lock:
+            self._misses += 1
+            self._remember(key, record)
+        if self._result_store is not None:
+            buffer.append(make_record(record.scenario, record.result))
+
+    def _flush(self, buffer: list[dict]) -> None:
+        """Write buffered records to the store in one ``put_records`` batch.
+
+        Best-effort like :meth:`_store`: a failing disk must not destroy
+        computed results, the stream completes on the in-memory tier.
+        """
+        if not buffer or self._result_store is None:
+            return
+        records, buffer[:] = list(buffer), []
+        try:
+            self._result_store.put_records(records)
+        except OSError:
+            pass
 
     def _recall(self, key: tuple, scenario: Scenario) -> ScenarioResult:
         """Re-fetch a result already served earlier in the same stream.
@@ -447,23 +583,29 @@ class Engine:
         self,
         scenarios: Sequence[Scenario],
         workers: int | None = None,
+        chunk_size: "int | str" = AUTO_CHUNK,
+        flush_every: int | None = None,
     ) -> tuple[ScenarioResult, ...]:
         """Execute many scenarios, returning results in the input order.
 
         A re-ordering wrapper over the :meth:`run_iter` stream: it drains
         completely, then delivers results in input order.  Cache misses
-        are deduplicated (equal scenarios run once) and fanned out over a
+        are deduplicated (equal scenarios run once), planned into
+        structure-sharing chunks of ``chunk_size`` and fanned out over a
         process pool of ``workers`` processes; ``workers=None`` falls back
         to the engine default, and ``1`` runs serially in process.
         Computed results are written back to the store from the driving
-        process only, so pool workers never contend for record files.
-        Results are bit-identical to serial :meth:`run` calls, with or
-        without a store.
+        process only (in ``flush_every``-sized batches), so pool workers
+        never contend for record files.  Results are bit-identical to
+        serial :meth:`run` calls, with or without a store, whatever the
+        chunk size.
         """
         scenarios = list(scenarios)
         keys = [scenario.canonical_key() for scenario in scenarios]
         resolved: dict[tuple, ScenarioResult] = {}
-        for key, record in self._stream(zip(keys, scenarios), workers):
+        for key, record in self._stream(
+            zip(keys, scenarios), workers, chunk_size, flush_every
+        ):
             resolved[key] = record
         return tuple(
             self._deliver(scenario, resolved[key])
@@ -471,46 +613,46 @@ class Engine:
         )
 
     @staticmethod
-    def _map_parallel(
-        function: Callable[[Scenario], TwoStepResult],
-        scenarios: Sequence[Scenario],
+    def _map_chunks(
+        plan: SweepPlan,
         workers: int,
-    ) -> Iterator[tuple[int, TwoStepResult]]:
-        """Map over scenarios with a process pool, yielding in completion order.
+    ) -> "Iterator[tuple[tuple[int, ...], list[TwoStepResult], Exception | None]]":
+        """Fan a plan's chunks out over a process pool, completion order.
 
-        A generator of ``(index, result)`` pairs -- indices into
-        ``scenarios``, emitted as the pool finishes them, which is what
-        lets :meth:`run_iter` stream.  Falls back to serial execution on
-        sandboxed platforms where multiprocessing primitives are
-        unavailable (pool construction fails) or where the pool dies
-        mid-batch (workers killed by resource limits --
-        ``BrokenExecutor``); the batch then still completes, just without
-        the speed-up, recomputing only the scenarios the pool had not
-        finished.  Exceptions raised by the optimisation *tasks*
-        themselves -- whatever their type -- propagate unchanged, exactly
-        as in serial execution: they surface from ``future.result()`` with
-        their original class, which the fallbacks deliberately do not
-        catch.
+        A generator of ``(indices, results, error)`` triples -- one per
+        :class:`~repro.api.plan.PlanChunk`, emitted as the pool finishes
+        them, which is what lets :meth:`run_iter` stream.  Falls back to
+        serial execution at *chunk* granularity on sandboxed platforms
+        where multiprocessing primitives are unavailable (pool
+        construction fails) or where the pool dies mid-campaign (workers
+        killed by resource limits -- ``BrokenExecutor``); the campaign
+        then still completes, just without the speed-up, recomputing only
+        the chunks the pool had not finished.  Exceptions raised by the
+        optimisation *tasks* themselves -- whatever their type -- travel
+        in the ``error`` slot with their original class and are re-raised
+        by the stream, exactly as in serial execution.
         """
+        chunks = plan.chunks
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
         except (OSError, PermissionError, ImportError):
-            for index, scenario in enumerate(scenarios):
-                yield index, function(scenario)
+            for chunk in chunks:
+                results, error = _execute_chunk(chunk.scenarios)
+                yield chunk.indices, results, error
             return
         completed: set[int] = set()
         broken = False
         try:
             try:
                 futures = {
-                    pool.submit(function, scenario): index
-                    for index, scenario in enumerate(scenarios)
+                    pool.submit(_execute_chunk, chunk.scenarios): position
+                    for position, chunk in enumerate(chunks)
                 }
                 for future in as_completed(futures):
-                    index = futures[future]
-                    result = future.result()
-                    completed.add(index)
-                    yield index, result
+                    position = futures[future]
+                    results, error = future.result()
+                    completed.add(position)
+                    yield chunks[position].indices, results, error
             except BrokenExecutor:
                 broken = True
         finally:
@@ -519,9 +661,10 @@ class Engine:
             # broken pool it prevents queued tasks from being started.
             pool.shutdown(wait=False, cancel_futures=True)
         if broken:
-            for index, scenario in enumerate(scenarios):
-                if index not in completed:
-                    yield index, function(scenario)
+            for position, chunk in enumerate(chunks):
+                if position not in completed:
+                    results, error = _execute_chunk(chunk.scenarios)
+                    yield chunk.indices, results, error
 
 
 def optimize_scenario(

@@ -30,6 +30,36 @@ from repro.soc.soc import Soc
 from repro.solvers.registry import DEFAULT_SOLVER
 
 
+#: Instance-dict slot the computed :attr:`Scenario.digest` is cached in.
+#: The digest is a plain hex string -- process-independent -- so unlike
+#: the structural fingerprints of :mod:`repro.core.fingerprint` it is
+#: deliberately *kept* when a scenario is pickled to pool workers.
+_DIGEST_SLOT = "_digest"
+
+
+def digest_of_key(key: tuple) -> str:
+    """SHA-256 hex digest of an already-computed canonical key.
+
+    Exactly :attr:`Scenario.digest`, minus the canonical-key walk -- the
+    engine's streaming path holds the key for dedup anyway and uses this
+    to derive store addresses without re-resolving the scenario.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+def cached_digest(scenario: "Scenario", key: tuple) -> str:
+    """Digest of ``scenario`` given its known canonical ``key``, cached.
+
+    Seeds the same per-instance cache :attr:`Scenario.digest` reads, so
+    every later ``scenario.digest`` access on the instance is free.
+    """
+    cached = scenario.__dict__.get(_DIGEST_SLOT)
+    if cached is None:
+        cached = digest_of_key(key)
+        object.__setattr__(scenario, _DIGEST_SLOT, cached)
+    return cached
+
+
 def resolve_soc(soc: Soc | str) -> Soc:
     """Resolve a SOC reference: a :class:`Soc` object or a catalog name.
 
@@ -216,8 +246,16 @@ class Scenario:
         so any process that builds an equal scenario -- by benchmark name
         or by loaded object, under any cosmetic labels -- reads and writes
         the same record.
+
+        Computed once per instance and cached (the canonical-key walk
+        resolves the SOC and hashes its full repr -- too hot to repeat
+        for every store probe of a million-scenario campaign).
         """
-        return hashlib.sha256(repr(self.canonical_key()).encode("utf-8")).hexdigest()
+        cached = self.__dict__.get(_DIGEST_SLOT)
+        if cached is None:
+            cached = digest_of_key(self.canonical_key())
+            object.__setattr__(self, _DIGEST_SLOT, cached)
+        return cached
 
     @property
     def key(self) -> str:

@@ -13,6 +13,11 @@ performance story and returns one JSON-ready report:
   not as failures;
 * **sweep** -- the d695 design-space sweep (channels x depths x broadcast),
   the workload the persistent store amortises across runs;
+* **fanout** -- the cold synthetic sweep through the process pool twice at
+  the same worker count, chunked (the :class:`~repro.api.plan.SweepPlan`
+  default) versus unchunked (``chunk_size=1``), in scenarios/second --
+  isolating what the execution planner buys in pickle/IPC amortisation
+  and worker-side kernel-memo locality, digests checked identical;
 * **campaign** -- the streaming multi-SOC campaign
   (:mod:`repro.bench.campaign`): a cold sweep over a synthetic SOC family
   versus the same sweep interrupted partway and resumed from its store,
@@ -42,6 +47,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.api.engine import Engine, ScenarioResult
+from repro.api.plan import AUTO_CHUNK, SweepPlan
 from repro.api.scenario import Scenario
 from repro.api.testcell import reference_test_cell
 from repro.core.exceptions import ConfigurationError, ReproError
@@ -247,13 +253,17 @@ def _bench_sweep(
     smoke: bool,
     workers: int | None,
     objective: str = DEFAULT_OBJECTIVE,
+    chunk_size: "int | str" = AUTO_CHUNK,
+    flush_every: int | None = None,
 ) -> dict[str, Any]:
     """Time the d695 design-space sweep (the store's showcase workload)."""
     grid = bench_sweep_grid(smoke, objective)
     kernel_before = evaluate_kernel.cache_info()
     engine = Engine(store=store, workers=workers)
     started = time.perf_counter()
-    results = engine.run_batch(grid, workers=workers)
+    results = engine.run_batch(
+        grid, workers=workers, chunk_size=chunk_size, flush_every=flush_every
+    )
     seconds = time.perf_counter() - started
     return {
         "scenarios": len(grid),
@@ -294,7 +304,11 @@ def synthetic_sweep_grid(smoke: bool = False) -> list[Scenario]:
     )
 
 
-def _bench_synthetic_sweep(smoke: bool, workers: int | None) -> dict[str, Any]:
+def _bench_synthetic_sweep(
+    smoke: bool,
+    workers: int | None,
+    chunk_size: "int | str" = AUTO_CHUNK,
+) -> dict[str, Any]:
     """Time the synthetic cold sweep (the batch kernel's showcase workload).
 
     Unlike the d695 sweep this section is always *cold*: the process-wide
@@ -306,7 +320,7 @@ def _bench_synthetic_sweep(smoke: bool, workers: int | None) -> dict[str, Any]:
     kernel_before = evaluate_kernel.cache_info()
     engine = Engine(workers=workers)
     started = time.perf_counter()
-    results = engine.run_batch(grid, workers=workers)
+    results = engine.run_batch(grid, workers=workers, chunk_size=chunk_size)
     seconds = time.perf_counter() - started
     return {
         "scenarios": len(grid),
@@ -314,6 +328,63 @@ def _bench_synthetic_sweep(smoke: bool, workers: int | None) -> dict[str, Any]:
         "cache": _cache_record(engine),
         "evaluate_kernel": _kernel_delta(kernel_before, evaluate_kernel.cache_info()),
         "digest": results_digest(results),
+    }
+
+
+#: Pool size of the ``fanout`` section when ``--workers`` is not given:
+#: small in smoke mode (CI containers), the tentpole's 4-worker target
+#: otherwise.
+FANOUT_WORKERS = 4
+SMOKE_FANOUT_WORKERS = 2
+
+
+def _bench_fanout(
+    smoke: bool,
+    workers: int | None,
+    chunk_size: "int | str" = AUTO_CHUNK,
+) -> dict[str, Any]:
+    """Chunked vs unchunked cold fan-out over the synthetic sweep.
+
+    Runs the cold synthetic grid through the process pool twice at the
+    same worker count -- once at ``chunk_size=1`` (the pre-planner
+    scenario-per-task protocol) and once at the planned ``chunk_size``
+    (default ``"auto"``) -- recording scenarios/second for each leg.  The
+    ratio isolates exactly what the execution planner buys: pickle/IPC
+    amortisation and per-worker kernel-memo locality, with the digest
+    equality check proving the speedup changed no result bits.
+    """
+    grid = synthetic_sweep_grid(smoke)
+    pool_workers = workers if workers is not None else (
+        SMOKE_FANOUT_WORKERS if smoke else FANOUT_WORKERS
+    )
+    runs: list[dict[str, Any]] = []
+    digests: list[str] = []
+    for chunk in (1, chunk_size):
+        plan = SweepPlan.build(grid, chunk_size=chunk, workers=pool_workers)
+        clear_computation_caches()
+        engine = Engine()
+        started = time.perf_counter()
+        results = engine.run_batch(grid, workers=pool_workers, chunk_size=chunk)
+        seconds = time.perf_counter() - started
+        digest = results_digest(results)
+        digests.append(digest)
+        runs.append(
+            {
+                "workers": pool_workers,
+                "chunk_size": str(chunk),
+                "resolved_chunk_size": plan.chunk_size,
+                "chunks": len(plan),
+                "structure_groups": plan.groups,
+                "scenarios": len(grid),
+                "seconds": seconds,
+                "scenarios_per_second": len(grid) / seconds if seconds > 0 else 0.0,
+                "digest": digest,
+            }
+        )
+    return {
+        "scenarios": len(grid),
+        "runs": runs,
+        "digests_identical": len(set(digests)) == 1,
     }
 
 
@@ -336,6 +407,8 @@ def run_bench(
     smoke: bool = False,
     workers: int | None = None,
     objective: str = DEFAULT_OBJECTIVE,
+    chunk_size: "int | str" = AUTO_CHUNK,
+    flush_every: int | None = None,
 ) -> dict[str, Any]:
     """Run the full benchmark suite and return the JSON-ready report.
 
@@ -358,6 +431,13 @@ def run_bench(
         Registered objective the timed sweep optimises (default: the
         paper's throughput, which keeps the sweep digest comparable with
         earlier reports).
+    chunk_size:
+        Scenarios per pool task in the timed sweeps (``"auto"``: the
+        planner's heuristic); also the planned leg of the ``fanout``
+        section.  Chunking never changes digests.
+    flush_every:
+        Records per store write batch in the d695 sweep (default: every
+        record immediately).
     """
     from repro import __version__
 
@@ -386,8 +466,9 @@ def run_bench(
         },
         "experiments": _bench_experiments(experiments, store),
         "solvers": _bench_solvers(store),
-        "sweep": _bench_sweep(store, smoke, workers, objective),
-        "synthetic_sweep": _bench_synthetic_sweep(smoke, workers),
+        "sweep": _bench_sweep(store, smoke, workers, objective, chunk_size, flush_every),
+        "synthetic_sweep": _bench_synthetic_sweep(smoke, workers, chunk_size),
+        "fanout": _bench_fanout(smoke, workers, chunk_size),
         "campaign": _bench_campaign(smoke, workers),
     }
     report["store_info"] = asdict(store.info()) if store is not None else None
@@ -460,6 +541,17 @@ def summarize_report(report: dict[str, Any]) -> str:
             f"{synthetic['seconds']:.3f}s  (kernel hits {kernel['hits']}, "
             f"misses {kernel['misses']}, max batch {kernel['max_batch']})"
         )
+    fanout = report.get("fanout")
+    if fanout:
+        digests = "identical" if fanout["digests_identical"] else "DIFFER"
+        lines.append(f"  fanout ({fanout['scenarios']} scenarios cold, digests {digests}):")
+        for run in fanout["runs"]:
+            lines.append(
+                f"    workers={run['workers']} chunk={run['chunk_size']:>4s} "
+                f"({run['chunks']} chunk(s) of <= {run['resolved_chunk_size']}): "
+                f"{run['seconds']:8.3f}s  "
+                f"({run['scenarios_per_second']:.1f} scenarios/s)"
+            )
     kernel_total = report.get("evaluate_kernel")
     if kernel_total:
         lines.append(
@@ -508,6 +600,21 @@ def _ratio_line(label: str, previous: float, current: float) -> str:
     else:
         ratio = "inf"
     return f"    {label:18s} {previous:8.3f}s -> {current:8.3f}s  ({ratio})"
+
+
+def _fanout_runs(report: dict[str, Any]) -> dict[tuple, dict[str, Any]]:
+    """Index a report's fanout runs by ``(workers, chunk_size, scenarios)``.
+
+    The matching key for cross-report comparison: a fanout run is only
+    compared against a run of the *same* pool shape over the *same* grid
+    size, so reruns with different ``--workers``/``--chunk``/``--smoke``
+    settings never pair up as false regressions.
+    """
+    fanout = report.get("fanout") or {}
+    return {
+        (run["workers"], run["chunk_size"], run["scenarios"]): run
+        for run in fanout.get("runs", ())
+    }
 
 
 def compare_reports(current: dict[str, Any], previous: dict[str, Any]) -> str:
@@ -611,6 +718,21 @@ def compare_reports(current: dict[str, Any], previous: dict[str, Any]) -> str:
         )
         lines.append(f"    digests: {digests}")
 
+    previous_fanout = _fanout_runs(previous)
+    current_fanout = _fanout_runs(current)
+    shared_fanout = sorted(previous_fanout.keys() & current_fanout.keys())
+    if shared_fanout:
+        lines.append("  fanout:")
+        for key in shared_fanout:
+            workers_count, chunk, _ = key
+            lines.append(
+                _ratio_line(
+                    f"w={workers_count} chunk={chunk}",
+                    previous_fanout[key]["seconds"],
+                    current_fanout[key]["seconds"],
+                )
+            )
+
     previous_campaign = previous.get("campaign")
     current_campaign = current.get("campaign")
     if previous_campaign and current_campaign:
@@ -692,7 +814,8 @@ def find_regressions(
     The CI ratchet behind ``repro bench --compare BENCH_seed.json
     --fail-on-regression PCT``: every workload the two reports share by
     name -- experiments, solver backends, the d695 and synthetic sweeps,
-    the campaign's cold leg -- is compared, and a line is returned for each
+    fanout runs of the same pool shape, the campaign's cold leg -- is
+    compared, and a line is returned for each
     one whose current time exceeds the previous time by more than
     ``threshold_pct`` percent.  Workloads below ``noise_floor_seconds``
     (default :data:`REGRESSION_FLOOR_SECONDS`; the ``--noise-floor`` CLI
@@ -748,6 +871,17 @@ def find_regressions(
                 current_synthetic["seconds"],
             )
         )
+    previous_fanout = _fanout_runs(previous)
+    for key, run in _fanout_runs(current).items():
+        if key in previous_fanout:
+            workers_count, chunk, _ = key
+            pairs.append(
+                (
+                    f"fanout w={workers_count} chunk={chunk}",
+                    previous_fanout[key]["seconds"],
+                    run["seconds"],
+                )
+            )
     previous_campaign, current_campaign = previous.get("campaign"), current.get("campaign")
     if previous_campaign and current_campaign:
         pairs.append(

@@ -261,6 +261,32 @@ def _design_scenario(args: argparse.Namespace) -> Scenario:
     )
 
 
+def _chunk_size(text: str) -> "int | str":
+    """Argparse type for ``--chunk``: a positive int or the word ``auto``."""
+    if text == "auto":
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer or 'auto', got {text!r}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for ``--flush-every``: a positive record count."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
 def _add_sweep_parser(
     subparsers: argparse._SubParsersAction, store_options: argparse.ArgumentParser
 ) -> None:
@@ -310,6 +336,16 @@ def _add_sweep_parser(
     parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for the miss fan-out (default: serial)",
+    )
+    parser.add_argument(
+        "--chunk", type=_chunk_size, default="auto", metavar="N|auto",
+        help="scenarios per pool task in the miss fan-out (default 'auto': "
+        "sized from grid and worker count); results are identical either way",
+    )
+    parser.add_argument(
+        "--flush-every", type=_positive_int, default=None, metavar="N",
+        help="buffer N completed records per --store write batch "
+        "(default 1: flush every record immediately)",
     )
     parser.add_argument(
         "--resume", action="store_true",
@@ -440,7 +476,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
     results = []
     with _open_output(args.output) as (sink, info_out):
         before = engine.cache_info()
-        for record in engine.run_iter(grid, workers=args.workers):
+        for record in engine.run_iter(
+            grid,
+            workers=args.workers,
+            chunk_size=args.chunk,
+            flush_every=args.flush_every,
+        ):
             info = engine.cache_info()
             source = (
                 "store"
@@ -490,6 +531,20 @@ def _add_bench_parser(
         type=int,
         default=None,
         help="worker processes for the sweep batch (default: serial)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=_chunk_size,
+        default="auto",
+        metavar="N|auto",
+        help="scenarios per pool task in the timed sweeps (default 'auto')",
+    )
+    parser.add_argument(
+        "--flush-every",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="records per --store write batch in the timed sweeps (default 1)",
     )
     parser.add_argument(
         "--output",
@@ -563,6 +618,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         workers=args.workers,
         objective=args.objective,
+        chunk_size=args.chunk,
+        flush_every=args.flush_every,
     )
     if profiler is not None:
         profiler.disable()
@@ -887,6 +944,11 @@ def _add_work_parser(subparsers: argparse._SubParsersAction) -> None:
         help="stop after completing N shards (default: unlimited)",
     )
     parser.add_argument(
+        "--chunk", type=_chunk_size, default="auto", metavar="N|auto",
+        help="scenarios per batched result upload (default 'auto': sized "
+        "from the shard's to-compute count); digests are identical either way",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-shard progress lines"
     )
 
@@ -900,6 +962,7 @@ def _run_work(args: argparse.Namespace) -> int:
         poll=args.poll,
         until_idle=args.until_idle,
         max_shards=args.max_shards,
+        chunk_size=args.chunk,
         log=log,
     )
     print(stats.describe())

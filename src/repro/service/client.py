@@ -48,13 +48,22 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _open(self, path: str, payload: dict[str, Any] | None = None):
+    def _open(
+        self,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        raw: "bytes | None" = None,
+        content_type: str = "application/json",
+    ):
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
-        if payload is not None:
+        if raw is not None:
+            data = raw
+            headers["Content-Type"] = content_type
+        elif payload is not None:
             data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            headers["Content-Type"] = content_type
         request = urllib.request.Request(url, data=data, headers=headers)
         try:
             return urllib.request.urlopen(request, timeout=self.timeout)
@@ -74,8 +83,14 @@ class ServiceClient:
         except OSError as error:
             raise ServiceError(f"{path}: transport failure: {error}") from error
 
-    def _call(self, path: str, payload: dict[str, Any] | None = None) -> dict[str, Any]:
-        with self._open(path, payload) as response:
+    def _call(
+        self,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        raw: "bytes | None" = None,
+        content_type: str = "application/json",
+    ) -> dict[str, Any]:
+        with self._open(path, payload, raw=raw, content_type=content_type) as response:
             try:
                 decoded = json.loads(response.read().decode("utf-8"))
             except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
@@ -151,6 +166,21 @@ class ServiceClient:
     def put_records(self, records: Sequence[dict[str, Any]]) -> dict[str, Any]:
         """``POST /records``: upload a batch of completed records."""
         return self._call("/records", {"records": list(records)})
+
+    def put_records_batch(self, records: Sequence[dict[str, Any]]) -> dict[str, Any]:
+        """``POST /records/batch``: bulk NDJSON upload of completed records.
+
+        One HTTP request per batch, one JSON line per record -- the
+        chunked worker's upload path.  Digest verification and dedup are
+        identical to :meth:`put_record`: a malformed record rejects the
+        whole batch (400), nothing is partially stored.  Servers predating
+        the endpoint answer 404 (``ServiceError.status``); callers fall
+        back to per-record uploads.
+        """
+        body = b"".join(
+            json.dumps(record).encode("utf-8") + b"\n" for record in records
+        )
+        return self._call("/records/batch", raw=body, content_type="application/x-ndjson")
 
     def run_scenario(self, scenario: dict[str, Any]) -> dict[str, Any]:
         """``POST /scenarios``: solve one scenario server-side, get its record."""

@@ -355,12 +355,19 @@ class CampaignServer:
             validated.append((key, record))
         stored = duplicate = 0
         with self._lock:
+            fresh: list[dict] = []
+            fresh_keys: set[str] = set()
             for key, record in validated:
-                if self.store.contains_key(key):
+                if key in fresh_keys or self.store.contains_key(key):
                     duplicate += 1
                     continue
-                self.store.put_record(record)
-                stored += 1
+                fresh.append(record)
+                fresh_keys.add(key)
+            if fresh:
+                # One bulk write per request: a single index transaction on
+                # the packed backend, whatever the batch size.
+                self.store.put_records(fresh)
+                stored = len(fresh)
             self.counters["records_stored"] += stored
             self.counters["records_duplicate"] += duplicate
         return {"stored": stored, "duplicates": duplicate}
@@ -528,8 +535,37 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.write(json.dumps(record, sort_keys=True).encode("utf-8") + b"\n")
             self.wfile.flush()
 
+    def _read_ndjson_body(self) -> list[Any]:
+        """Parse an NDJSON request body: one JSON value per non-blank line.
+
+        The wire form of the batched record upload -- workers serialise
+        each record once and concatenate, the server parses line by line,
+        so neither side ever builds one giant JSON array in memory.  A
+        malformed line rejects the request (400) with its line number.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.max_body_bytes:
+            raise ConfigurationError(f"request body exceeds {self.max_body_bytes} bytes")
+        raw = self.rfile.read(length) if length else b""
+        values: list[Any] = []
+        for number, line in enumerate(raw.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                values.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"NDJSON body line {number} is not valid JSON: {error}"
+                ) from error
+        return values
+
     def _post(self) -> None:
         parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if parts == ["records", "batch"]:
+            # NDJSON, not JSON: routed before the JSON body parse.
+            records = self._read_ndjson_body()
+            self._send_json(200, self.app.ingest({"records": records}))
+            return
         payload = self._read_body()
         if parts == ["campaigns"]:
             self._send_json(200, self.app.submit_campaign(payload))

@@ -14,12 +14,15 @@ Per leased shard the loop is:
    (deterministic grid order makes this exact);
 2. ``POST /records/query`` with every scenario digest -- already-solved
    scenarios are skipped (counted in :attr:`WorkerStats.skipped`);
-3. solve the rest through a local in-memory :class:`~repro.api.engine.
-   Engine` and upload each record as soon as it is done (no batching: an
-   interrupted worker loses at most the scenario in flight);
+3. plan the rest into structure-sharing chunks (:class:`~repro.api.plan.
+   SweepPlan`, ``chunk_size`` defaulting to ``"auto"``), solve each chunk
+   through a local in-memory :class:`~repro.api.engine.Engine` and upload
+   its records in one batched ``POST /records/batch`` NDJSON request
+   (falling back to per-record ``POST /records`` against servers
+   predating the endpoint);
 4. heartbeat after every scenario; when the server answers ``gone`` the
-   lease has expired and the worker abandons the shard immediately
-   (someone else owns it now);
+   lease has expired -- the worker flushes the records it already
+   computed, then abandons the shard (someone else owns it now);
 5. ``POST /leases/<id>/complete`` when the slice is exhausted.
 """
 
@@ -31,7 +34,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.api.engine import Engine
-from repro.core.exceptions import ReproError
+from repro.api.plan import AUTO_CHUNK, SweepPlan
+from repro.core.exceptions import ReproError, ServiceError
 from repro.service.client import ServiceClient
 from repro.service.protocol import GridSpec
 from repro.store.result_store import make_record
@@ -72,6 +76,7 @@ def run_worker(
     poll: float = DEFAULT_POLL,
     until_idle: bool = False,
     max_shards: int | None = None,
+    chunk_size: "int | str" = AUTO_CHUNK,
     log: Callable[[str], None] | None = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> WorkerStats:
@@ -87,6 +92,11 @@ def run_worker(
         Restrict leasing to one campaign id (default: any open campaign).
     poll:
         Seconds between lease attempts while the server has no open work.
+    chunk_size:
+        Scenarios per upload batch: a positive int, or ``"auto"`` to size
+        from the shard's to-compute count.  Chunking changes only the
+        upload cadence, never which scenarios are computed or their
+        records -- digests stay identical to unchunked workers.
     until_idle:
         Exit as soon as the server reports no open work at all (the batch
         mode CI and tests run); the default is to keep polling forever
@@ -106,10 +116,35 @@ def run_worker(
     client = server if isinstance(server, ServiceClient) else ServiceClient(server)
     name = worker or f"worker-{os.getpid()}"
     stats = WorkerStats()
+    # Sticky across shards: once the server 404s the batch endpoint we stop
+    # re-probing it and stay on per-record uploads for this worker's life.
+    batch_supported = True
 
     def say(message: str) -> None:
         if log is not None:
             log(message)
+
+    def upload(records: "list[dict]") -> tuple[int, int]:
+        """Ship buffered records; returns ``(stored, duplicates)``."""
+        nonlocal batch_supported
+        if not records:
+            return 0, 0
+        if batch_supported:
+            try:
+                report = client.put_records_batch(records)
+            except ServiceError as error:
+                if error.status != 404:
+                    raise
+                batch_supported = False
+                say(f"{name}: server lacks /records/batch; using per-record uploads")
+            else:
+                return int(report.get("stored", 0)), int(report.get("duplicates", 0))
+        stored = duplicates = 0
+        for record in records:
+            report = client.put_record(record)
+            stored += int(report.get("stored", 0))
+            duplicates += int(report.get("duplicates", 0))
+        return stored, duplicates
 
     while True:
         if max_shards is not None and stats.shards >= max_shards:
@@ -143,32 +178,48 @@ def run_worker(
         )
 
         todo = set(client.missing([scenario.digest for scenario in scenarios]))
+        compute = [scenario for scenario in scenarios if scenario.digest in todo]
+        stats.skipped += len(scenarios) - len(compute)
+        plan = SweepPlan.build(compute, chunk_size=chunk_size)
+        if compute:
+            say(f"{name}: {plan.describe()}")
         engine = Engine()  # local memory cache only; the server owns the store
         abandoned = False
-        for scenario in scenarios:
-            if scenario.digest not in todo:
-                stats.skipped += 1
-                continue
-            try:
-                outcome = engine.run(scenario)
-            except ReproError as error:
-                # An infeasible operating point is a scenario-level outcome,
-                # not a worker failure; record it and move on.
-                stats.failed += 1
-                say(f"{name}: {scenario.describe()} failed: {error}")
-                continue
-            stats.computed += 1
-            stats.solved_keys.append(scenario.digest)
-            report = client.put_record(make_record(scenario, outcome.result))
-            stats.stored += int(report.get("stored", 0))
-            stats.duplicates += int(report.get("duplicates", 0))
-            if client.heartbeat(lease).get("status") == "gone":
-                # Our lease expired mid-shard: the shard is someone else's
-                # now.  Everything uploaded so far is already deduplicated.
-                stats.abandoned += 1
-                abandoned = True
-                say(f"{name}: lease {lease} expired; abandoning shard {shard}")
+        for number, chunk in enumerate(plan, start=1):
+            buffer: list[dict] = []
+            for scenario in chunk.scenarios:
+                try:
+                    outcome = engine.run(scenario)
+                except ReproError as error:
+                    # An infeasible operating point is a scenario-level
+                    # outcome, not a worker failure; record it and move on.
+                    stats.failed += 1
+                    say(f"{name}: {scenario.describe()} failed: {error}")
+                    continue
+                stats.computed += 1
+                stats.solved_keys.append(scenario.digest)
+                buffer.append(make_record(scenario, outcome.result))
+                if client.heartbeat(lease).get("status") == "gone":
+                    # Our lease expired mid-shard: the shard is someone
+                    # else's now.  Flush what this chunk already computed
+                    # (uploads are deduplicated), then walk away.
+                    stored, duplicates = upload(buffer)
+                    stats.stored += stored
+                    stats.duplicates += duplicates
+                    stats.abandoned += 1
+                    abandoned = True
+                    say(f"{name}: lease {lease} expired; abandoning shard {shard}")
+                    break
+            if abandoned:
                 break
+            stored, duplicates = upload(buffer)
+            stats.stored += stored
+            stats.duplicates += duplicates
+            say(
+                f"{name}: shard {shard + 1}/{shards} chunk {number}/{len(plan)}: "
+                f"uploaded {len(buffer)} record(s) "
+                f"({stored} stored, {duplicates} duplicate(s))"
+            )
         if not abandoned:
             client.complete(lease)
             stats.shards += 1

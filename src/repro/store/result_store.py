@@ -375,6 +375,19 @@ class ResultStore:
         self._count(puts=1)
         return path
 
+    def put_records(self, records: "list[dict] | tuple[dict, ...]") -> tuple[Path, ...]:
+        """Persist a batch of records; returns their paths in input order.
+
+        The bulk form the engine's buffered flush and the campaign
+        service's batched upload endpoint write through.  On this
+        directory backend each record is still one atomic file replace
+        (there is no cheaper multi-file primitive), so batching here only
+        saves call overhead -- the packed backend is where ``put_records``
+        turns a batch into a single segment append and one index
+        transaction.
+        """
+        return tuple(self.put_record(record) for record in records)
+
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------

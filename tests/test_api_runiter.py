@@ -2,7 +2,7 @@
 
 Covers the campaign contract -- results stream out (and hit the store) as
 they complete, an interrupted sweep resumes without recomputing finished
-scenarios -- plus the ``_map_parallel`` degradation paths: pool
+scenarios -- plus the ``_map_chunks`` degradation paths: pool
 construction failure, a pool broken mid-batch, and task exceptions
 propagating unchanged.
 """

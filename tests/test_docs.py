@@ -66,7 +66,8 @@ class TestCliDoc:
                      "--lease-ttl", "--worker", "--campaign", "--poll",
                      "--until-idle", "--max-shards", "--dest",
                      "--fail-on-regression", "--sa-temperature",
-                     "--sa-cooling", "--sa-moves-per-temp", "--sa-restarts"):
+                     "--sa-cooling", "--sa-moves-per-temp", "--sa-restarts",
+                     "--chunk", "--flush-every"):
             assert flag in cli_doc_text
 
     def test_store_actions_documented(self, cli_doc_text):
@@ -130,7 +131,13 @@ class TestArchitectureDoc:
     def test_describes_service_layer(self, architecture_text):
         for anchor in ("GridSpec", "CampaignServer", "ServiceClient",
                        "run_worker", "lease", "heartbeat", "--lease-ttl",
-                       "pending → leased → done", "/records/query"):
+                       "pending → leased → done", "/records/query",
+                       "/records/batch"):
+            assert anchor in architecture_text
+
+    def test_describes_execution_plan(self, architecture_text):
+        for anchor in ("SweepPlan", "plan.py", "chunk_size", "structure_key",
+                       "permutation", "flush_every", "put_records"):
             assert anchor in architecture_text
 
     def test_describes_packed_store(self, architecture_text):

@@ -363,6 +363,77 @@ class TestServiceHTTP:
         assert http_service.digest(second["campaign"])["complete"] is True
         assert http_service.health()["counters"]["records_duplicate"] == 0
 
+    def test_batch_upload_endpoint_stores_and_dedupes(self, http_service):
+        grid = list(SMALL_SPEC.build_grid())[:3]
+        engine = Engine()
+        records = [make_record(s, engine.run(s).result) for s in grid]
+        assert http_service.put_records_batch(records) == {"stored": 3, "duplicates": 0}
+        assert http_service.put_records_batch(records) == {"stored": 0, "duplicates": 3}
+        assert http_service.health()["store"]["records"] == 3
+
+    def test_batch_upload_digest_rejection_parity(self, http_service):
+        """The NDJSON path rejects a bad record exactly like ``/records``."""
+        grid = list(SMALL_SPEC.build_grid())[:2]
+        engine = Engine()
+        good, other = (make_record(s, engine.run(s).result) for s in grid)
+        bad = dict(other, result="not a result payload")
+        with pytest.raises(ServiceError) as batch_error:
+            http_service.put_records_batch([good, bad])
+        assert batch_error.value.status == 400
+        with pytest.raises(ServiceError) as single_error:
+            http_service.put_record(bad)
+        assert single_error.value.status == 400
+        # All-or-nothing on both paths: the good record was not written.
+        assert http_service.health()["store"]["records"] == 0
+
+    def test_batch_upload_malformed_ndjson_is_400(self, http_service):
+        with pytest.raises(ServiceError, match="line 1") as excinfo:
+            http_service._call(
+                "/records/batch", raw=b"{broken\n", content_type="application/x-ndjson"
+            )
+        assert excinfo.value.status == 400
+
+    def test_chunked_worker_digest_parity(self, http_service):
+        """``--chunk`` changes upload cadence only, never the digest."""
+        submitted = http_service.submit_campaign(SMALL_SPEC)
+        lines: list[str] = []
+        stats = run_worker(
+            http_service.base_url,
+            worker="w1",
+            until_idle=True,
+            poll=0.05,
+            chunk_size=2,
+            log=lines.append,
+        )
+        assert stats.computed == 4
+        assert stats.stored == 4
+        assert stats.duplicates == 0
+        assert any("chunk 1/" in line and "uploaded" in line for line in lines)
+        answer = http_service.digest(submitted["campaign"])
+        assert answer["complete"] is True
+        local = sweep_digest(Engine().run_batch(list(SMALL_SPEC.build_grid())))
+        assert answer["digest"] == local
+
+    def test_worker_falls_back_on_missing_batch_endpoint(
+        self, http_service, monkeypatch
+    ):
+        """Against a pre-batch server (404) the worker ships per record."""
+
+        def gone(self, records):
+            raise ServiceError("/records/batch: no such endpoint", status=404)
+
+        monkeypatch.setattr(ServiceClient, "put_records_batch", gone)
+        submitted = http_service.submit_campaign(SMALL_SPEC)
+        stats = run_worker(
+            http_service.base_url, worker="w1", until_idle=True, poll=0.05, chunk_size=2
+        )
+        assert stats.computed == 4
+        assert stats.stored == 4
+        answer = http_service.digest(submitted["campaign"])
+        assert answer["complete"] is True
+        local = sweep_digest(Engine().run_batch(list(SMALL_SPEC.build_grid())))
+        assert answer["digest"] == local
+
     def test_run_scenario_endpoint(self, http_service):
         wire = scenario_to_wire(
             "synthetic:7:4", channels=48, depth=mega_vectors(1)
