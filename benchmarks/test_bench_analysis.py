@@ -1,0 +1,80 @@
+"""Benchmark: columnar sidecar scan vs full-record decode on a packed store.
+
+This is the acceptance benchmark of the analysis fast path: a packed
+store is filled with replicated real records (real payloads, distinct
+keys), then ``records_from_store`` loads the analysis rows twice -- once
+forced through the full-record decode path, once through the ``.cols``
+sidecar scan.  The sidecar leg must be **bit-identical** (same record
+tuples, same rendered ``records_table``) and at least 10x faster in
+rows/second.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.analyze import records_table
+from repro.analysis.records import records_from_store
+from repro.api.engine import Engine
+from repro.bench.runner import synthetic_sweep_grid
+from repro.store.packed import PackedResultStore
+from repro.store.result_store import make_record
+
+from conftest import run_once
+
+#: Enough records that both legs are timer-safe; the full bench section
+#: (``repro bench``) runs the specified >= 10k-record shape.
+RECORDS = 4000
+
+
+def _fill_store(store_dir) -> PackedResultStore:
+    base = [
+        make_record(outcome.scenario, outcome.result)
+        for outcome in Engine().run_batch(synthetic_sweep_grid(smoke=True)[:6])
+    ]
+    store = PackedResultStore(store_dir)
+    batch = []
+    for index in range(RECORDS):
+        record = dict(base[index % len(base)])
+        record["key"] = f"{index:016x}" + "0" * 48
+        batch.append(record)
+        if len(batch) >= 1000:
+            store.put_records(batch)
+            batch = []
+    if batch:
+        store.put_records(batch)
+    store.close()
+    return PackedResultStore(store_dir)
+
+
+def test_sidecar_scan_at_least_10x_faster(benchmark, tmp_path):
+    store = _fill_store(tmp_path / "store")
+
+    started = time.perf_counter()
+    decoded = records_from_store(store, columns=False)
+    decode_seconds = time.perf_counter() - started
+
+    scanned, scan_seconds = run_once(benchmark, _timed_scan, store)
+    store.close()
+
+    assert len(decoded) == RECORDS
+    # Bit-identical: same tuples, same rendered table.
+    assert scanned == decoded
+    assert records_table(scanned).render() == records_table(decoded).render()
+    assert scan_seconds * 10 <= decode_seconds, (
+        f"sidecar scan not >=10x faster: decode {decode_seconds:.3f}s, "
+        f"scan {scan_seconds:.3f}s"
+    )
+    benchmark.extra_info["decode_seconds"] = round(decode_seconds, 4)
+    benchmark.extra_info["scan_seconds"] = round(scan_seconds, 4)
+    benchmark.extra_info["speedup"] = round(decode_seconds / max(scan_seconds, 1e-9), 1)
+    print(
+        f"\n analysis load ({RECORDS} packed records): decode {decode_seconds:.3f}s, "
+        f"sidecar {scan_seconds:.3f}s ({decode_seconds / max(scan_seconds, 1e-9):.1f}x)"
+    )
+
+
+def _timed_scan(store):
+    started = time.perf_counter()
+    records = records_from_store(store)
+    return records, time.perf_counter() - started

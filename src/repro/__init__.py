@@ -174,7 +174,7 @@ from repro.store import (
 from repro.tam import TestArchitecture, design_architecture
 from repro.wrapper import WrapperDesign, design_wrapper, module_test_time
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "CacheInfo",

@@ -13,6 +13,12 @@ Loading is deterministic: records are sorted by their identity axes and
 deduplicated by scenario key (first occurrence wins), so the same inputs
 always produce the same table no matter the completion or file order they
 were written in.
+
+Store scans prefer the **columnar sidecars** the store layer maintains
+(:mod:`repro.store.columns`): packed segments are scanned sidecar-first --
+optionally in parallel, one segment per process-pool task -- and only the
+rows a sidecar cannot answer fall back to full-record decode, so the
+output is identical either way, row for row and bit for bit.
 """
 
 from __future__ import annotations
@@ -20,11 +26,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.core.exceptions import ConfigurationError
 from repro.objectives.registry import DEFAULT_OBJECTIVE
 from repro.optimize.channels import total_channels_used
+from repro.store import columns as columns_module
 from repro.store.factory import open_store
 from repro.store.packed import PackedResultStore
 from repro.store.result_store import ResultStore
@@ -32,6 +39,10 @@ from repro.store.result_store import ResultStore
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.engine import ScenarioResult
     from repro.optimize.result import TwoStepResult
+
+#: Callback type of the optional scan progress reporter: called with one
+#: human-readable line per unit of progress (segment scanned, decode batch).
+ProgressFn = Callable[[str], None]
 
 
 @dataclass(frozen=True)
@@ -134,23 +145,53 @@ def records_from_results(results: Iterable["ScenarioResult"]) -> tuple[AnalysisR
 
 def records_from_store(
     store: "ResultStore | PackedResultStore | str | Path",
+    *,
+    columns: bool = True,
+    workers: int | None = None,
+    progress: "ProgressFn | None" = None,
 ) -> tuple[AnalysisRecord, ...]:
     """Scan a persistent result store into analysis records.
 
     Accepts a store object or the path of one (either backend -- legacy
     directory or packed; see :func:`repro.store.open_store`).  Corrupt
     records are skipped, exactly as the store's own readers do.
+
+    With ``columns`` (the default) the scan reads the store's columnar
+    sidecars where they are valid and decodes record payloads only where
+    they are not, producing bit-identical records either way; packed
+    stores additionally accept ``workers`` to scan segments in a process
+    pool (one task per segment, merged deterministically).  ``progress``
+    receives one stderr-style line per scanned segment / decode batch.
     """
+    store = open_store(store)
+    if columns and isinstance(store, PackedResultStore):
+        return _finalize(_packed_column_rows(store, workers=workers, progress=progress))
+    if columns and isinstance(store, ResultStore):
+        rows = columns_module.read_dir_sidecar(store)
+        if rows is not None:
+            if progress is not None:
+                progress(f"[1/1] {columns_module.DIR_SIDECAR}: {len(rows)} row(s)")
+            return _finalize(AnalysisRecord(*row) for row in rows)
+    return _finalize(_decoded_rows(store, progress=progress))
+
+
+def _decoded_rows(
+    store: "ResultStore | PackedResultStore", progress: "ProgressFn | None" = None
+) -> Iterable[AnalysisRecord]:
+    """Full-record decode of a store (the reference scan both backends share)."""
     from repro.solvers.bounds import certificate
 
-    store = open_store(store)
     rows = []
     for entry, result in store.records():
         step1 = result.step1
-        cert = certificate(
-            step1.architecture.soc, step1.ate, step1.probe_station,
-            step1.config, entry.objective,
-        )
+        if entry.has_lower_bound:
+            bound = entry.lower_bound
+        else:
+            cert = certificate(
+                step1.architecture.soc, step1.ate, step1.probe_station,
+                step1.config, entry.objective,
+            )
+            bound = None if cert is None else cert.value
         rows.append(
             AnalysisRecord(
                 key=entry.key[:16],
@@ -164,10 +205,96 @@ def records_from_store(
                 channels_per_site=result.best.channels_per_site,
                 test_time_cycles=result.best.test_time_cycles,
                 value=result.optimal_throughput,
-                lower_bound=None if cert is None else cert.value,
+                lower_bound=bound,
             )
         )
-    return _finalize(rows)
+        if progress is not None and len(rows) % 1000 == 0:
+            progress(f"[{len(rows)}] record(s) decoded")
+    if progress is not None:
+        progress(f"decoded {len(rows)} record(s) from {store.root}")
+    return rows
+
+
+def _packed_column_rows(
+    store: PackedResultStore,
+    workers: int | None = None,
+    progress: "ProgressFn | None" = None,
+) -> Iterable[AnalysisRecord]:
+    """Sidecar-first scan of a packed store, one segment at a time.
+
+    The live ``(offset, length)`` work list comes from the store's index,
+    so this reads exactly the record copies the full-decode path reads
+    (superseded and evicted lines excluded).  Segments are scanned
+    serially or across a process pool and always merged in sorted segment
+    order, then by offset -- parallel and serial scans are
+    indistinguishable byte for byte.
+    """
+    locations = store.record_locations()
+    names = sorted(locations)
+    scans: "list[columns_module.SegmentScan] | None" = None
+    if workers is not None and workers > 1 and len(names) > 1:
+        scans = _scan_parallel(store, names, locations, workers, progress)
+    if scans is None:
+        scans = []
+        for number, name in enumerate(names, start=1):
+            scan = columns_module.scan_segment(
+                store._segment_path(name), locations[name]
+            )
+            scans.append(scan)
+            if progress is not None:
+                progress(_segment_progress(number, len(names), scan))
+    rows = []
+    for scan in scans:
+        for _offset, values in scan.rows:
+            rows.append(AnalysisRecord(*values))
+    return rows
+
+
+def _scan_parallel(
+    store: PackedResultStore,
+    names: "list[str]",
+    locations: "dict[str, list[tuple[int, int]]]",
+    workers: int,
+    progress: "ProgressFn | None",
+) -> "list[columns_module.SegmentScan] | None":
+    """Fan segment scans out to a process pool; ``None`` falls back to serial.
+
+    Pool construction or task failure (sandboxed platforms without working
+    ``fork``/semaphores, broken pools) degrades to the serial scan rather
+    than failing the analysis.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
+            futures = {
+                pool.submit(
+                    columns_module.scan_segment,
+                    str(store._segment_path(name)),
+                    locations[name],
+                ): name
+                for name in names
+            }
+            done = 0
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    done += 1
+                    if progress is not None:
+                        progress(_segment_progress(done, len(names), future.result()))
+            by_name = {futures[future]: future.result() for future in futures}
+            return [by_name[name] for name in names]
+    except (OSError, ImportError, RuntimeError, ValueError):
+        return None
+
+
+def _segment_progress(done: int, total: int, scan: "columns_module.SegmentScan") -> str:
+    source = "columns" if scan.used_sidecar else "decoded"
+    line = f"[{done}/{total}] {scan.segment}: {len(scan.rows)} row(s) [{source}]"
+    if scan.corrupt:
+        line += f" ({scan.corrupt} corrupt skipped)"
+    return line
 
 
 def _record_from_sweep_row(row: dict[str, Any]) -> AnalysisRecord:
@@ -189,8 +316,14 @@ def _record_from_sweep_row(row: dict[str, Any]) -> AnalysisRecord:
     )
 
 
-def records_from_jsonl(path: str | Path) -> tuple[AnalysisRecord, ...]:
+def records_from_jsonl(
+    path: str | Path, *, progress: "ProgressFn | None" = None
+) -> tuple[AnalysisRecord, ...]:
     """Parse a ``repro sweep --output`` JSONL file into analysis records.
+
+    The file is streamed line by line (never read whole), so a multi-GB
+    sweep output analyzes in memory bounded by its record count, not its
+    payload size.
 
     Raises
     ------
@@ -202,26 +335,38 @@ def records_from_jsonl(path: str | Path) -> tuple[AnalysisRecord, ...]:
     path = Path(path)
     rows = []
     try:
-        lines = path.read_text(encoding="utf-8").splitlines()
+        with path.open("r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    rows.append(_record_from_sweep_row(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+                    raise ConfigurationError(
+                        f"{path}:{number} is not a sweep record: {error}"
+                    ) from error
+                if progress is not None and len(rows) % 10000 == 0:
+                    progress(f"[{len(rows)}] sweep row(s) read from {path}")
     except OSError as error:
         raise ConfigurationError(f"cannot read sweep JSONL {path}: {error}") from error
-    for number, line in enumerate(lines, start=1):
-        if not line.strip():
-            continue
-        try:
-            rows.append(_record_from_sweep_row(json.loads(line)))
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
-            raise ConfigurationError(
-                f"{path}:{number} is not a sweep record: {error}"
-            ) from error
+    if progress is not None:
+        progress(f"read {len(rows)} sweep row(s) from {path}")
     return _finalize(rows)
 
 
 def load_records(
     store: "ResultStore | PackedResultStore | str | Path | None" = None,
     jsonl_paths: Sequence[str | Path] = (),
+    *,
+    columns: bool = True,
+    workers: int | None = None,
+    progress: "ProgressFn | None" = None,
 ) -> tuple[AnalysisRecord, ...]:
     """Load and merge records from a store and/or sweep JSONL files.
+
+    ``columns``/``workers``/``progress`` thread through to
+    :func:`records_from_store` (and ``progress`` to
+    :func:`records_from_jsonl`).
 
     Raises
     ------
@@ -234,9 +379,11 @@ def load_records(
         )
     rows: list[AnalysisRecord] = []
     if store is not None:
-        rows.extend(records_from_store(store))
+        rows.extend(
+            records_from_store(store, columns=columns, workers=workers, progress=progress)
+        )
     for path in jsonl_paths:
-        rows.extend(records_from_jsonl(path))
+        rows.extend(records_from_jsonl(path, progress=progress))
     return _finalize(rows)
 
 

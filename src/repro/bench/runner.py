@@ -21,7 +21,12 @@ performance story and returns one JSON-ready report:
 * **campaign** -- the streaming multi-SOC campaign
   (:mod:`repro.bench.campaign`): a cold sweep over a synthetic SOC family
   versus the same sweep interrupted partway and resumed from its store,
-  recording the resume speedup and digest equality.
+  recording the resume speedup and digest equality;
+* **analysis** -- loading :class:`~repro.analysis.records.AnalysisRecord`
+  rows from a generated packed store twice: cold full-record decode
+  versus the columnar ``.cols`` sidecar scan
+  (:mod:`repro.store.columns`), in rows/second, with the rendered
+  ``records_table`` digests checked identical.
 
 Every section records wall-clock seconds plus the engine's
 :class:`~repro.api.engine.CacheInfo`, and the sweep section additionally
@@ -388,6 +393,89 @@ def _bench_fanout(
     }
 
 
+#: Packed-store record counts of the ``analysis`` section (replicated from
+#: a handful of genuinely solved scenarios).  The full count satisfies the
+#: >= 10k-record shape the sidecar-vs-decode comparison is specified at.
+ANALYSIS_BENCH_RECORDS = 12000
+SMOKE_ANALYSIS_BENCH_RECORDS = 1500
+#: How many smoke synthetic scenarios seed the replicated store.
+ANALYSIS_BENCH_BASE_SCENARIOS = 6
+
+
+def _bench_analysis(smoke: bool) -> dict[str, Any]:
+    """Cold full-record decode vs columnar sidecar scan over a packed store.
+
+    Builds a throwaway packed store by solving a few small synthetic
+    scenarios and replicating their records under distinct keys (the
+    payloads stay real, so the decode leg pays real decode cost), then
+    times ``records_from_store`` both ways.  The digest equality check
+    proves the fast path changed no output bits: both record tuples and
+    the rendered ``records_table`` must match exactly.
+    """
+    from repro.analysis.analyze import records_table
+    from repro.analysis.records import records_from_store
+    from repro.store.packed import PackedResultStore
+    from repro.store.result_store import make_record
+
+    target = SMOKE_ANALYSIS_BENCH_RECORDS if smoke else ANALYSIS_BENCH_RECORDS
+    base_scenarios = synthetic_sweep_grid(smoke=True)[:ANALYSIS_BENCH_BASE_SCENARIOS]
+    engine = Engine()
+    base_records = [
+        make_record(outcome.scenario, outcome.result)
+        for outcome in engine.run_batch(base_scenarios)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-analysis-bench-") as work_dir:
+        store = PackedResultStore(work_dir)
+        batch: list[dict] = []
+        for index in range(target):
+            record = dict(base_records[index % len(base_records)])
+            record["key"] = f"{index:016x}" + "0" * 48
+            batch.append(record)
+            if len(batch) >= 2000:
+                store.put_records(batch)
+                batch = []
+        if batch:
+            store.put_records(batch)
+        store.close()
+
+        reader = PackedResultStore(work_dir)
+        started = time.perf_counter()
+        decoded = records_from_store(reader, columns=False)
+        decode_seconds = time.perf_counter() - started
+        reader.close()
+
+        reader = PackedResultStore(work_dir)
+        started = time.perf_counter()
+        scanned = records_from_store(reader)
+        scan_seconds = time.perf_counter() - started
+        reader.close()
+
+    decoded_digest = hashlib.sha256(
+        records_table(decoded).render().encode("utf-8")
+    ).hexdigest()
+    scanned_digest = hashlib.sha256(
+        records_table(scanned).render().encode("utf-8")
+    ).hexdigest()
+    return {
+        "records": target,
+        "base_scenarios": len(base_scenarios),
+        "full_decode": {
+            "records": len(decoded),
+            "seconds": decode_seconds,
+            "rows_per_second": target / decode_seconds if decode_seconds > 0 else 0.0,
+        },
+        "sidecar_scan": {
+            "records": len(scanned),
+            "seconds": scan_seconds,
+            "rows_per_second": target / scan_seconds if scan_seconds > 0 else 0.0,
+        },
+        "speedup": decode_seconds / scan_seconds if scan_seconds > 0 else 0.0,
+        "records_identical": decoded == scanned,
+        "table_digests_identical": decoded_digest == scanned_digest,
+        "table_digest": scanned_digest,
+    }
+
+
 def _bench_campaign(smoke: bool, workers: int | None) -> dict[str, Any]:
     """Time the streaming campaign (cold vs interrupted-and-resumed sweep).
 
@@ -470,6 +558,7 @@ def run_bench(
         "synthetic_sweep": _bench_synthetic_sweep(smoke, workers, chunk_size),
         "fanout": _bench_fanout(smoke, workers, chunk_size),
         "campaign": _bench_campaign(smoke, workers),
+        "analysis": _bench_analysis(smoke),
     }
     report["store_info"] = asdict(store.info()) if store is not None else None
     report["evaluate_kernel"] = _kernel_delta(kernel_before, evaluate_kernel.cache_info())
@@ -570,6 +659,23 @@ def summarize_report(report: dict[str, Any]) -> str:
         f"{campaign['resume_seconds']:.3f}s ({campaign['speedup']:.1f}x, "
         f"{campaign['resume_store_hits']} store hits, digests {digests})"
     )
+    analysis = report.get("analysis")
+    if analysis:
+        digests = "identical" if analysis["table_digests_identical"] else "DIFFER"
+        full = analysis["full_decode"]
+        scan = analysis["sidecar_scan"]
+        lines.append(
+            f"  analysis ({analysis['records']} packed records, digests {digests}):"
+        )
+        lines.append(
+            f"    full decode:  {full['seconds']:8.3f}s  "
+            f"({full['rows_per_second']:,.0f} rows/s)"
+        )
+        lines.append(
+            f"    sidecar scan: {scan['seconds']:8.3f}s  "
+            f"({scan['rows_per_second']:,.0f} rows/s, "
+            f"{analysis['speedup']:.1f}x)"
+        )
     lines.append(f"  total wall time: {report['wall_seconds']:.3f}s")
     return "\n".join(lines)
 
@@ -742,6 +848,34 @@ def compare_reports(current: dict[str, Any], previous: dict[str, Any]) -> str:
                 "cold sweep", previous_campaign["cold_seconds"], current_campaign["cold_seconds"]
             )
         )
+    previous_analysis = previous.get("analysis")
+    current_analysis = current.get("analysis")
+    if (
+        previous_analysis
+        and current_analysis
+        and previous_analysis["records"] == current_analysis["records"]
+    ):
+        lines.append("  analysis:")
+        lines.append(
+            _ratio_line(
+                "full decode",
+                previous_analysis["full_decode"]["seconds"],
+                current_analysis["full_decode"]["seconds"],
+            )
+        )
+        lines.append(
+            _ratio_line(
+                "sidecar scan",
+                previous_analysis["sidecar_scan"]["seconds"],
+                current_analysis["sidecar_scan"]["seconds"],
+            )
+        )
+        digests = (
+            "identical"
+            if previous_analysis.get("table_digest") == current_analysis.get("table_digest")
+            else "DIFFER"
+        )
+        lines.append(f"    digests: {digests}")
     lines.append(
         _ratio_line(
             "total wall", previous.get("wall_seconds", 0.0), current.get("wall_seconds", 0.0)
@@ -814,7 +948,8 @@ def find_regressions(
     The CI ratchet behind ``repro bench --compare BENCH_seed.json
     --fail-on-regression PCT``: every workload the two reports share by
     name -- experiments, solver backends, the d695 and synthetic sweeps,
-    fanout runs of the same pool shape, the campaign's cold leg -- is
+    fanout runs of the same pool shape, the campaign's cold leg, the
+    analysis section's decode and sidecar-scan legs -- is
     compared, and a line is returned for each
     one whose current time exceeds the previous time by more than
     ``threshold_pct`` percent.  Workloads below ``noise_floor_seconds``
@@ -889,6 +1024,26 @@ def find_regressions(
                 "campaign cold sweep",
                 previous_campaign["cold_seconds"],
                 current_campaign["cold_seconds"],
+            )
+        )
+    previous_analysis, current_analysis = previous.get("analysis"), current.get("analysis")
+    if (
+        previous_analysis
+        and current_analysis
+        and previous_analysis.get("records") == current_analysis.get("records")
+    ):
+        pairs.append(
+            (
+                "analysis full decode",
+                previous_analysis["full_decode"]["seconds"],
+                current_analysis["full_decode"]["seconds"],
+            )
+        )
+        pairs.append(
+            (
+                "analysis sidecar scan",
+                previous_analysis["sidecar_scan"]["seconds"],
+                current_analysis["sidecar_scan"]["seconds"],
             )
         )
 

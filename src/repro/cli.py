@@ -759,6 +759,18 @@ def _add_store_parser(
         help="rewrite a packed store's live records into one fresh segment, "
         "reclaiming dead bytes and dropping orphaned index entries",
     )
+    reindex = store_subparsers.add_parser(
+        "reindex",
+        parents=[store_options],
+        help="rebuild a packed store's SQLite index from its segment files, "
+        "or (with --columns) the columnar analysis sidecars of either backend",
+    )
+    reindex.add_argument(
+        "--columns",
+        action="store_true",
+        help="rebuild the .cols analysis sidecars (both backends) instead of "
+        "the SQLite index",
+    )
 
 
 def _run_store_info_packed(store: PackedResultStore) -> int:
@@ -848,6 +860,23 @@ def _run_store_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_store_reindex(args: argparse.Namespace) -> int:
+    if args.columns:
+        store = open_store(args.store)
+        rows = store.reindex_columns()
+        print(f"rebuilt columnar sidecars: {rows} row(s)")
+        return 0
+    if not is_packed(args.store):
+        raise ConfigurationError(
+            f"{args.store} is not a packed store; 'store reindex' rebuilds the "
+            "SQLite index (use 'store reindex --columns' for the analysis "
+            "sidecars of either backend)"
+        )
+    rows = PackedResultStore(args.store).reindex()
+    print(f"reindexed: {rows} record(s)")
+    return 0
+
+
 def _run_store(args: argparse.Namespace) -> int:
     if not args.store:
         raise ConfigurationError(f"store {args.store_command} needs --store DIR")
@@ -855,6 +884,8 @@ def _run_store(args: argparse.Namespace) -> int:
         return _run_store_migrate(args)
     if args.store_command == "compact":
         return _run_store_compact(args)
+    if args.store_command == "reindex":
+        return _run_store_reindex(args)
     return _run_store_info(args)
 
 
@@ -1006,6 +1037,19 @@ def _add_analyze_parser(
         default=None,
         help="print the 2-D Pareto front of two metrics, e.g. 'time,cost'",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print scan progress (segments/rows) to stderr while loading",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scan packed-store segments with N parallel processes "
+        "(default: serial)",
+    )
 
 
 def _parse_pareto(spec: str) -> tuple[str, str]:
@@ -1019,7 +1063,16 @@ def _parse_pareto(spec: str) -> tuple[str, str]:
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
-    records = load_records(store=args.store, jsonl_paths=args.inputs)
+    progress = None
+    if args.progress:
+        def progress(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
+    records = load_records(
+        store=args.store,
+        jsonl_paths=args.inputs,
+        workers=args.workers,
+        progress=progress,
+    )
     if not records:
         print("no records found", file=sys.stderr)
         return 1

@@ -15,7 +15,13 @@ through :func:`open_store`, which detects the on-disk layout:
 :func:`migrate_store` converts a legacy directory into the packed format,
 verifying every record's digest on the way and preserving the record
 bytes verbatim -- analysis over a migrated store is byte-identical to
-analysis over the original directory.
+analysis over the original directory.  Migration writes through the
+packed ``put_records`` path, so the new segments get their columnar
+``.cols`` analysis sidecars (:mod:`repro.store.columns`) as they are
+built: full column rows for records carrying a write-time ``analysis``
+block, short decode-at-read rows for older records (``repro store
+reindex --columns`` upgrades those once, by decoding each record a single
+time).
 """
 
 from __future__ import annotations

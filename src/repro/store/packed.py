@@ -18,6 +18,7 @@ Layout of a packed store directory::
       index.sqlite         # records(key PRIMARY KEY, segment, offset, ...)
       segments/
         seg-<pid>-<n>.jsonl
+        seg-<pid>-<n>.cols  # columnar analysis sidecar (derived, optional)
 
 Invariants the format maintains:
 
@@ -38,6 +39,12 @@ Invariants the format maintains:
 * **Eviction is logical.**  :meth:`evict` deletes index rows; dead segment
   bytes are reclaimed by :meth:`compact`, which rewrites all live records
   into one fresh segment.
+* **Sidecars are derived.**  Each segment may carry a ``.cols`` columnar
+  sidecar (:mod:`repro.store.columns`) appended in the same
+  ``put_records`` flush, before the index transaction commits.  Readers
+  validate it against the segment's byte range and silently fall back to
+  decoding the segment when it is missing or stale;
+  :meth:`reindex_columns` rebuilds sidecars from the segments.
 
 The class is call-compatible with :class:`ResultStore` (``get``/``put``/
 ``put_record``/``scan``/``records``/``evict``/``info``/``__len__``/
@@ -59,6 +66,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.exceptions import ConfigurationError, ReproError, StoreError
+from repro.store import columns as columns_module
 from repro.store.result_store import (
     STORE_FORMAT,
     StoreEntry,
@@ -181,6 +189,8 @@ class PackedResultStore:
         self._connection: sqlite3.Connection | None = None
         self._segment_name: str | None = None
         self._segment_handle = None
+        self._sidecar_handle = None
+        self._sidecar_disabled = False
         self._hits = 0
         self._misses = 0
         self._puts = 0
@@ -239,6 +249,33 @@ class PackedResultStore:
             )
         return self._segment_handle
 
+    def _sidecar(self):
+        """The segment's ``.cols`` append handle (lazy; guarded by ``self._lock``).
+
+        Returns ``None`` once sidecar writing failed for this instance:
+        the sidecar then simply stops covering the segment, which the
+        staleness check turns into a full-decode fallback -- record writes
+        never fail because their derived index could not be written.
+        """
+        if self._sidecar_handle is None and not self._sidecar_disabled:
+            path = columns_module.sidecar_path(self._segment_path(self._segment_name))
+            try:
+                handle = open(path, "ab", buffering=0)
+                if handle.seek(0, os.SEEK_END) == 0:
+                    handle.write(columns_module.sidecar_header(segment=self._segment_name))
+                self._sidecar_handle = handle
+            except OSError:
+                self._sidecar_disabled = True
+        return self._sidecar_handle
+
+    def _close_sidecar(self) -> None:
+        if self._sidecar_handle is not None:
+            try:
+                self._sidecar_handle.close()
+            except OSError:
+                pass
+            self._sidecar_handle = None
+
     def close(self) -> None:
         """Release the index connection and segment handle (idempotent)."""
         with self._lock:
@@ -248,6 +285,7 @@ class PackedResultStore:
                 except OSError:
                     pass
                 self._segment_handle = None
+            self._close_sidecar()
             if self._connection is not None:
                 self._connection.close()
                 self._connection = None
@@ -400,8 +438,17 @@ class PackedResultStore:
         record whose key is already present is superseded (the index row
         moves to the new copy; the old line becomes dead bytes for
         :meth:`compact`).
+
+        The same flush appends one line per record to the segment's
+        ``.cols`` sidecar -- full analysis columns when the record carries
+        a :func:`~repro.store.result_store.make_record` ``analysis`` block,
+        a short decode-me row otherwise (raw ingestion of legacy records
+        pays no decode here).  The ordering is segment bytes, then sidecar
+        bytes, then index commit, so the sidecar a reader accepts as
+        covering the segment never references unwritten bytes.
         """
         rows = []
+        sidecar_entries: list[tuple[int, int, "list | None"]] = []
         with self._lock:
             handle = self._segment()
             segment = self._segment_name
@@ -424,10 +471,20 @@ class PackedResultStore:
                         float(record.get("created_at", 0.0) or 0.0),
                     )
                 )
+                sidecar_entries.append(
+                    (offset + len(payload), len(line), columns_module.row_from_record(record))
+                )
                 payload += line + b"\n"
             if not rows:
                 return self._segment_path(segment)
             handle.write(bytes(payload))
+            sidecar = self._sidecar()
+            if sidecar is not None:
+                try:
+                    sidecar.write(columns_module.encode_segment_entries(sidecar_entries))
+                except OSError:
+                    self._close_sidecar()
+                    self._sidecar_disabled = True
             connection = self._connect()
             connection.executemany(
                 "INSERT OR REPLACE INTO records "
@@ -622,6 +679,8 @@ class PackedResultStore:
                     pass
                 self._segment_handle = None
                 self._segment_name = None
+            self._close_sidecar()
+            self._sidecar_disabled = False
             connection = self._connect()
             connection.execute("DELETE FROM records")
             connection.commit()
@@ -633,6 +692,10 @@ class PackedResultStore:
                     continue
                 try:
                     self._segment_path(name).unlink()
+                except OSError:
+                    pass
+                try:
+                    columns_module.sidecar_path(self._segment_path(name)).unlink()
                 except OSError:
                     pass
         bytes_after = 0
@@ -701,6 +764,46 @@ class PackedResultStore:
             )
             connection.commit()
             return connection.execute("SELECT COUNT(*) FROM records").fetchone()[0]
+
+    def record_locations(self) -> dict[str, list[tuple[int, int]]]:
+        """Live ``(offset, length)`` pairs per segment, from the index alone.
+
+        The work list of the sidecar analysis scan
+        (:func:`repro.analysis.records.records_from_store`): scanning
+        exactly these byte ranges -- whichever of the sidecar or the
+        segment answers them -- reads the same record copies the
+        full-decode path does, superseded and evicted lines excluded.
+        """
+        with self._lock:
+            rows = self._connect().execute(
+                "SELECT segment, offset, length FROM records"
+            ).fetchall()
+        locations: dict[str, list[tuple[int, int]]] = {}
+        for segment, offset, length in rows:
+            locations.setdefault(str(segment), []).append((int(offset), int(length)))
+        for pairs in locations.values():
+            pairs.sort()
+        return locations
+
+    def reindex_columns(self) -> int:
+        """Rebuild every segment's ``.cols`` sidecar; returns rows written.
+
+        The sidecar analogue of :meth:`reindex`: each segment is decoded
+        once and a full-column sidecar written beside it (legacy records
+        get their certificates computed here instead of on every future
+        scan).  This instance's own append handles are retired first so
+        later puts continue the rebuilt sidecars coherently.
+        """
+        with self._lock:
+            self._close_sidecar()
+            self._sidecar_disabled = False
+        total = 0
+        for name in self._segment_names():
+            try:
+                total += columns_module.rebuild_segment_sidecar(self._segment_path(name))
+            except OSError:
+                continue
+        return total
 
     def _count(self, hits: int = 0, misses: int = 0, puts: int = 0, corrupt: int = 0) -> None:
         with self._lock:

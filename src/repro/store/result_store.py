@@ -64,8 +64,15 @@ def make_record(scenario: "Scenario", result: "TwoStepResult") -> dict:
     as segment lines, and the campaign service ships them over HTTP.  The
     record is self-describing (``key`` is the scenario's full digest), so a
     consumer can verify it against the scenario that requested it.
+
+    The ``analysis`` block carries the flat metric columns analysis needs
+    (plus the certified lower bound, computed here -- once per problem
+    structure, thanks to the certificate cache -- rather than on every
+    future scan), so the packed backend can fill its columnar sidecar and
+    the analysis layer can skip decoding the payload entirely.
     """
     from repro import __version__
+    from repro.solvers.bounds import scenario_lower_bound
 
     return {
         "format": STORE_FORMAT,
@@ -79,7 +86,39 @@ def make_record(scenario: "Scenario", result: "TwoStepResult") -> dict:
             "description": scenario.describe(),
         },
         "result": encode_result(result),
+        "analysis": {
+            "channels": result.step1.ate.channels,
+            "depth": result.step1.ate.depth,
+            "broadcast": result.step1.config.broadcast,
+            "optimal_sites": result.optimal_sites,
+            "channels_per_site": result.best.channels_per_site,
+            "test_time_cycles": result.best.test_time_cycles,
+            "value": result.optimal_throughput,
+            "lower_bound": scenario_lower_bound(scenario),
+        },
     }
+
+
+def record_lower_bound(record: object) -> tuple[bool, float | None]:
+    """The persisted lower bound of a record dict, as ``(present, value)``.
+
+    ``present`` is ``True`` only when the record's ``analysis`` block
+    carries a well-typed ``lower_bound`` entry (``None`` counts: it means
+    "no certificate exists for this family", which is worth persisting).
+    Readers fall back to recomputing the certificate when it is absent --
+    the pre-sidecar behaviour.
+    """
+    if not isinstance(record, dict):
+        return False, None
+    block = record.get("analysis")
+    if not isinstance(block, dict) or "lower_bound" not in block:
+        return False, None
+    bound = block["lower_bound"]
+    if bound is None:
+        return True, None
+    if isinstance(bound, (int, float)) and not isinstance(bound, bool):
+        return True, float(bound)
+    return False, None
 
 
 def decode_record(record: object, expected_key: str | None = None) -> "TwoStepResult":
@@ -124,6 +163,7 @@ def entry_from_record(record: object, path: Path, size_bytes: int) -> StoreEntry
     if "key" not in record:
         raise StoreError("record has no key")
     scenario = record.get("scenario") or {}
+    has_lower_bound, lower_bound = record_lower_bound(record)
     return StoreEntry(
         key=str(record["key"]),
         path=path,
@@ -133,6 +173,8 @@ def entry_from_record(record: object, path: Path, size_bytes: int) -> StoreEntry
         size_bytes=size_bytes,
         created_at=float(record.get("created_at", 0.0)),
         objective=str(scenario.get("objective", DEFAULT_OBJECTIVE)),
+        lower_bound=lower_bound,
+        has_lower_bound=has_lower_bound,
     )
 
 
@@ -177,6 +219,11 @@ class StoreEntry:
         Size of the record file.
     created_at:
         POSIX timestamp recorded at write time.
+    lower_bound, has_lower_bound:
+        The certified objective bound persisted in the record's
+        ``analysis`` block at write time.  ``has_lower_bound`` separates
+        "persisted as None" (no certificate exists for the family) from
+        "written before bounds were persisted" (readers recompute).
     """
 
     key: str
@@ -187,6 +234,8 @@ class StoreEntry:
     size_bytes: int
     created_at: float
     objective: str = DEFAULT_OBJECTIVE
+    lower_bound: float | None = None
+    has_lower_bound: bool = False
 
 
 @dataclass(frozen=True)
@@ -307,6 +356,10 @@ class ResultStore:
             yield from sorted(self._root.glob(f"*{RECORD_SUFFIX}"))
         except OSError:
             return
+
+    def record_files(self) -> Iterator[Path]:
+        """The store's record files, sorted by key (one ``.json`` per record)."""
+        return self._record_paths()
 
     # ------------------------------------------------------------------
     # Read path
@@ -429,6 +482,19 @@ class ResultStore:
                 self._count(corrupt=1)
                 continue
             yield entry, result
+
+    def reindex_columns(self) -> int:
+        """(Re)build the ``analysis.cols`` columnar snapshot; returns its rows.
+
+        The directory backend has no write-path hook for the sidecar (each
+        ``put`` is an independent atomic file replace), so its sidecar is
+        an explicit snapshot: valid only while the record file set stays
+        exactly as recorded, invalidated by any write or evict.  See
+        :mod:`repro.store.columns`.
+        """
+        from repro.store.columns import rebuild_dir_sidecar
+
+        return rebuild_dir_sidecar(self)
 
     def evict(self, keys: "Iterator[str] | list[str] | tuple[str, ...] | None" = None) -> int:
         """Delete records; returns how many files were removed.

@@ -121,6 +121,23 @@ class TestRecords:
         with pytest.raises(ConfigurationError, match="cannot read"):
             records_from_jsonl(tmp_path / "nope.jsonl")
 
+    def test_jsonl_error_names_line_number_mid_file(self, results, tmp_path):
+        """Streaming kept the ``path:line`` diagnostics intact."""
+        good = json.dumps(results[0].to_record(), sort_keys=True)
+        path = tmp_path / "bad.jsonl"
+        path.write_text(f"{good}\n\nnot json\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="bad.jsonl:3"):
+            records_from_jsonl(path)
+
+    def test_jsonl_progress_reports_total(self, results, records, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            "".join(json.dumps(r.to_record()) + "\n" for r in results), encoding="utf-8"
+        )
+        lines = []
+        assert records_from_jsonl(path, progress=lines.append) == records
+        assert lines == [f"read {len(results)} sweep row(s) from {path}"]
+
 
 class TestMetrics:
     def test_unknown_metric_raises(self):
@@ -216,3 +233,68 @@ class TestPareto:
         table = pareto_table(records, "time", "cost")
         assert table.num_rows == 3
         assert table.column("time") == ["9634", "1.114e+04", "6.225e+04"]
+
+
+class TestVectorisedParity:
+    """The numpy aggregation paths must be bit-identical to the scalar ones.
+
+    Every view is rendered twice -- once normally (numpy, when installed)
+    and once with the module's numpy handle forced to ``None`` -- over a
+    deterministic pool of varied records including duplicates and ties.
+    The rendered text must match byte for byte.
+    """
+
+    @pytest.fixture(scope="class")
+    def pool(self):
+        import random
+
+        rng = random.Random(20050307)
+        rows = []
+        for index in range(120):
+            sites = rng.randint(1, 12)
+            per_site = rng.choice([16, 22, 24, 32, 64])
+            rows.append(
+                AnalysisRecord(
+                    key=f"{index:016x}",
+                    soc=rng.choice(["d695", "p93791", "t512505"]),
+                    solver=rng.choice(["goel05", "restart"]),
+                    objective=rng.choice(["throughput", "test_time"]),
+                    channels=rng.choice([128, 256, 512]),
+                    depth=rng.choice([65536, 1048576]),
+                    broadcast=rng.random() < 0.5,
+                    optimal_sites=sites,
+                    channels_per_site=per_site,
+                    test_time_cycles=rng.randint(5000, 90000),
+                    value=rng.uniform(100.0, 90000.0),
+                    lower_bound=rng.choice([None, rng.uniform(100.0, 90000.0)]),
+                )
+            )
+        # Exact metric ties, so argmin/pareto tie-breaking is exercised.
+        rows.append(rows[0].__class__(**{**rows[0].__dict__, "key": "e" * 16}))
+        return tuple(rows)
+
+    def _scalar(self, monkeypatch):
+        import repro.analysis.analyze as analyze
+
+        monkeypatch.setattr(analyze, "_np", None)
+
+    @pytest.mark.parametrize("metric", sorted(METRICS))
+    @pytest.mark.parametrize("by", ["soc", "solver", "objective", "broadcast"])
+    def test_group_summary_identical(self, pool, metric, by, monkeypatch):
+        fast = group_summary(pool, by, metric).render()
+        self._scalar(monkeypatch)
+        assert group_summary(pool, by, metric).render() == fast
+
+    @pytest.mark.parametrize("metric", sorted(METRICS))
+    def test_best_per_soc_identical(self, pool, metric, monkeypatch):
+        fast = best_per_soc(pool, metric)
+        self._scalar(monkeypatch)
+        assert best_per_soc(pool, metric) == fast
+
+    @pytest.mark.parametrize(
+        "axes", [("time", "cost"), ("cost", "throughput"), ("sites", "time")]
+    )
+    def test_pareto_front_identical(self, pool, axes, monkeypatch):
+        fast = pareto_front(pool, *axes)
+        self._scalar(monkeypatch)
+        assert pareto_front(pool, *axes) == fast

@@ -67,6 +67,19 @@ class TestReportShape:
         assert len(sweep["digest"]) == 64
         assert sweep["evaluate_kernel"]["misses"] >= 0
 
+    def test_analysis_row(self, smoke_reports):
+        cold, _ = smoke_reports
+        analysis = cold["analysis"]
+        assert analysis["records"] == analysis["full_decode"]["records"]
+        assert analysis["records"] == analysis["sidecar_scan"]["records"]
+        assert analysis["records_identical"] is True
+        assert analysis["table_digests_identical"] is True
+        assert len(analysis["table_digest"]) == 64
+        assert analysis["full_decode"]["rows_per_second"] > 0
+        # The acceptance threshold (>= 10x) is asserted under the benchmark
+        # harness; the unit test only requires a genuine speedup.
+        assert analysis["speedup"] > 1.0
+
     def test_report_is_json_serializable(self, smoke_reports):
         cold, warm = smoke_reports
         for report in (cold, warm):
@@ -120,6 +133,7 @@ class TestReportFile:
         assert "goel05" in text
         assert "d695 sweep" in text
         assert "digest" in text
+        assert "sidecar scan" in text
 
 
 class TestBenchCli:
@@ -169,6 +183,25 @@ class TestCompareReports:
         assert "economics" in text
         assert "digests: identical" in text
         assert "x)" in text  # at least one speedup ratio
+
+    def test_regressions_pair_analysis_legs(self, smoke_reports):
+        from repro.bench.runner import find_regressions
+
+        cold, warm = smoke_reports
+        slow = dict(
+            warm,
+            analysis=dict(
+                warm["analysis"],
+                sidecar_scan=dict(warm["analysis"]["sidecar_scan"], seconds=100.0),
+            ),
+        )
+        regressions = find_regressions(slow, cold, 10.0)
+        assert any("analysis sidecar scan" in line for line in regressions)
+        # Different record counts never pair (the name-new-section rule).
+        resized = dict(slow, analysis=dict(slow["analysis"], records=1))
+        assert not any(
+            "analysis" in line for line in find_regressions(resized, cold, 10.0)
+        )
 
     def test_compare_flags_different_workloads(self, smoke_reports):
         from repro.bench.runner import compare_reports

@@ -67,11 +67,12 @@ class TestCliDoc:
                      "--until-idle", "--max-shards", "--dest",
                      "--fail-on-regression", "--sa-temperature",
                      "--sa-cooling", "--sa-moves-per-temp", "--sa-restarts",
-                     "--chunk", "--flush-every"):
+                     "--chunk", "--flush-every", "--progress", "--columns"):
             assert flag in cli_doc_text
 
     def test_store_actions_documented(self, cli_doc_text):
-        for action in ("store info", "store migrate", "store compact"):
+        for action in ("store info", "store migrate", "store compact",
+                       "store reindex"):
             assert action in cli_doc_text
 
     def test_parser_and_doc_agree(self, cli_doc_text):
@@ -144,6 +145,12 @@ class TestArchitectureDoc:
         for anchor in ("PackedResultStore", "packed.manifest", "index.sqlite",
                        "open_store", "migrate", "compact", "reindex",
                        "orphaned", "source of truth"):
+            assert anchor in architecture_text
+
+    def test_describes_columnar_sidecars(self, architecture_text):
+        for anchor in (".cols", "columns.py", "analysis.cols",
+                       "reindex --columns", "flush-before-index",
+                       "short row", "AnalysisRecord", "derived data"):
             assert anchor in architecture_text
 
 

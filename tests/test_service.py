@@ -264,6 +264,25 @@ class TestIngest:
         assert server.store.info().size == 0
         assert server.counters["records_stored"] == 0
 
+    def test_packed_ingest_writes_analysis_sidecars(self, tmp_path):
+        """Batch ingest over a packed store produces sidecars in the same
+        flush, and the sidecar scan matches full decode bit for bit."""
+        from repro.analysis.records import records_from_store
+        from repro.store import columns
+        from repro.store.packed import PackedResultStore
+
+        packed = PackedResultStore(tmp_path / "packed")
+        server = CampaignServer(packed, lease_ttl=10.0)
+        grid = list(SMALL_SPEC.build_grid())[:3]
+        engine = Engine()
+        records = [make_record(s, engine.run(s).result) for s in grid]
+        assert server.ingest({"records": records}) == {"stored": 3, "duplicates": 0}
+        sidecars = list(packed.root.rglob(f"*{columns.SIDECAR_SUFFIX}"))
+        assert sidecars
+        fast = records_from_store(packed)
+        assert len(fast) == 3
+        assert fast == records_from_store(packed, columns=False)
+
     def test_query_missing_counts_presence(self, clocked_server):
         server, _ = clocked_server
         record = self._record(server)
